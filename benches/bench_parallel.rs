@@ -1,0 +1,38 @@
+//! Criterion benchmarks for parallel quantified matching (Fig. 8(b)/(c)):
+//! `PQMatch` and its variants over a varying number of workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use quantified_graph_patterns::core::pattern::library;
+use quantified_graph_patterns::datasets::{pokec_like, SocialConfig};
+use quantified_graph_patterns::parallel::{dpar, pqmatch, ParallelConfig, PartitionConfig};
+
+fn bench_parallel(c: &mut Criterion) {
+    let graph = pokec_like(&SocialConfig::with_persons(4_000));
+    let pattern = library::q3_redmi_negation(2);
+
+    let mut group = c.benchmark_group("fig8bc/pokec-like/Q3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [1usize, 2, 4] {
+        let partition = dpar(&graph, &PartitionConfig::new(n, 2));
+        for (name, config) in [
+            ("PQMatch", ParallelConfig::pqmatch(2)),
+            ("PQMatchn", ParallelConfig::pqmatch_n(2)),
+            ("PEnum", ParallelConfig::penum(2)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(&partition, &config),
+                |b, (partition, config)| {
+                    b.iter(|| pqmatch(&pattern, partition, config).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

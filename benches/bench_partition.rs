@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the d-hop preserving partition `DPar`
+//! (Fig. 8(d)/(e)): partition time for a varying number of fragments and hop
+//! bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use quantified_graph_patterns::datasets::{pokec_like, yago_like, KnowledgeConfig, SocialConfig};
+use quantified_graph_patterns::graph::Graph;
+use quantified_graph_patterns::parallel::{dpar, PartitionConfig};
+
+fn bench_graph(c: &mut Criterion, name: &str, graph: &Graph) {
+    let mut group = c.benchmark_group(format!("fig8de/{name}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for d in [1usize, 2] {
+        for n in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{d}"), n),
+                &PartitionConfig::new(n, d),
+                |b, config| b.iter(|| dpar(graph, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let pokec = pokec_like(&SocialConfig::with_persons(2_000));
+    let yago = yago_like(&KnowledgeConfig::with_persons(2_000));
+    bench_graph(c, "pokec-like", &pokec);
+    bench_graph(c, "yago2-like", &yago);
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for sequential quantified matching
+//! (Fig. 8(a) of the paper): `QMatch` vs `QMatchn` vs `Enum` on the
+//! Pokec-like and YAGO2-like graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use quantified_graph_patterns::core::matching::{quantified_match_with, MatchConfig};
+use quantified_graph_patterns::core::pattern::{library, Pattern};
+use quantified_graph_patterns::datasets::{
+    pokec_like, yago_like, KnowledgeConfig, SocialConfig,
+};
+use quantified_graph_patterns::graph::Graph;
+
+fn configs() -> Vec<(&'static str, MatchConfig)> {
+    vec![
+        ("QMatch", MatchConfig::qmatch()),
+        ("QMatchn", MatchConfig::qmatch_n()),
+        ("Enum", MatchConfig::enumerate()),
+    ]
+}
+
+fn bench_case(c: &mut Criterion, group_name: &str, graph: &Graph, pattern: &Pattern) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, config) in configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| quantified_match_with(graph, pattern, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_qmatch(c: &mut Criterion) {
+    let pokec = pokec_like(&SocialConfig::with_persons(4_000));
+    let yago = yago_like(&KnowledgeConfig::with_persons(4_000));
+
+    bench_case(c, "fig8a/pokec-like/Q3(p=2)", &pokec, &library::q3_redmi_negation(2));
+    bench_case(c, "fig8a/pokec-like/Q1(80%)", &pokec, &library::q1_music_club());
+    bench_case(c, "fig8a/yago2-like/Q4(p=2)", &yago, &library::q4_uk_professors(2));
+}
+
+criterion_group!(benches, bench_qmatch);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for QGAR evaluation and mining (Exp-3 of the paper):
+//! `garMatch`, quantified entity identification, and the seed-and-strengthen
+//! miner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use quantified_graph_patterns::core::matching::MatchConfig;
+use quantified_graph_patterns::core::pattern::{CountingQuantifier, PatternBuilder};
+use quantified_graph_patterns::datasets::{pokec_like, SocialConfig};
+use quantified_graph_patterns::rules::{
+    evaluate_rule, identify_entities, mine_qgars, MiningConfig, Qgar,
+};
+
+fn album_rule() -> Qgar {
+    let mut b = PatternBuilder::new();
+    let xo = b.node("person");
+    let z = b.node("person");
+    let y = b.node("album");
+    b.quantified_edge(xo, z, "follow", CountingQuantifier::at_least_percent(80.0));
+    b.edge(z, y, "like");
+    b.focus(xo);
+    let antecedent = b.build().unwrap();
+
+    let mut b = PatternBuilder::new();
+    let xo = b.node("person");
+    let y = b.node("album");
+    b.edge(xo, y, "buy");
+    b.focus(xo);
+    let consequent = b.build().unwrap();
+    Qgar::new("R1", antecedent, consequent).unwrap()
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let graph = pokec_like(&SocialConfig::with_persons(1_500));
+    let rule = album_rule();
+
+    let mut group = c.benchmark_group("exp3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("garMatch/R1", |b| {
+        b.iter(|| evaluate_rule(&graph, &rule, &MatchConfig::qmatch()).unwrap())
+    });
+    group.bench_function("QEI/R1(eta=0.5)", |b| {
+        b.iter(|| identify_entities(&graph, &rule, 0.5, &MatchConfig::qmatch()).unwrap())
+    });
+    let mining = MiningConfig {
+        min_support: 20,
+        max_seed_features: 5,
+        max_rules: 5,
+        ..MiningConfig::default()
+    };
+    group.bench_function("mine_qgars", |b| {
+        b.iter(|| mine_qgars(&graph, &mining).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

@@ -1,0 +1,433 @@
+//! The experiment suite of Section 7, one function per figure.
+//!
+//! Every function regenerates the rows/series of one figure of the paper's
+//! evaluation and returns them as [`Table`]s.  Absolute times differ from the
+//! paper (different hardware, laptop-scale datasets, threads instead of a
+//! cluster); EXPERIMENTS.md records the *shape* comparison.
+
+use std::time::Instant;
+
+use qgp_core::matching::{quantified_match_with, MatchConfig};
+use qgp_core::pattern::Pattern;
+use qgp_datasets::PatternSize;
+use qgp_graph::Graph;
+use qgp_parallel::{dpar, pqmatch, DHopPartition, ParallelConfig, PartitionConfig};
+use qgp_rules::{mine_qgars, MiningConfig};
+
+use crate::report::{secs, Table};
+use crate::workloads::{
+    dataset_graph, pokec_graph, synthetic_graph, workload_pattern, yago_graph, Dataset,
+    ExperimentScale,
+};
+
+/// Default pattern seed so every run of the harness sees the same workload.
+const PATTERN_SEED: u64 = 3;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+fn sequential_configs() -> [(&'static str, MatchConfig); 3] {
+    [
+        ("Enum", MatchConfig::enumerate()),
+        ("QMatchn", MatchConfig::qmatch_n()),
+        ("QMatch", MatchConfig::qmatch()),
+    ]
+}
+
+fn parallel_configs(threads: usize) -> [(&'static str, ParallelConfig); 4] {
+    [
+        ("PEnum", ParallelConfig::penum(threads)),
+        ("PQMatchs", ParallelConfig::pqmatch_s()),
+        ("PQMatchn", ParallelConfig::pqmatch_n(threads)),
+        ("PQMatch", ParallelConfig::pqmatch(threads)),
+    ]
+}
+
+/// Generates the experiment pattern for a dataset, falling back to a smaller
+/// shape when the frequent-feature generator cannot reach the requested size.
+fn pattern_or_fallback(graph: &Graph, dataset: Option<Dataset>, size: PatternSize) -> Pattern {
+    workload_pattern(graph, dataset, size, PATTERN_SEED)
+        .or_else(|| {
+            workload_pattern(
+                graph,
+                dataset,
+                PatternSize::new(3, 3, size.ratio_percent, 0),
+                PATTERN_SEED,
+            )
+        })
+        .expect("experiment graphs always produce at least a small pattern")
+}
+
+/// Exp-1 / Fig. 8(a): sequential response time of QMatch vs QMatchn vs Enum
+/// on the yago2-like, pokec-like (two pattern sizes) and synthetic graphs.
+pub fn exp1_qmatch(scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 8(a) — sequential quantified matching, |Q|=(5,7,30%,1)",
+        &["dataset", "Enum (s)", "QMatchn (s)", "QMatch (s)", "matches"],
+    );
+
+    let yago = yago_graph(scale);
+    let pokec = pokec_graph(scale);
+    let synth = synthetic_graph(scale.synthetic_nodes);
+
+    let cases: Vec<(&str, &Graph, Option<Dataset>, PatternSize)> = vec![
+        (
+            "yago2-like",
+            &yago,
+            Some(Dataset::YagoLike),
+            PatternSize::new(5, 7, 30.0, 1),
+        ),
+        (
+            "pokec-like (5,7)",
+            &pokec,
+            Some(Dataset::PokecLike),
+            PatternSize::new(5, 7, 30.0, 1),
+        ),
+        (
+            "pokec-like (6,8)",
+            &pokec,
+            Some(Dataset::PokecLike),
+            PatternSize::new(6, 8, 30.0, 1),
+        ),
+        ("synthetic", &synth, None, PatternSize::new(5, 7, 30.0, 1)),
+    ];
+
+    for (name, graph, dataset, size) in cases {
+        let pattern = pattern_or_fallback(graph, dataset, size);
+        let mut row = vec![name.to_string()];
+        let mut matches = 0usize;
+        for (_, config) in sequential_configs() {
+            let (ans, elapsed) = time(|| quantified_match_with(graph, &pattern, &config).unwrap());
+            matches = ans.len();
+            row.push(secs(elapsed));
+        }
+        row.push(matches.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+/// Exp-2 / Fig. 8(b)(c): parallel matching time while varying the number of
+/// workers `n` (PEnum vs PQMatchs vs PQMatchn vs PQMatch).
+pub fn exp2_vary_n(dataset: Dataset, scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Fig. 8(b)/(c) — varying n on {}, |Q|=(6,8,30%,1), d=2, b={}",
+            dataset.name(),
+            scale.threads_per_worker
+        ),
+        &["n", "PEnum (s)", "PQMatchs (s)", "PQMatchn (s)", "PQMatch (s)", "matches"],
+    );
+    let graph = dataset_graph(dataset, scale);
+    let pattern = pattern_or_fallback(&graph, Some(dataset), PatternSize::new(6, 8, 30.0, 1));
+    let d = pattern.radius().max(2);
+
+    for &n in &scale.workers {
+        let partition = dpar(&graph, &PartitionConfig::new(n, d));
+        let mut row = vec![n.to_string()];
+        let mut matches = 0usize;
+        for (_, config) in parallel_configs(scale.threads_per_worker) {
+            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            matches = ans.matches.len();
+            row.push(secs(elapsed));
+        }
+        row.push(matches.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+/// Exp-2 / Fig. 8(d)(e): DPar partition time and balance while varying `n`,
+/// for d = 2 and d = 3.
+pub fn exp2_dpar(dataset: Dataset, scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        format!("Fig. 8(d)/(e) — DPar on {}", dataset.name()),
+        &["n", "d", "partition (s)", "skew", "border nodes", "covered pre-completion"],
+    );
+    let graph = dataset_graph(dataset, scale);
+    for &d in &[2usize, 3] {
+        for &n in &scale.workers {
+            let (partition, elapsed) = time(|| dpar(&graph, &PartitionConfig::new(n, d)));
+            let stats = partition.stats();
+            table.push_row(vec![
+                n.to_string(),
+                d.to_string(),
+                secs(elapsed),
+                format!("{:.2}", stats.skew),
+                stats.border_nodes.to_string(),
+                stats.covered_before_completion.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Exp-2 / Fig. 8(f)(g): parallel matching time while varying the pattern
+/// size `(|V_Q|, |E_Q|)`.
+pub fn exp2_vary_q(dataset: Dataset, scale: &ExperimentScale) -> Table {
+    let sizes: Vec<(usize, usize)> = match dataset {
+        Dataset::PokecLike => vec![(4, 6), (5, 7), (6, 8), (7, 9), (8, 10)],
+        Dataset::YagoLike => vec![(3, 5), (4, 6), (5, 7), (6, 8), (7, 9)],
+    };
+    let n = scale.workers.iter().copied().max().unwrap_or(4).min(8);
+    let mut table = Table::new(
+        format!(
+            "Fig. 8(f)/(g) — varying |Q| on {}, n={n}, pa=30%, |E-Q|=1",
+            dataset.name()
+        ),
+        &["|Q|", "PEnum (s)", "PQMatchs (s)", "PQMatchn (s)", "PQMatch (s)", "matches"],
+    );
+    let graph = dataset_graph(dataset, scale);
+    // As in the paper, the graph is partitioned once and the same partition
+    // serves every pattern whose radius stays within d.
+    let patterns: Vec<(usize, usize, Pattern)> = sizes
+        .into_iter()
+        .map(|(vq, eq)| {
+            let p = pattern_or_fallback(&graph, Some(dataset), PatternSize::new(vq, eq, 30.0, 1));
+            (vq, eq, p)
+        })
+        .collect();
+    let d = patterns
+        .iter()
+        .map(|(_, _, p)| p.radius())
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let partition = dpar(&graph, &PartitionConfig::new(n, d));
+    for (vq, eq, pattern) in patterns {
+        let mut row = vec![format!("({vq},{eq})")];
+        let mut matches = 0usize;
+        for (_, config) in parallel_configs(scale.threads_per_worker) {
+            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            matches = ans.matches.len();
+            row.push(secs(elapsed));
+        }
+        row.push(matches.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+/// Exp-2 / Fig. 8(h)(i): parallel matching time while varying the number of
+/// negated edges `|E⁻_Q|` (the experiment that isolates the benefit of
+/// incremental evaluation, IncQMatch).
+pub fn exp2_vary_negated(dataset: Dataset, scale: &ExperimentScale) -> Table {
+    let n = scale.workers.iter().copied().max().unwrap_or(4).min(8);
+    let mut table = Table::new(
+        format!(
+            "Fig. 8(h)/(i) — varying |E-Q| on {}, n={n}, (|V_Q|,|E_Q|)=(6,8), pa=30%",
+            dataset.name()
+        ),
+        &["|E-Q|", "PEnum (s)", "PQMatchs (s)", "PQMatchn (s)", "PQMatch (s)", "matches"],
+    );
+    let graph = dataset_graph(dataset, scale);
+    let patterns: Vec<(usize, Pattern)> = (0..=4usize)
+        .map(|neg| {
+            let p = pattern_or_fallback(&graph, Some(dataset), PatternSize::new(6, 8, 30.0, neg));
+            (neg, p)
+        })
+        .collect();
+    let d = patterns
+        .iter()
+        .map(|(_, p)| p.radius())
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let partition = dpar(&graph, &PartitionConfig::new(n, d));
+    for (neg, pattern) in patterns {
+        let mut row = vec![neg.to_string()];
+        let mut matches = 0usize;
+        for (_, config) in parallel_configs(scale.threads_per_worker) {
+            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            matches = ans.matches.len();
+            row.push(secs(elapsed));
+        }
+        row.push(matches.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+/// Exp-2 / Fig. 8(j)(k): parallel matching time while varying the ratio
+/// aggregate `p_a` (larger thresholds prune more candidates).
+pub fn exp2_vary_ratio(dataset: Dataset, scale: &ExperimentScale) -> Table {
+    let n = scale.workers.iter().copied().max().unwrap_or(4).min(8);
+    let (vq, eq) = match dataset {
+        Dataset::PokecLike => (6, 8),
+        Dataset::YagoLike => (5, 7),
+    };
+    let mut table = Table::new(
+        format!(
+            "Fig. 8(j)/(k) — varying pa on {}, n={n}, (|V_Q|,|E_Q|)=({vq},{eq}), |E-Q|=1",
+            dataset.name()
+        ),
+        &["pa", "PEnum (s)", "PQMatchs (s)", "PQMatchn (s)", "PQMatch (s)", "matches"],
+    );
+    let graph = dataset_graph(dataset, scale);
+    let patterns: Vec<(f64, Pattern)> = [10.0, 30.0, 50.0, 70.0, 90.0]
+        .into_iter()
+        .map(|pa| {
+            let p = pattern_or_fallback(&graph, Some(dataset), PatternSize::new(vq, eq, pa, 1));
+            (pa, p)
+        })
+        .collect();
+    let d = patterns
+        .iter()
+        .map(|(_, p)| p.radius())
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let partition = dpar(&graph, &PartitionConfig::new(n, d));
+    for (pa, pattern) in patterns {
+        let mut row = vec![format!("{pa}%")];
+        let mut matches = 0usize;
+        for (_, config) in parallel_configs(scale.threads_per_worker) {
+            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            matches = ans.matches.len();
+            row.push(secs(elapsed));
+        }
+        row.push(matches.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+/// Exp-2 / Fig. 8(l): parallel matching time on synthetic graphs of growing
+/// size `(|V|, |E|)`, n = 4.
+pub fn exp2_vary_graph_size(scale: &ExperimentScale) -> Table {
+    let n = 4usize;
+    let mut table = Table::new(
+        "Fig. 8(l) — varying |G| (synthetic), n=4, |Q|=(5,7,30%,1)",
+        &["|V|,|E|", "PEnum (s)", "PQMatchs (s)", "PQMatchn (s)", "PQMatch (s)", "matches"],
+    );
+    for factor in [1usize, 2, 3, 4, 5] {
+        let nodes = scale.synthetic_nodes * factor / 2;
+        let graph = synthetic_graph(nodes);
+        let pattern = pattern_or_fallback(&graph, None, PatternSize::new(5, 7, 30.0, 1));
+        let d = pattern.radius().max(2);
+        let partition = dpar(&graph, &PartitionConfig::new(n, d));
+        let mut row = vec![format!("({}, {})", graph.node_count(), graph.edge_count())];
+        let mut matches = 0usize;
+        for (_, config) in parallel_configs(scale.threads_per_worker) {
+            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            matches = ans.matches.len();
+            row.push(secs(elapsed));
+        }
+        row.push(matches.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+/// Exp-3: QGAR mining effectiveness — top rules discovered on the Pokec-like
+/// and YAGO2-like graphs with confidence threshold η = 0.5.
+pub fn exp3_qgar(scale: &ExperimentScale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for dataset in [Dataset::PokecLike, Dataset::YagoLike] {
+        let graph = dataset_graph(dataset, scale);
+        let config = MiningConfig {
+            focus_label: dataset.focus_label().to_owned(),
+            min_support: (graph.node_count() / 200).max(5),
+            confidence_threshold: 0.5,
+            max_rules: 8,
+            ..MiningConfig::default()
+        };
+        let (rules, elapsed) = time(|| mine_qgars(&graph, &config).unwrap());
+        let mut table = Table::new(
+            format!(
+                "Exp-3 — QGARs mined from {} (η = 0.5, {} rules, {} s)",
+                dataset.name(),
+                rules.len(),
+                secs(elapsed)
+            ),
+            &["rule", "quantifier", "support", "confidence"],
+        );
+        for rule in rules {
+            table.push_row(vec![
+                rule.rule.name().to_string(),
+                rule.strengthened_to
+                    .map(|p| format!(">= {p}%"))
+                    .unwrap_or_else(|| ">= 1".to_string()),
+                rule.evaluation.support.to_string(),
+                format!("{:.2}", rule.evaluation.confidence),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Runs the parallel experiment used by integration smoke tests: a single
+/// tiny end-to-end pass over partition + matching, returning the partition
+/// and match count (so tests can assert consistency cheaply).
+pub fn smoke_parallel(scale: &ExperimentScale) -> (DHopPartition, usize) {
+    let graph = pokec_graph(scale);
+    let pattern = pattern_or_fallback(
+        &graph,
+        Some(Dataset::PokecLike),
+        PatternSize::new(4, 5, 30.0, 1),
+    );
+    let d = pattern.radius().max(2);
+    let partition = dpar(&graph, &PartitionConfig::new(2, d));
+    let answer = pqmatch(&pattern, &partition, &ParallelConfig::pqmatch(2)).unwrap();
+    (partition, answer.matches.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            workers: vec![1, 2],
+            threads_per_worker: 1,
+            ..ExperimentScale::scaled(0.08)
+        }
+    }
+
+    #[test]
+    fn exp1_produces_a_row_per_dataset() {
+        let t = exp1_qmatch(&tiny());
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.headers.len(), 5);
+    }
+
+    #[test]
+    fn exp2_vary_n_produces_a_row_per_worker_count() {
+        let t = exp2_vary_n(Dataset::YagoLike, &tiny());
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn exp2_dpar_covers_both_d_values() {
+        let t = exp2_dpar(Dataset::YagoLike, &tiny());
+        assert_eq!(t.rows.len(), 4); // 2 d-values × 2 worker counts
+    }
+
+    #[test]
+    fn exp2_negated_sweep_is_flat_for_incremental_algorithms() {
+        let t = exp2_vary_negated(Dataset::PokecLike, &tiny());
+        assert_eq!(t.rows.len(), 5);
+    }
+
+    #[test]
+    fn exp3_reports_rules_with_confidence_above_threshold() {
+        let tables = exp3_qgar(&tiny());
+        assert_eq!(tables.len(), 2);
+        for table in &tables {
+            for row in &table.rows {
+                let conf: f64 = row[3].parse().unwrap();
+                assert!(conf >= 0.5 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_parallel_is_consistent() {
+        let (partition, _matches) = smoke_parallel(&tiny());
+        assert_eq!(partition.len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! The `experiments` binary: regenerates the tables/figures of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! experiments <exp> [--scale F] [--dataset pokec|yago]
+//!
+//!   exp1       Fig. 8(a)  sequential QMatch vs QMatchn vs Enum
+//!   exp2-n     Fig. 8(b,c) varying number of workers
+//!   exp2-dpar  Fig. 8(d,e) DPar partition scalability
+//!   exp2-q     Fig. 8(f,g) varying pattern size
+//!   exp2-neg   Fig. 8(h,i) varying number of negated edges
+//!   exp2-p     Fig. 8(j,k) varying ratio aggregate pa
+//!   exp2-g     Fig. 8(l)   varying synthetic graph size
+//!   exp3       Exp-3       QGAR discovery
+//!   all        everything above
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use qgp_bench::experiments::{
+    exp1_qmatch, exp2_dpar, exp2_vary_graph_size, exp2_vary_n, exp2_vary_negated,
+    exp2_vary_q, exp2_vary_ratio, exp3_qgar,
+};
+use qgp_bench::{Dataset, ExperimentScale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut exp = None;
+    let mut scale_factor = 1.0f64;
+    let mut datasets = vec![Dataset::PokecLike, Dataset::YagoLike];
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale_factor = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale expects a number");
+                        1.0
+                    });
+            }
+            "--dataset" => {
+                i += 1;
+                datasets = match args.get(i).map(String::as_str) {
+                    Some("pokec") => vec![Dataset::PokecLike],
+                    Some("yago") => vec![Dataset::YagoLike],
+                    other => {
+                        eprintln!("unknown dataset {other:?}; expected pokec or yago");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            name if exp.is_none() => exp = Some(name.to_string()),
+            other => {
+                eprintln!("unexpected argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let exp = exp.unwrap_or_else(|| "all".to_string());
+    let scale = ExperimentScale::scaled(scale_factor);
+    println!(
+        "# experiment `{exp}` at scale {scale_factor} (pokec {} persons, yago {} persons, synthetic {} nodes)\n",
+        scale.pokec_persons, scale.yago_persons, scale.synthetic_nodes
+    );
+
+    let run_for_datasets = |f: &dyn Fn(Dataset, &ExperimentScale) -> qgp_bench::Table| {
+        for &d in &datasets {
+            println!("{}", f(d, &scale));
+        }
+    };
+
+    match exp.as_str() {
+        "exp1" => println!("{}", exp1_qmatch(&scale)),
+        "exp2-n" => run_for_datasets(&exp2_vary_n),
+        "exp2-dpar" => run_for_datasets(&exp2_dpar),
+        "exp2-q" => run_for_datasets(&exp2_vary_q),
+        "exp2-neg" => run_for_datasets(&exp2_vary_negated),
+        "exp2-p" => run_for_datasets(&exp2_vary_ratio),
+        "exp2-g" => println!("{}", exp2_vary_graph_size(&scale)),
+        "exp3" => {
+            for table in exp3_qgar(&scale) {
+                println!("{table}");
+            }
+        }
+        "all" => {
+            println!("{}", exp1_qmatch(&scale));
+            run_for_datasets(&exp2_vary_n);
+            run_for_datasets(&exp2_dpar);
+            run_for_datasets(&exp2_vary_q);
+            run_for_datasets(&exp2_vary_negated);
+            run_for_datasets(&exp2_vary_ratio);
+            println!("{}", exp2_vary_graph_size(&scale));
+            for table in exp3_qgar(&scale) {
+                println!("{table}");
+            }
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; see --help in the module docs");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,238 @@
+//! Candidate set computation (`FilterCandidate` of Fig. 4, revised for
+//! quantifiers as in `QMatch`, Section 4.1).
+//!
+//! For every pattern node `u` the candidate set `C(u)` starts from all graph
+//! nodes carrying the same node label, and is pruned by structural necessary
+//! conditions:
+//!
+//! * for every out-edge `e = (u, u')` the candidate must have enough children
+//!   via `e`'s label to possibly satisfy `f(e)` — the initialization
+//!   `U(v, e) = |Mₑ(v)|` of `QMatch`, which removes `v` when the upper bound
+//!   already fails the quantifier (Example 5 of the paper),
+//! * for every in-edge `e = (u'', u)` the candidate must have at least one
+//!   parent via `e`'s label.
+
+use qgp_graph::{Graph, NodeId};
+
+use super::resolved::ResolvedPattern;
+use super::stats::MatchStats;
+
+/// Candidate sets `C(u)` for every pattern node, kept sorted so membership
+/// tests are `O(log n)`.
+#[derive(Debug, Clone)]
+pub(crate) struct CandidateSets {
+    sets: Vec<Vec<NodeId>>,
+}
+
+impl CandidateSets {
+    /// Creates candidate sets from per-node vectors (sorting them).
+    pub fn from_sets(mut sets: Vec<Vec<NodeId>>) -> Self {
+        for s in &mut sets {
+            s.sort_unstable();
+            s.dedup();
+        }
+        CandidateSets { sets }
+    }
+
+    /// The candidate set of pattern node `u`.
+    pub fn set(&self, u: usize) -> &[NodeId] {
+        &self.sets[u]
+    }
+
+    /// Membership test.
+    pub fn contains(&self, u: usize, v: NodeId) -> bool {
+        self.sets[u].binary_search(&v).is_ok()
+    }
+
+    /// Is some candidate set empty (in which case the pattern has no match)?
+    pub fn any_empty(&self) -> bool {
+        self.sets.iter().any(Vec::is_empty)
+    }
+
+    /// Total number of candidates across all pattern nodes.
+    pub fn total(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Replaces the candidate set of one pattern node.
+    pub fn replace(&mut self, u: usize, mut set: Vec<NodeId>) {
+        set.sort_unstable();
+        set.dedup();
+        self.sets[u] = set;
+    }
+
+    /// Number of pattern nodes.
+    #[allow(dead_code)] // exercised by unit tests; kept for API symmetry
+    pub fn node_count(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// Whether quantifier-aware degree pruning is applied while building the
+/// candidate sets.  The `Enum` baseline uses [`CandidateFilter::LabelOnly`]
+/// (it enumerates all matches of the stratified pattern first and only then
+/// verifies quantifiers), `QMatch` uses [`CandidateFilter::QuantifierAware`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CandidateFilter {
+    /// Only node labels and the existence of required adjacent edge labels.
+    LabelOnly,
+    /// Additionally require `U(v, e) = |Mₑ(v)|` to satisfy each quantifier.
+    QuantifierAware,
+}
+
+/// Builds the candidate sets for a resolved (positive) pattern.
+pub(crate) fn build_candidates(
+    graph: &Graph,
+    rp: &ResolvedPattern,
+    filter: CandidateFilter,
+    stats: &mut MatchStats,
+) -> CandidateSets {
+    let mut sets = Vec::with_capacity(rp.node_count());
+    for u in 0..rp.node_count() {
+        let label = rp.node_labels[u];
+        let mut set = Vec::new();
+        'candidates: for &v in graph.nodes_with_label(label) {
+            for &eidx in &rp.out_edges[u] {
+                let e = &rp.edges[eidx];
+                if e.quantifier.is_negated() {
+                    // Negated edges never constrain candidate existence; they
+                    // are handled by the set-difference semantics.
+                    continue;
+                }
+                let total = graph.out_degree_with_label(v, e.label);
+                let feasible = match filter {
+                    CandidateFilter::LabelOnly => total >= 1,
+                    CandidateFilter::QuantifierAware => {
+                        e.quantifier.feasible_with_upper_bound(total, total)
+                    }
+                };
+                if !feasible {
+                    continue 'candidates;
+                }
+            }
+            for &eidx in &rp.in_edges[u] {
+                let e = &rp.edges[eidx];
+                if e.quantifier.is_negated() {
+                    continue;
+                }
+                if graph.in_degree_with_label(v, e.label) == 0 {
+                    continue 'candidates;
+                }
+            }
+            set.push(v);
+        }
+        sets.push(set);
+    }
+    let candidates = CandidateSets::from_sets(sets);
+    stats.initial_candidates += candidates.total();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{CountingQuantifier, PatternBuilder};
+    use qgp_graph::GraphBuilder;
+
+    /// G1 of Fig. 2 (paper): x1, x2, x3 follow various people; v0..v3
+    /// recommend Redmi 2A; v4 gave it a bad rating.
+    fn g1() -> (Graph, Vec<NodeId>, Vec<NodeId>, NodeId) {
+        let mut b = GraphBuilder::new();
+        let xs = b.add_nodes("person", 3); // x1, x2, x3
+        let vs = b.add_nodes("person", 5); // v0..v4
+        let redmi = b.add_node("Redmi 2A");
+        // x1 follows v0; x2 follows v1, v2; x3 follows v2, v3, v4.
+        b.add_edge(xs[0], vs[0], "follow").unwrap();
+        b.add_edge(xs[1], vs[1], "follow").unwrap();
+        b.add_edge(xs[1], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[3], "follow").unwrap();
+        b.add_edge(xs[2], vs[4], "follow").unwrap();
+        // v0..v3 recommend Redmi; v4 gives a bad rating.
+        for i in 0..4 {
+            b.add_edge(vs[i], redmi, "recom").unwrap();
+        }
+        b.add_edge(vs[4], redmi, "bad_rating").unwrap();
+        (b.build(), xs, vs, redmi)
+    }
+
+    fn follow_recom_pattern(q: CountingQuantifier) -> crate::pattern::Pattern {
+        let mut b = PatternBuilder::new();
+        let xo = b.node("person");
+        let z = b.node("person");
+        let redmi = b.node("Redmi 2A");
+        b.quantified_edge(xo, z, "follow", q);
+        b.edge(z, redmi, "recom");
+        b.focus(xo);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn quantifier_aware_filter_prunes_low_degree_candidates() {
+        let (g, xs, _, _) = g1();
+        let p = follow_recom_pattern(CountingQuantifier::at_least(2));
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let cands = build_candidates(&g, &rp, CandidateFilter::QuantifierAware, &mut stats);
+        // x1 follows only one person, so the upper bound U = 1 < 2 prunes it
+        // (this is exactly Example 5 of the paper).
+        assert!(!cands.contains(0, xs[0]));
+        assert!(cands.contains(0, xs[1]));
+        assert!(cands.contains(0, xs[2]));
+        assert!(stats.initial_candidates > 0);
+    }
+
+    #[test]
+    fn label_only_filter_keeps_all_structurally_possible_candidates() {
+        let (g, xs, _, _) = g1();
+        let p = follow_recom_pattern(CountingQuantifier::at_least(2));
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let cands = build_candidates(&g, &rp, CandidateFilter::LabelOnly, &mut stats);
+        assert!(cands.contains(0, xs[0]));
+        assert!(cands.contains(0, xs[1]));
+        assert!(cands.contains(0, xs[2]));
+    }
+
+    #[test]
+    fn in_edge_requirements_prune_nodes_without_parents() {
+        let (g, xs, vs, _) = g1();
+        let p = follow_recom_pattern(CountingQuantifier::existential());
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let cands = build_candidates(&g, &rp, CandidateFilter::QuantifierAware, &mut stats);
+        // Pattern node 1 ("z": person followed by someone who recommends
+        // Redmi) requires an incoming `follow` edge and an outgoing `recom`
+        // edge: v4 has no recom edge, x1..x3 have no incoming follow edge.
+        assert!(cands.contains(1, vs[0]));
+        assert!(cands.contains(1, vs[2]));
+        assert!(!cands.contains(1, vs[4]));
+        assert!(!cands.contains(1, xs[0]));
+    }
+
+    #[test]
+    fn empty_candidate_sets_are_detectable() {
+        let (g, _, _, _) = g1();
+        let p = follow_recom_pattern(CountingQuantifier::at_least(10));
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let cands = build_candidates(&g, &rp, CandidateFilter::QuantifierAware, &mut stats);
+        assert!(cands.any_empty());
+    }
+
+    #[test]
+    fn candidate_set_operations() {
+        let sets = CandidateSets::from_sets(vec![vec![NodeId::new(3), NodeId::new(1)], vec![]]);
+        assert_eq!(sets.set(0), &[NodeId::new(1), NodeId::new(3)]);
+        assert!(sets.contains(0, NodeId::new(3)));
+        assert!(!sets.contains(0, NodeId::new(2)));
+        assert!(sets.any_empty());
+        assert_eq!(sets.total(), 2);
+        assert_eq!(sets.node_count(), 2);
+
+        let mut sets = sets;
+        sets.replace(1, vec![NodeId::new(9), NodeId::new(9)]);
+        assert_eq!(sets.set(1), &[NodeId::new(9)]);
+        assert!(!sets.any_empty());
+    }
+}

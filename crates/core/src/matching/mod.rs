@@ -1,0 +1,26 @@
+//! Quantified matching algorithms (Sections 4 of the paper).
+//!
+//! * [`quantified_match`] / [`quantified_match_with`] — the `QMatch`
+//!   algorithm (and, through [`MatchConfig`], the `QMatchn` and `Enum`
+//!   variants evaluated in Section 7),
+//! * [`conventional_match`] — traditional subgraph-isomorphism matching of
+//!   the stratified pattern,
+//! * [`reference::evaluate_reference`] — a naive, brute-force oracle used for
+//!   testing.
+
+mod candidates;
+mod config;
+mod generic;
+mod qmatch;
+mod quantified;
+pub mod reference;
+mod resolved;
+mod simulation;
+mod stats;
+
+pub use config::MatchConfig;
+pub use qmatch::{
+    conventional_match, quantified_match, quantified_match_restricted, quantified_match_with,
+    QueryAnswer,
+};
+pub use stats::MatchStats;

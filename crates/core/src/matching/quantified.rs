@@ -1,0 +1,394 @@
+//! The quantified matcher for positive patterns (`DMatch`, Section 4.1).
+//!
+//! Given a positive QGP `Π(Q)` and a graph, this module decides, for each
+//! candidate of the query focus, whether it belongs to `Π(Q)(x_o, G)`.
+//! Semantics recap (Section 2.2): a focus candidate `v_x` is an answer iff
+//! there exists an isomorphism `h₀` of the stratified pattern with
+//! `h₀(x_o) = v_x` such that for **every** pattern edge `e = (u, u')`, the
+//! number of *distinct* children of `h₀(u)` that match `u'` in *some*
+//! isomorphism (with the same focus) satisfies the counting quantifier
+//! `f(e)`; ratio aggregates are measured against `|Mₑ(h₀(u))|`, the total
+//! number of children of `h₀(u)` via `e`'s edge label.
+//!
+//! The matcher follows the structure of `DMatch`:
+//!
+//! 1. candidate initialization with quantifier-aware upper-bound pruning
+//!    (`U(v, e) = |Mₑ(v)|`),
+//! 2. an optional graph-simulation pre-filter (Appendix B),
+//! 3. per-focus verification that enumerates isomorphisms with the focus
+//!    pinned, accumulating the distinct-children counters `c(v, e)`, with
+//!    *dynamic early acceptance* as soon as an isomorphism whose nodes all
+//!    satisfy their (monotone) quantifiers is witnessed,
+//! 4. when early acceptance is not possible (non-monotone quantifiers such
+//!    as `= 100%` or `= p`, or the enumeration simply finished), an exact
+//!    decision from the accumulated counters followed by a constrained
+//!    existence check restricted to "good" candidates.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+use qgp_graph::{Graph, NodeId};
+
+use super::candidates::{build_candidates, CandidateFilter, CandidateSets};
+use super::config::MatchConfig;
+use super::generic::{IsomorphismEngine, SearchOrder};
+use super::resolved::ResolvedPattern;
+use super::simulation::refine_by_simulation;
+use super::stats::MatchStats;
+use crate::pattern::Pattern;
+
+/// Result of matching a positive pattern.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PositiveMatchOutput {
+    /// Matches of the query focus, sorted.
+    pub focus_matches: Vec<NodeId>,
+    /// Work counters.
+    pub stats: MatchStats,
+}
+
+/// Matches a *positive* pattern (no negated edges) against a graph.
+///
+/// `focus_restriction`, when given, limits the focus candidates to the listed
+/// nodes; this is how `IncQMatch` reuses cached matches and how the parallel
+/// workers restrict matching to the nodes their fragment covers.
+pub(crate) fn match_positive(
+    graph: &Graph,
+    pattern: &Pattern,
+    config: &MatchConfig,
+    focus_restriction: Option<&[NodeId]>,
+) -> PositiveMatchOutput {
+    debug_assert!(pattern.is_positive(), "match_positive requires Π(Q)");
+    let mut out = PositiveMatchOutput::default();
+
+    let Some(rp) = ResolvedPattern::resolve(pattern, graph) else {
+        return out;
+    };
+    let filter = if config.use_upper_bound_pruning {
+        CandidateFilter::QuantifierAware
+    } else {
+        CandidateFilter::LabelOnly
+    };
+    let mut candidates = build_candidates(graph, &rp, filter, &mut out.stats);
+    if candidates.any_empty() {
+        return out;
+    }
+    if config.use_simulation_filter {
+        refine_by_simulation(graph, &rp, &mut candidates, &mut out.stats);
+        if candidates.any_empty() {
+            return out;
+        }
+    }
+    let order = SearchOrder::new(&rp);
+
+    let focus_list: Vec<NodeId> = match focus_restriction {
+        Some(restriction) => restriction
+            .iter()
+            .copied()
+            .filter(|&v| candidates.contains(rp.focus, v))
+            .collect(),
+        None => candidates.set(rp.focus).to_vec(),
+    };
+    out.stats.focus_candidates += focus_list.len();
+
+    let verifier = CandidateVerifier {
+        graph,
+        rp: &rp,
+        order: &order,
+        candidates: &candidates,
+        config,
+    };
+    for vx in focus_list {
+        if verifier.verify(vx, &mut out.stats) {
+            out.focus_matches.push(vx);
+        }
+    }
+    out.focus_matches.sort_unstable();
+    out
+}
+
+/// Per-focus verification machinery.
+struct CandidateVerifier<'a> {
+    graph: &'a Graph,
+    rp: &'a ResolvedPattern,
+    order: &'a SearchOrder,
+    candidates: &'a CandidateSets,
+    config: &'a MatchConfig,
+}
+
+impl<'a> CandidateVerifier<'a> {
+    /// Decides whether `vx ∈ Π(Q)(x_o, G)`.
+    fn verify(&self, vx: NodeId, stats: &mut MatchStats) -> bool {
+        // Focus-level upper-bound pruning: for every out-edge of the focus,
+        // the number of candidate children reachable from `vx` bounds the
+        // counter from above; if that bound already fails the quantifier, the
+        // candidate is discarded without search (Example 5 of the paper).
+        if self.config.use_upper_bound_pruning && !self.focus_upper_bounds_feasible(vx) {
+            stats.pruned_by_upper_bound += 1;
+            return false;
+        }
+        stats.focus_verified += 1;
+
+        let all_monotone = self
+            .rp
+            .edges
+            .iter()
+            .all(|e| e.quantifier.is_monotone() || e.quantifier.is_existential());
+        let early_accept = self.config.early_accept && all_monotone;
+
+        let mut acc = CounterAccumulator::new(self.rp.node_count());
+        let engine = IsomorphismEngine::new(self.graph, self.rp, self.order, self.candidates);
+        let accepted_early = engine.enumerate_with_focus(vx, stats, |assignment| {
+            acc.record(self.rp, assignment);
+            if early_accept && self.assignment_is_good(&acc, assignment) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        if accepted_early {
+            return true;
+        }
+        if acc.participants[self.rp.focus].is_empty() {
+            // No isomorphism maps the focus to vx at all.
+            return false;
+        }
+
+        // Exact decision from the accumulated counters: restrict every
+        // pattern node to its "good" candidates (those whose counters satisfy
+        // every out-edge quantifier) and ask whether an isomorphism survives.
+        let good = self.good_sets(&acc);
+        if !good[self.rp.focus].contains(&vx) {
+            return false;
+        }
+        let restricted = CandidateSets::from_sets(
+            good.iter()
+                .map(|s| s.iter().copied().collect::<Vec<_>>())
+                .collect(),
+        );
+        if restricted.any_empty() {
+            return false;
+        }
+        let engine = IsomorphismEngine::new(self.graph, self.rp, self.order, &restricted);
+        engine.enumerate_with_focus(vx, stats, |_| ControlFlow::Break(()))
+    }
+
+    /// Checks that each out-edge of the focus can still reach its threshold
+    /// given the candidate children actually present around `vx`.
+    fn focus_upper_bounds_feasible(&self, vx: NodeId) -> bool {
+        for &eidx in &self.rp.out_edges[self.rp.focus] {
+            let e = &self.rp.edges[eidx];
+            let total = self.graph.out_degree_with_label(vx, e.label);
+            let upper = self
+                .graph
+                .out_neighbors_with_label(vx, e.label)
+                .filter(|&child| self.candidates.contains(e.to, child))
+                .count();
+            if !e.quantifier.feasible_with_upper_bound(upper, total) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does the given isomorphism only use nodes whose *current* counters
+    /// already satisfy every out-edge quantifier?  (Sound for monotone
+    /// quantifiers: counters only grow as more isomorphisms are found.)
+    fn assignment_is_good(&self, acc: &CounterAccumulator, assignment: &[NodeId]) -> bool {
+        for (u, &v) in assignment.iter().enumerate() {
+            if !self.node_is_good(acc, u, v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn node_is_good(&self, acc: &CounterAccumulator, u: usize, v: NodeId) -> bool {
+        for &eidx in &self.rp.out_edges[u] {
+            let e = &self.rp.edges[eidx];
+            let count = acc.count(eidx, v);
+            let total = self.graph.out_degree_with_label(v, e.label);
+            if !e.quantifier.check(count, total) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The good candidate set per pattern node, computed from the final
+    /// counters.
+    fn good_sets(&self, acc: &CounterAccumulator) -> Vec<HashSet<NodeId>> {
+        (0..self.rp.node_count())
+            .map(|u| {
+                acc.participants[u]
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.node_is_good(acc, u, v))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Accumulates, across the isomorphisms seen so far for one focus candidate,
+/// the auxiliary structures of `QMatch`:
+///
+/// * `participants[u]` — which graph nodes have matched pattern node `u`
+///   (the cached match sets reused by `IncQMatch`),
+/// * `children[(e, v)]` — the distinct children of `v` matched to the target
+///   of pattern edge `e`, i.e. `Mₑ(v_x, v, Q)`; its size is the counter
+///   `c(v, e)`.
+struct CounterAccumulator {
+    participants: Vec<HashSet<NodeId>>,
+    children: HashMap<(usize, NodeId), HashSet<NodeId>>,
+}
+
+impl CounterAccumulator {
+    fn new(node_count: usize) -> Self {
+        CounterAccumulator {
+            participants: vec![HashSet::new(); node_count],
+            children: HashMap::new(),
+        }
+    }
+
+    fn record(&mut self, rp: &ResolvedPattern, assignment: &[NodeId]) {
+        for (u, &v) in assignment.iter().enumerate() {
+            self.participants[u].insert(v);
+        }
+        for (eidx, e) in rp.edges.iter().enumerate() {
+            let v = assignment[e.from];
+            let child = assignment[e.to];
+            self.children.entry((eidx, v)).or_default().insert(child);
+        }
+    }
+
+    fn count(&self, edge: usize, v: NodeId) -> usize {
+        self.children.get(&(edge, v)).map_or(0, HashSet::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{library, CountingQuantifier, PatternBuilder};
+    use qgp_graph::GraphBuilder;
+
+    /// Graph G1 of Fig. 2: the running example of the paper.
+    ///
+    /// * x1 follows v0; x2 follows v1, v2; x3 follows v2, v3, v4,
+    /// * v0..v3 recommend Redmi 2A, v4 gave it a bad rating.
+    fn g1() -> (Graph, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let xs = b.add_nodes("person", 3);
+        let vs = b.add_nodes("person", 5);
+        let redmi = b.add_node("Redmi 2A");
+        b.add_edge(xs[0], vs[0], "follow").unwrap();
+        b.add_edge(xs[1], vs[1], "follow").unwrap();
+        b.add_edge(xs[1], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[3], "follow").unwrap();
+        b.add_edge(xs[2], vs[4], "follow").unwrap();
+        for i in 0..4 {
+            b.add_edge(vs[i], redmi, "recom").unwrap();
+        }
+        b.add_edge(vs[4], redmi, "bad_rating").unwrap();
+        (b.build(), xs, vs)
+    }
+
+    #[test]
+    fn universal_quantifier_matches_example_3() {
+        // Q2(xo, G1) = {x1, x2}: all people x1/x2 follow recommend Redmi 2A,
+        // while x3 follows v4 who does not (Example 3 of the paper).
+        let (g, xs, _) = g1();
+        let pi = library::q2_redmi_universal().pi();
+        for config in [MatchConfig::qmatch(), MatchConfig::enumerate()] {
+            let out = match_positive(&g, &pi.pattern, &config, None);
+            assert_eq!(out.focus_matches, vec![xs[0], xs[1]], "{config:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_aggregate_matches_example_4() {
+        // Π(Q3) with p = 2: {x2, x3} (x1 follows only one recommender).
+        let (g, xs, _) = g1();
+        let pi = library::q3_redmi_negation(2).pi();
+        for config in [MatchConfig::qmatch(), MatchConfig::enumerate()] {
+            let out = match_positive(&g, &pi.pattern, &config, None);
+            assert_eq!(out.focus_matches, vec![xs[1], xs[2]], "{config:?}");
+        }
+    }
+
+    #[test]
+    fn ratio_aggregate_counts_against_all_children() {
+        // "at least 60% of the people xo follows recommend Redmi 2A":
+        // x1: 1/1, x2: 2/2, x3: 2/3 (0.666) — all pass at 60%,
+        // at 80% x3 fails.
+        let (g, xs, _) = g1();
+        let make = |pct: f64| {
+            let mut b = PatternBuilder::new();
+            let xo = b.node("person");
+            let z = b.node("person");
+            let redmi = b.node("Redmi 2A");
+            b.quantified_edge(xo, z, "follow", CountingQuantifier::at_least_percent(pct));
+            b.edge(z, redmi, "recom");
+            b.focus(xo);
+            b.build().unwrap()
+        };
+        let out60 = match_positive(&g, &make(60.0), &MatchConfig::qmatch(), None);
+        assert_eq!(out60.focus_matches, vec![xs[0], xs[1], xs[2]]);
+        let out80 = match_positive(&g, &make(80.0), &MatchConfig::qmatch(), None);
+        assert_eq!(out80.focus_matches, vec![xs[0], xs[1]]);
+    }
+
+    #[test]
+    fn focus_restriction_limits_the_answer() {
+        let (g, xs, _) = g1();
+        let pi = library::q3_redmi_negation(2).pi();
+        let out = match_positive(&g, &pi.pattern, &MatchConfig::qmatch(), Some(&[xs[2]]));
+        assert_eq!(out.focus_matches, vec![xs[2]]);
+        let out = match_positive(&g, &pi.pattern, &MatchConfig::qmatch(), Some(&[xs[0]]));
+        assert!(out.focus_matches.is_empty());
+    }
+
+    #[test]
+    fn upper_bound_pruning_avoids_search_for_hopeless_candidates() {
+        let (g, _, _) = g1();
+        let pi = library::q3_redmi_negation(2).pi();
+        let out = match_positive(&g, &pi.pattern, &MatchConfig::qmatch(), None);
+        // x1 must have been pruned by the upper-bound rule (U = 1 < 2) —
+        // either at candidate initialization or at focus verification.
+        assert!(out.stats.pruned_by_upper_bound >= 1 || out.stats.initial_candidates < 9);
+    }
+
+    #[test]
+    fn unresolvable_labels_mean_empty_answer() {
+        let (g, _, _) = g1();
+        let mut b = PatternBuilder::new();
+        let xo = b.node("alien");
+        let z = b.node("person");
+        b.edge(xo, z, "follow");
+        b.focus(xo);
+        let p = b.build().unwrap();
+        let out = match_positive(&g, &p, &MatchConfig::qmatch(), None);
+        assert!(out.focus_matches.is_empty());
+    }
+
+    #[test]
+    fn exact_equality_quantifier_requires_exact_count() {
+        // "xo follows exactly 2 people who recommend Redmi 2A".
+        let (g, xs, _) = g1();
+        let mut b = PatternBuilder::new();
+        let xo = b.node("person");
+        let z = b.node("person");
+        let redmi = b.node("Redmi 2A");
+        b.quantified_edge(xo, z, "follow", CountingQuantifier::exactly(2));
+        b.edge(z, redmi, "recom");
+        b.focus(xo);
+        let p = b.build().unwrap();
+        for config in [MatchConfig::qmatch(), MatchConfig::enumerate()] {
+            let out = match_positive(&g, &p, &config, None);
+            // x2 follows exactly v1, v2 (both recommend): count 2. x3 follows
+            // v2, v3 (recommend) and v4 (not): count 2 as well. x1: count 1.
+            assert_eq!(out.focus_matches, vec![xs[1], xs[2]], "{config:?}");
+        }
+    }
+}

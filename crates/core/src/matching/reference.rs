@@ -1,0 +1,247 @@
+//! A deliberately naive reference implementation of the QGP semantics
+//! (Section 2.2), used as the ground-truth oracle in tests and property
+//! tests.
+//!
+//! The implementation shares no code with the optimized matcher: it
+//! enumerates *all* isomorphisms of the stratified pattern by trying every
+//! combination of graph nodes (label-filtered but otherwise unpruned),
+//! materializes the sets `Mₑ(v_x, v, Q)` explicitly, and then applies the
+//! definition of a quantified match verbatim.  It is exponential and only
+//! intended for small graphs.
+
+use std::collections::{HashMap, HashSet};
+
+use qgp_graph::{Graph, NodeId};
+
+use crate::pattern::{Pattern, PatternEdgeId, PatternNodeId};
+
+/// Evaluates `Q(x_o, G)` by brute force, returning the sorted matches of the
+/// query focus.  Patterns with negated edges are handled by the set
+/// difference `Π(Q)(x_o, G) \ ⋃_e Π(Q^{+e})(x_o, G)` exactly as defined.
+pub fn evaluate_reference(graph: &Graph, pattern: &Pattern) -> Vec<NodeId> {
+    let pi = pattern.pi();
+    let mut result = evaluate_positive(graph, &pi.pattern);
+    let negated: Vec<PatternEdgeId> = pattern.negated_edges();
+    if !negated.is_empty() {
+        let mut excluded: HashSet<NodeId> = HashSet::new();
+        for e in negated {
+            let positified = pattern.pi_positified(e);
+            excluded.extend(evaluate_positive(graph, &positified.pattern));
+        }
+        result.retain(|v| !excluded.contains(v));
+    }
+    result
+}
+
+/// Brute-force evaluation of a positive QGP.
+fn evaluate_positive(graph: &Graph, pattern: &Pattern) -> Vec<NodeId> {
+    let isos = all_isomorphisms(graph, pattern);
+    if isos.is_empty() {
+        return Vec::new();
+    }
+
+    // Group isomorphisms by focus value.
+    let focus = pattern.focus().index();
+    let mut by_focus: HashMap<NodeId, Vec<&Vec<NodeId>>> = HashMap::new();
+    for iso in &isos {
+        by_focus.entry(iso[focus]).or_default().push(iso);
+    }
+
+    let mut answer = Vec::new();
+    'focus: for (vx, isos_of_vx) in by_focus {
+        // M_e(vx, v): distinct children of v matched to the target of e in
+        // any isomorphism with this focus value.
+        let mut me: HashMap<(usize, NodeId), HashSet<NodeId>> = HashMap::new();
+        for iso in &isos_of_vx {
+            for (eidx, (_, e)) in pattern.edges().enumerate() {
+                me.entry((eidx, iso[e.from.index()]))
+                    .or_default()
+                    .insert(iso[e.to.index()]);
+            }
+        }
+        // A focus candidate is an answer iff some isomorphism h0 satisfies
+        // every edge condition at its source node.
+        for iso in &isos_of_vx {
+            let mut ok = true;
+            for (eidx, (_, e)) in pattern.edges().enumerate() {
+                let v = iso[e.from.index()];
+                let count = me.get(&(eidx, v)).map_or(0, HashSet::len);
+                let label = graph.labels().edge_label(&e.label);
+                let total = label.map_or(0, |l| graph.out_degree_with_label(v, l));
+                if !e.quantifier.check(count, total) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                answer.push(vx);
+                continue 'focus;
+            }
+        }
+    }
+    answer.sort_unstable();
+    answer
+}
+
+/// Enumerates every isomorphism of the stratified pattern by unpruned
+/// backtracking over label-compatible graph nodes.
+fn all_isomorphisms(graph: &Graph, pattern: &Pattern) -> Vec<Vec<NodeId>> {
+    let labels = graph.labels();
+    // Resolve pattern labels; a missing label means no isomorphism exists.
+    let mut node_label_ids = Vec::new();
+    for (_, n) in pattern.nodes() {
+        match labels.node_label(&n.label) {
+            Some(l) => node_label_ids.push(l),
+            None => return Vec::new(),
+        }
+    }
+    let mut edge_label_ids = Vec::new();
+    for (_, e) in pattern.edges() {
+        match labels.edge_label(&e.label) {
+            Some(l) => edge_label_ids.push(l),
+            None => return Vec::new(),
+        }
+    }
+
+    let n = pattern.node_count();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+    let mut result = Vec::new();
+    backtrack(
+        graph,
+        pattern,
+        &node_label_ids,
+        &edge_label_ids,
+        0,
+        &mut assignment,
+        &mut result,
+    );
+    result
+}
+
+fn backtrack(
+    graph: &Graph,
+    pattern: &Pattern,
+    node_labels: &[qgp_graph::LabelId],
+    edge_labels: &[qgp_graph::LabelId],
+    depth: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    result: &mut Vec<Vec<NodeId>>,
+) {
+    if depth == pattern.node_count() {
+        let iso: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+        result.push(iso);
+        return;
+    }
+    let u = PatternNodeId(depth as u16);
+    for &v in graph.nodes_with_label(node_labels[depth]) {
+        if assignment.iter().flatten().any(|&w| w == v) {
+            continue;
+        }
+        assignment[depth] = Some(v);
+        if edges_consistent(graph, pattern, edge_labels, assignment, u, v) {
+            backtrack(
+                graph,
+                pattern,
+                node_labels,
+                edge_labels,
+                depth + 1,
+                assignment,
+                result,
+            );
+        }
+        assignment[depth] = None;
+    }
+}
+
+/// Checks every pattern edge whose endpoints are both assigned.
+fn edges_consistent(
+    graph: &Graph,
+    pattern: &Pattern,
+    edge_labels: &[qgp_graph::LabelId],
+    assignment: &[Option<NodeId>],
+    _just_assigned: PatternNodeId,
+    _value: NodeId,
+) -> bool {
+    for (eidx, (_, e)) in pattern.edges().enumerate() {
+        if let (Some(from), Some(to)) = (assignment[e.from.index()], assignment[e.to.index()]) {
+            if !graph.has_edge(from, to, edge_labels[eidx]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{quantified_match, quantified_match_with, MatchConfig};
+    use crate::pattern::{library, CountingQuantifier, PatternBuilder};
+    use qgp_graph::GraphBuilder;
+
+    fn g1() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let xs = b.add_nodes("person", 3);
+        let vs = b.add_nodes("person", 5);
+        let redmi = b.add_node("Redmi 2A");
+        b.add_edge(xs[0], vs[0], "follow").unwrap();
+        b.add_edge(xs[1], vs[1], "follow").unwrap();
+        b.add_edge(xs[1], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[3], "follow").unwrap();
+        b.add_edge(xs[2], vs[4], "follow").unwrap();
+        for i in 0..4 {
+            b.add_edge(vs[i], redmi, "recom").unwrap();
+        }
+        b.add_edge(vs[4], redmi, "bad_rating").unwrap();
+        (b.build(), xs)
+    }
+
+    #[test]
+    fn reference_reproduces_the_paper_examples() {
+        let (g, xs) = g1();
+        assert_eq!(
+            evaluate_reference(&g, &library::q2_redmi_universal()),
+            vec![xs[0], xs[1]]
+        );
+        assert_eq!(
+            evaluate_reference(&g, &library::q3_redmi_negation(2)),
+            vec![xs[1]]
+        );
+    }
+
+    #[test]
+    fn optimized_matchers_agree_with_the_reference_on_the_examples() {
+        let (g, _) = g1();
+        for pattern in [
+            library::q1_music_club(),
+            library::q2_redmi_universal(),
+            library::q3_redmi_negation(1),
+            library::q3_redmi_negation(2),
+            library::q3_redmi_negation(3),
+        ] {
+            let expected = evaluate_reference(&g, &pattern);
+            for config in [
+                MatchConfig::qmatch(),
+                MatchConfig::qmatch_n(),
+                MatchConfig::enumerate(),
+            ] {
+                let got = quantified_match_with(&g, &pattern, &config).unwrap();
+                assert_eq!(got.matches, expected, "{config:?} on {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_handles_unknown_labels() {
+        let (g, _) = g1();
+        let mut b = PatternBuilder::new();
+        let xo = b.node("alien");
+        let z = b.node("person");
+        b.quantified_edge(xo, z, "follow", CountingQuantifier::at_least(1));
+        b.focus(xo);
+        let p = b.build().unwrap();
+        assert!(evaluate_reference(&g, &p).is_empty());
+        assert!(quantified_match(&g, &p).unwrap().matches.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Resolution of a string-labeled [`Pattern`] against a graph's label
+//! vocabulary.
+//!
+//! Patterns carry human-readable string labels; the matching inner loops
+//! compare interned [`LabelId`]s.  `ResolvedPattern` performs the translation
+//! once per (pattern, graph) pair.  If any pattern label does not occur in
+//! the graph at all, the pattern trivially has no match and resolution
+//! returns `None`.
+
+use qgp_graph::{Graph, LabelId};
+
+use crate::pattern::{CountingQuantifier, Pattern};
+
+/// A pattern edge with interned labels.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedEdge {
+    /// Index of the source pattern node.
+    pub from: usize,
+    /// Index of the target pattern node.
+    pub to: usize,
+    /// Interned edge label.
+    pub label: LabelId,
+    /// The edge's counting quantifier.
+    pub quantifier: CountingQuantifier,
+}
+
+/// A pattern whose labels have been interned against a particular graph.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedPattern {
+    /// Interned node label per pattern node.
+    pub node_labels: Vec<LabelId>,
+    /// Resolved edges, in the same order as the original pattern edges.
+    pub edges: Vec<ResolvedEdge>,
+    /// Out-edge indexes per pattern node.
+    pub out_edges: Vec<Vec<usize>>,
+    /// In-edge indexes per pattern node.
+    pub in_edges: Vec<Vec<usize>>,
+    /// Index of the focus node.
+    pub focus: usize,
+}
+
+impl ResolvedPattern {
+    /// Resolves `pattern` against the label vocabulary of `graph`.  Returns
+    /// `None` when a node or edge label of the pattern does not exist in the
+    /// graph (in which case the pattern has no matches).
+    pub fn resolve(pattern: &Pattern, graph: &Graph) -> Option<Self> {
+        let labels = graph.labels();
+        let mut node_labels = Vec::with_capacity(pattern.node_count());
+        for (_, n) in pattern.nodes() {
+            node_labels.push(labels.node_label(&n.label)?);
+        }
+        let mut edges = Vec::with_capacity(pattern.edge_count());
+        for (_, e) in pattern.edges() {
+            edges.push(ResolvedEdge {
+                from: e.from.index(),
+                to: e.to.index(),
+                label: labels.edge_label(&e.label)?,
+                quantifier: e.quantifier,
+            });
+        }
+        let mut out_edges = vec![Vec::new(); pattern.node_count()];
+        let mut in_edges = vec![Vec::new(); pattern.node_count()];
+        for (i, e) in edges.iter().enumerate() {
+            out_edges[e.from].push(i);
+            in_edges[e.to].push(i);
+        }
+        Some(ResolvedPattern {
+            node_labels,
+            edges,
+            out_edges,
+            in_edges,
+            focus: pattern.focus().index(),
+        })
+    }
+
+    /// Number of pattern nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternBuilder;
+    use qgp_graph::GraphBuilder;
+
+    fn small_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let c = b.add_node("album");
+        b.add_edge(a, c, "like").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn resolves_when_all_labels_exist() {
+        let g = small_graph();
+        let mut b = PatternBuilder::new();
+        let xo = b.node("person");
+        let y = b.node("album");
+        b.edge(xo, y, "like");
+        b.focus(xo);
+        let p = b.build().unwrap();
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        assert_eq!(rp.node_count(), 2);
+        assert_eq!(rp.edges.len(), 1);
+        assert_eq!(rp.focus, 0);
+        assert_eq!(rp.out_edges[0], vec![0]);
+        assert_eq!(rp.in_edges[1], vec![0]);
+    }
+
+    #[test]
+    fn unknown_labels_mean_no_match() {
+        let g = small_graph();
+        let mut b = PatternBuilder::new();
+        let xo = b.node("person");
+        let y = b.node("spaceship"); // not in the graph
+        b.edge(xo, y, "like");
+        b.focus(xo);
+        let p = b.build().unwrap();
+        assert!(ResolvedPattern::resolve(&p, &g).is_none());
+
+        let mut b = PatternBuilder::new();
+        let xo = b.node("person");
+        let y = b.node("album");
+        b.edge(xo, y, "teleports_to"); // unknown edge label
+        b.focus(xo);
+        let p = b.build().unwrap();
+        assert!(ResolvedPattern::resolve(&p, &g).is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Graph-simulation pre-filter (Appendix B of the paper, Lemma 13).
+//!
+//! A node `v` of the graph *simulates* a pattern node `u` if it carries the
+//! same label and, for every out-edge `(u, u')` of the pattern, `v` has a
+//! child via the same edge label that simulates `u'`.  We additionally
+//! require the dual condition on in-edges ("dual simulation"), which is still
+//! a necessary condition for participating in any isomorphism and prunes
+//! more candidates.  The maximal simulation relation is computed by a
+//! fixpoint in time quadratic in `|C| · |Q|`, and candidates that fail it can
+//! be removed before the expensive backtracking search starts.
+
+use std::collections::HashSet;
+
+use qgp_graph::{Graph, NodeId};
+
+use super::candidates::CandidateSets;
+use super::resolved::ResolvedPattern;
+use super::stats::MatchStats;
+
+/// Refines the candidate sets by dual graph simulation, removing every
+/// candidate that cannot possibly take part in an isomorphism of the
+/// stratified pattern.
+pub(crate) fn refine_by_simulation(
+    graph: &Graph,
+    rp: &ResolvedPattern,
+    candidates: &mut CandidateSets,
+    stats: &mut MatchStats,
+) {
+    let n = rp.node_count();
+    let mut sim: Vec<HashSet<NodeId>> = (0..n)
+        .map(|u| candidates.set(u).iter().copied().collect())
+        .collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in 0..n {
+            let mut to_remove = Vec::new();
+            for &v in &sim[u] {
+                if !still_simulates(graph, rp, &sim, u, v) {
+                    to_remove.push(v);
+                }
+            }
+            if !to_remove.is_empty() {
+                changed = true;
+                stats.pruned_by_simulation += to_remove.len();
+                for v in to_remove {
+                    sim[u].remove(&v);
+                }
+            }
+        }
+    }
+
+    for (u, set) in sim.into_iter().enumerate() {
+        candidates.replace(u, set.into_iter().collect());
+    }
+}
+
+/// Checks the (dual) simulation condition for a single `(u, v)` pair against
+/// the current relation.
+fn still_simulates(
+    graph: &Graph,
+    rp: &ResolvedPattern,
+    sim: &[HashSet<NodeId>],
+    u: usize,
+    v: NodeId,
+) -> bool {
+    for &eidx in &rp.out_edges[u] {
+        let e = &rp.edges[eidx];
+        let ok = graph
+            .out_neighbors_with_label(v, e.label)
+            .any(|child| sim[e.to].contains(&child));
+        if !ok {
+            return false;
+        }
+    }
+    for &eidx in &rp.in_edges[u] {
+        let e = &rp.edges[eidx];
+        let ok = graph
+            .in_neighbors_with_label(v, e.label)
+            .any(|parent| sim[e.from].contains(&parent));
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::candidates::{build_candidates, CandidateFilter};
+    use crate::pattern::PatternBuilder;
+    use qgp_graph::GraphBuilder;
+
+    #[test]
+    fn simulation_removes_candidates_on_broken_chains() {
+        // Pattern: a -> b -> c (labels A, B, C via edge l).
+        // Graph:  a1 -> b1 -> c1   (full chain)
+        //         a2 -> b2          (chain broken: b2 has no C child)
+        let mut gb = GraphBuilder::new();
+        let a1 = gb.add_node("A");
+        let b1 = gb.add_node("B");
+        let c1 = gb.add_node("C");
+        let a2 = gb.add_node("A");
+        let b2 = gb.add_node("B");
+        gb.add_edge(a1, b1, "l").unwrap();
+        gb.add_edge(b1, c1, "l").unwrap();
+        gb.add_edge(a2, b2, "l").unwrap();
+        let g = gb.build();
+
+        let mut pb = PatternBuilder::new();
+        let x = pb.node("A");
+        let y = pb.node("B");
+        let z = pb.node("C");
+        pb.edge(x, y, "l");
+        pb.edge(y, z, "l");
+        pb.focus(x);
+        let p = pb.build().unwrap();
+
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let mut cands = build_candidates(&g, &rp, CandidateFilter::LabelOnly, &mut stats);
+        // Before simulation both A nodes are candidates for x.
+        assert!(cands.contains(0, a1));
+        assert!(cands.contains(0, a2));
+
+        refine_by_simulation(&g, &rp, &mut cands, &mut stats);
+        // a2's only child b2 has no C child, so a2 cannot simulate x.
+        assert!(cands.contains(0, a1));
+        assert!(!cands.contains(0, a2));
+        assert!(!cands.contains(1, b2));
+        assert!(stats.pruned_by_simulation >= 1);
+    }
+
+    #[test]
+    fn simulation_keeps_all_candidates_when_structure_matches() {
+        // A cycle simulates a chain pattern of the same labels.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("A");
+        let b = gb.add_node("A");
+        gb.add_edge(a, b, "l").unwrap();
+        gb.add_edge(b, a, "l").unwrap();
+        let g = gb.build();
+
+        let mut pb = PatternBuilder::new();
+        let x = pb.node("A");
+        let y = pb.node("A");
+        pb.edge(x, y, "l");
+        pb.focus(x);
+        let p = pb.build().unwrap();
+
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let mut cands = build_candidates(&g, &rp, CandidateFilter::LabelOnly, &mut stats);
+        refine_by_simulation(&g, &rp, &mut cands, &mut stats);
+        assert!(cands.contains(0, a));
+        assert!(cands.contains(0, b));
+        assert_eq!(stats.pruned_by_simulation, 0);
+    }
+}

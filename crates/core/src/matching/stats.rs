@@ -1,0 +1,77 @@
+//! Instrumentation counters reported by every matcher.
+
+use std::ops::AddAssign;
+
+/// Counters describing how much work a matching run performed.  The paper
+/// measures algorithm quality by the number of verifications (candidate
+/// extension attempts) and by how much of that work incremental evaluation
+/// avoids; these counters expose the same quantities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Total size of the initial candidate sets `Σ_u |C(u)|`.
+    pub initial_candidates: usize,
+    /// Number of focus candidates considered.
+    pub focus_candidates: usize,
+    /// Number of focus candidates fully verified (not pruned up front).
+    pub focus_verified: usize,
+    /// Number of candidate extension attempts (`IsExtend` calls in Fig. 4).
+    pub verifications: usize,
+    /// Number of complete isomorphisms of the stratified pattern found.
+    pub isomorphisms_found: usize,
+    /// Focus candidates discarded by the upper-bound (quantifier) pruning.
+    pub pruned_by_upper_bound: usize,
+    /// Candidates removed by the graph-simulation pre-filter.
+    pub pruned_by_simulation: usize,
+    /// Focus candidates whose verification was skipped because incremental
+    /// evaluation reused cached matches (the `IncQMatch` saving).
+    pub reused_from_cache: usize,
+}
+
+impl MatchStats {
+    /// A fresh, zeroed statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AddAssign for MatchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.initial_candidates += rhs.initial_candidates;
+        self.focus_candidates += rhs.focus_candidates;
+        self.focus_verified += rhs.focus_verified;
+        self.verifications += rhs.verifications;
+        self.isomorphisms_found += rhs.isomorphisms_found;
+        self.pruned_by_upper_bound += rhs.pruned_by_upper_bound;
+        self.pruned_by_simulation += rhs.pruned_by_simulation;
+        self.reused_from_cache += rhs.reused_from_cache;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates_every_field() {
+        let mut a = MatchStats {
+            initial_candidates: 1,
+            focus_candidates: 2,
+            focus_verified: 3,
+            verifications: 4,
+            isomorphisms_found: 5,
+            pruned_by_upper_bound: 6,
+            pruned_by_simulation: 7,
+            reused_from_cache: 8,
+        };
+        a += a;
+        assert_eq!(a.initial_candidates, 2);
+        assert_eq!(a.focus_candidates, 4);
+        assert_eq!(a.focus_verified, 6);
+        assert_eq!(a.verifications, 8);
+        assert_eq!(a.isomorphisms_found, 10);
+        assert_eq!(a.pruned_by_upper_bound, 12);
+        assert_eq!(a.pruned_by_simulation, 14);
+        assert_eq!(a.reused_from_cache, 16);
+        assert_eq!(MatchStats::new(), MatchStats::default());
+    }
+}

@@ -1,0 +1,137 @@
+//! The example patterns `Q1`–`Q5` of the paper (Figures 1 and 3), provided
+//! as ready-made constructors.  They are used throughout the examples, tests
+//! and benchmarks, and double as documentation of the pattern DSL.
+
+use super::builder::PatternBuilder;
+use super::pattern::Pattern;
+use super::quantifier::CountingQuantifier;
+
+/// `Q1(xo)` — social media marketing (Example 1):
+/// *if person `xo` is in a music club, and at least 80% of the people `xo`
+/// follows like an album `y`, then recommend `y` to `xo`.*
+pub fn q1_music_club() -> Pattern {
+    let mut b = PatternBuilder::new();
+    let xo = b.node_named("person", "xo");
+    let club = b.node("music club");
+    let z = b.node_named("person", "z");
+    let y = b.node_named("album", "y");
+    b.edge(xo, club, "in");
+    b.quantified_edge(xo, z, "follow", CountingQuantifier::at_least_percent(80.0));
+    b.edge(z, y, "like");
+    b.focus(xo);
+    b.build().expect("Q1 is well-formed")
+}
+
+/// `Q2(xo)` — universal quantification (Example 1):
+/// *if all the people `xo` follows recommend Redmi 2A, then `xo` may buy it.*
+pub fn q2_redmi_universal() -> Pattern {
+    let mut b = PatternBuilder::new();
+    let xo = b.node_named("person", "xo");
+    let z = b.node_named("person", "z");
+    let redmi = b.node("Redmi 2A");
+    b.universal_edge(xo, z, "follow");
+    b.edge(z, redmi, "recom");
+    b.focus(xo);
+    b.build().expect("Q2 is well-formed")
+}
+
+/// `Q3(xo)` — numeric aggregate plus negation (Example 1):
+/// *at least `p` of the people `xo` follows recommend Redmi 2A, and none of
+/// the people `xo` follows gave it a bad rating.*
+pub fn q3_redmi_negation(p: u32) -> Pattern {
+    let mut b = PatternBuilder::new();
+    let xo = b.node_named("person", "xo");
+    let z1 = b.node_named("person", "z1");
+    let z2 = b.node_named("person", "z2");
+    let redmi = b.node("Redmi 2A");
+    b.quantified_edge(xo, z1, "follow", CountingQuantifier::at_least(p));
+    b.edge(z1, redmi, "recom");
+    b.negated_edge(xo, z2, "follow");
+    b.edge(z2, redmi, "bad_rating");
+    b.focus(xo);
+    b.build().expect("Q3 is well-formed")
+}
+
+/// `Q4(xo)` — knowledge discovery (Example 1):
+/// *people who are professors in the UK, do not have a PhD degree, and have
+/// at least `p` former PhD students who are professors in the UK.*
+pub fn q4_uk_professors(p: u32) -> Pattern {
+    // As in Fig. 1 of the paper, the `prof`, `UK` and `PhD` nodes are shared
+    // between xo and its students z (knowledge graphs keep one node per
+    // concept, and pattern matching is injective).  The `advisor` edge is
+    // oriented from the advisor xo to the student z so that the counting
+    // quantifier — which the paper defines over the *children* of the source
+    // node — counts xo's students, as the rule intends ("at least p former
+    // PhD students").
+    let mut b = PatternBuilder::new();
+    let xo = b.node_named("person", "xo");
+    let prof = b.node("prof");
+    let uk = b.node("UK");
+    let phd = b.node("PhD");
+    let z = b.node_named("person", "z");
+    b.edge(xo, prof, "is_a");
+    b.edge(xo, uk, "in");
+    b.negated_edge(xo, phd, "is_a");
+    b.quantified_edge(xo, z, "advisor", CountingQuantifier::at_least(p));
+    b.edge(z, prof, "is_a");
+    b.edge(z, uk, "in");
+    b.focus(xo);
+    b.build().expect("Q4 is well-formed")
+}
+
+/// `Q5(xo)` — two negated edges on different paths (Figure 3):
+/// *non-UK professors who supervised students who are professors but have no
+/// PhD degree.*
+pub fn q5_non_uk_professors() -> Pattern {
+    let mut b = PatternBuilder::new();
+    let xo = b.node_named("person", "xo");
+    let prof = b.node("prof");
+    let uk = b.node("UK");
+    let z = b.node_named("person", "z");
+    let phd = b.node("PhD");
+    b.edge(xo, prof, "is_a");
+    b.negated_edge(xo, uk, "in");
+    b.edge(xo, z, "advisor");
+    b.edge(z, prof, "is_a");
+    b.negated_edge(z, phd, "is_a");
+    b.focus(xo);
+    b.build().expect("Q5 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_library_patterns_validate() {
+        for (name, q) in [
+            ("Q1", q1_music_club()),
+            ("Q2", q2_redmi_universal()),
+            ("Q3", q3_redmi_negation(2)),
+            ("Q4", q4_uk_professors(2)),
+            ("Q5", q5_non_uk_professors()),
+        ] {
+            assert!(q.validate().is_ok(), "{name} should validate");
+            assert!(q.node_count() >= 3, "{name} has at least 3 nodes");
+        }
+    }
+
+    #[test]
+    fn classification_matches_the_paper() {
+        // "Among the QGPs, Q1 and Q2 are positive, while Q3 and Q4 are
+        // negative" (Example 2).
+        assert!(q1_music_club().is_positive());
+        assert!(q2_redmi_universal().is_positive());
+        assert!(!q3_redmi_negation(2).is_positive());
+        assert!(!q4_uk_professors(2).is_positive());
+        assert_eq!(q5_non_uk_professors().negated_edges().len(), 2);
+    }
+
+    #[test]
+    fn radii_are_small_as_in_real_queries() {
+        assert!(q1_music_club().radius() <= 2);
+        assert!(q2_redmi_universal().radius() <= 2);
+        assert!(q3_redmi_negation(2).radius() <= 2);
+        assert!(q4_uk_professors(2).radius() <= 2);
+    }
+}

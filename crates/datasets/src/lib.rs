@@ -1,0 +1,39 @@
+//! # qgp-datasets
+//!
+//! Synthetic datasets and experimental pattern generators reproducing the
+//! evaluation setting of *"Adding Counting Quantifiers to Graph Patterns"*
+//! (SIGMOD 2016, Section 7):
+//!
+//! * [`social::pokec_like`] — a Pokec-shaped social graph (communities,
+//!   11 edge types, person/item/attribute nodes),
+//! * [`knowledge::yago_like`] — a YAGO2-shaped sparse knowledge graph
+//!   (typed entities, named countries, advisor lineages),
+//! * [`synthetic::small_world`] — the GTgraph-style small-world generator
+//!   used for the scalability sweeps,
+//! * [`patterns::generate_pattern`] — the frequent-feature QGP generator
+//!   that produces the `|Q| = (|V_Q|, |E_Q|, p_a, |E⁻_Q|)` workloads.
+//!
+//! The real Pokec and YAGO2 datasets are public but not redistributed with
+//! this repository; DESIGN.md documents why seeded generators with matching
+//! label vocabularies and degree shapes preserve the behaviour the paper's
+//! experiments measure.
+//!
+//! ```
+//! use qgp_datasets::{pokec_like, SocialConfig};
+//!
+//! let g = pokec_like(&SocialConfig::with_persons(200));
+//! assert!(g.edge_count() > g.node_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod knowledge;
+pub mod patterns;
+pub mod social;
+pub mod synthetic;
+
+pub use knowledge::{yago_like, KnowledgeConfig};
+pub use patterns::{generate_pattern, PatternGenConfig, PatternSize};
+pub use social::{pokec_like, SocialConfig};
+pub use synthetic::{small_world, SmallWorldConfig};

@@ -1,0 +1,247 @@
+//! A Pokec-like synthetic social graph.
+//!
+//! The paper evaluates on the Pokec social network (1.63 M nodes of 269
+//! types, 30.6 M edges of 11 types).  That dataset is not redistributed here;
+//! instead this generator produces a seeded graph with the same *shape*: a
+//! person-centric small-world follow graph organized into communities, with
+//! item/attribute nodes (albums, products, clubs, cities, hobbies) attached
+//! through the same 11 edge types (`follow`, `like`, `recom`, `bad_rating`,
+//! `in`, `buy`, `post`, `hobby`, `is_friend`, `live_in`, `rate`).
+//!
+//! Communities plant the regularities the paper's examples rely on: people
+//! mostly follow their own community, the community shares an album and a
+//! product, and purchases correlate with what followees like — so `Q1`–`Q3`
+//! and the QGAR experiments have non-trivial answers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qgp_graph::{Graph, GraphBuilder, NodeId};
+
+/// Configuration of the Pokec-like generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocialConfig {
+    /// Number of person nodes.
+    pub persons: usize,
+    /// Average community size (each community shares an album, a product and
+    /// a club).
+    pub community_size: usize,
+    /// Average number of `follow` edges per person.
+    pub avg_follows: usize,
+    /// Probability that a follow edge stays inside the community.
+    pub community_bias: f64,
+    /// RNG seed — the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl SocialConfig {
+    /// A graph with the given number of persons and default shape parameters.
+    pub fn with_persons(persons: usize) -> Self {
+        SocialConfig {
+            persons,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            persons: 2_000,
+            community_size: 20,
+            avg_follows: 8,
+            community_bias: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// Well-known product labels used by the paper's running examples; the first
+/// two make `Q2`/`Q3`-style patterns about "Redmi 2A" meaningful.
+const PRODUCTS: &[&str] = &["Redmi 2A", "Redmi 2", "Mac", "PC", "camera", "headphones"];
+
+/// Generates a Pokec-like social graph.
+pub fn pokec_like(config: &SocialConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+
+    let persons: Vec<NodeId> = b.add_nodes("person", config.persons.max(1));
+    let n = persons.len();
+    let community_size = config.community_size.max(2);
+    let communities = n.div_ceil(community_size);
+
+    // Attribute and item nodes.
+    let albums: Vec<NodeId> = (0..communities.max(1))
+        .map(|_| b.add_node("album"))
+        .collect();
+    let products: Vec<NodeId> = PRODUCTS.iter().map(|p| b.add_node(p)).collect();
+    let clubs: Vec<NodeId> = (0..communities.div_ceil(4).max(1))
+        .map(|i| {
+            if i % 2 == 0 {
+                b.add_node("music club")
+            } else {
+                b.add_node("sports club")
+            }
+        })
+        .collect();
+    let cities: Vec<NodeId> = (0..30).map(|_| b.add_node("city")).collect();
+    let hobbies: Vec<NodeId> = (0..20).map(|_| b.add_node("hobby")).collect();
+
+    let community_of = |i: usize| i / community_size;
+
+    // Follow edges: mostly within the community, occasionally global, plus a
+    // sprinkling of symmetric `is_friend` edges.
+    for (i, &p) in persons.iter().enumerate() {
+        let c = community_of(i);
+        let lo = c * community_size;
+        let hi = ((c + 1) * community_size).min(n);
+        let follows = 1 + rng.gen_range(0..=config.avg_follows.max(1) * 2);
+        for _ in 0..follows {
+            let j = if rng.gen_bool(config.community_bias) && hi > lo + 1 {
+                rng.gen_range(lo..hi)
+            } else {
+                rng.gen_range(0..n)
+            };
+            if j != i {
+                let _ = b.add_edge_dedup(p, persons[j], "follow");
+                if rng.gen_bool(0.15) {
+                    let _ = b.add_edge_dedup(p, persons[j], "is_friend");
+                    let _ = b.add_edge_dedup(persons[j], p, "is_friend");
+                }
+            }
+        }
+    }
+
+    // Community-driven tastes: likes, recommendations, ratings, purchases.
+    for (i, &p) in persons.iter().enumerate() {
+        let c = community_of(i);
+        let album = albums[c % albums.len()];
+        let product = products[c % products.len()];
+
+        if rng.gen_bool(0.75) {
+            let _ = b.add_edge_dedup(p, album, "like");
+        }
+        if rng.gen_bool(0.15) {
+            let other = albums[rng.gen_range(0..albums.len())];
+            let _ = b.add_edge_dedup(p, other, "like");
+        }
+        if rng.gen_bool(0.6) {
+            let _ = b.add_edge_dedup(p, product, "recom");
+        }
+        if rng.gen_bool(0.08) {
+            let disliked = products[rng.gen_range(0..products.len())];
+            let _ = b.add_edge_dedup(p, disliked, "bad_rating");
+        }
+        if rng.gen_bool(0.3) {
+            let _ = b.add_edge_dedup(p, product, "post");
+        }
+        if rng.gen_bool(0.2) {
+            let rated = products[rng.gen_range(0..products.len())];
+            let _ = b.add_edge_dedup(p, rated, "rate");
+        }
+        // Purchases correlate with community taste (the planted regularity).
+        if rng.gen_bool(0.55) {
+            let _ = b.add_edge_dedup(p, album, "buy");
+        }
+        if rng.gen_bool(0.35) {
+            let _ = b.add_edge_dedup(p, product, "buy");
+        }
+
+        // Memberships and demographics.
+        if rng.gen_bool(0.5) {
+            let club = clubs[(c / 4) % clubs.len()];
+            let _ = b.add_edge_dedup(p, club, "in");
+        }
+        let city = cities[rng.gen_range(0..cities.len())];
+        let _ = b.add_edge_dedup(p, city, "live_in");
+        let hobby = hobbies[rng.gen_range(0..hobbies.len())];
+        let _ = b.add_edge_dedup(p, hobby, "hobby");
+        if rng.gen_bool(0.3) {
+            let hobby2 = hobbies[rng.gen_range(0..hobbies.len())];
+            let _ = b.add_edge_dedup(p, hobby2, "hobby");
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgp_graph::GraphStats;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let config = SocialConfig::with_persons(300);
+        let a = pokec_like(&config);
+        let b = pokec_like(&config);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let a = pokec_like(&SocialConfig {
+            seed: 1,
+            ..SocialConfig::with_persons(300)
+        });
+        let b = pokec_like(&SocialConfig {
+            seed: 2,
+            ..SocialConfig::with_persons(300)
+        });
+        assert_ne!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn graph_has_the_expected_label_vocabulary() {
+        let g = pokec_like(&SocialConfig::with_persons(500));
+        let labels = g.labels();
+        for node_label in ["person", "album", "Redmi 2A", "music club", "city", "hobby"] {
+            assert!(
+                labels.node_label(node_label).is_some(),
+                "missing node label {node_label}"
+            );
+        }
+        for edge_label in [
+            "follow",
+            "like",
+            "recom",
+            "bad_rating",
+            "in",
+            "buy",
+            "post",
+            "hobby",
+            "is_friend",
+            "live_in",
+            "rate",
+        ] {
+            assert!(
+                labels.edge_label(edge_label).is_some(),
+                "missing edge label {edge_label}"
+            );
+        }
+        assert_eq!(labels.edge_label_count(), 11);
+    }
+
+    #[test]
+    fn person_degree_is_social_network_like() {
+        let g = pokec_like(&SocialConfig::with_persons(500));
+        let stats = GraphStats::compute(&g);
+        assert!(stats.avg_out_degree > 3.0, "avg {}", stats.avg_out_degree);
+        assert!(stats.avg_out_degree < 40.0);
+        assert!(g.edge_count() > g.node_count());
+    }
+
+    #[test]
+    fn paper_example_patterns_have_matches() {
+        use qgp_core::matching::quantified_match;
+        use qgp_core::pattern::library;
+        let g = pokec_like(&SocialConfig::with_persons(800));
+        // Q2 (universal) and Q3 (numeric + negation) should both have answers
+        // on a community-structured graph.
+        let q2 = quantified_match(&g, &library::q2_redmi_universal()).unwrap();
+        assert!(!q2.is_empty(), "Q2 should match somewhere");
+        let q3 = quantified_match(&g, &library::q3_redmi_negation(2)).unwrap();
+        assert!(!q3.is_empty(), "Q3 should match somewhere");
+    }
+}

@@ -1,0 +1,147 @@
+//! GTgraph-style synthetic small-world graphs.
+//!
+//! The paper's scalability experiments (Fig. 8(l)) use a synthetic generator
+//! "based on GTgraph following the small-world model", controlled by the
+//! number of nodes and edges, with labels drawn from an alphabet of 30.  This
+//! module provides an equivalent seeded generator: a Watts–Strogatz-style
+//! ring lattice with random rewiring, random node labels from a configurable
+//! alphabet and random edge labels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qgp_graph::{Graph, GraphBuilder, NodeId};
+
+/// Configuration of the small-world generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmallWorldConfig {
+    /// Number of nodes `|V|`.
+    pub nodes: usize,
+    /// Number of edges `|E|` (the paper sweeps `(|V|, |E|)` from
+    /// (10 M, 20 M) to (50 M, 100 M); defaults here are laptop-scale).
+    pub edges: usize,
+    /// Size of the node label alphabet (30 in the paper).
+    pub node_label_alphabet: usize,
+    /// Size of the edge label alphabet.
+    pub edge_label_alphabet: usize,
+    /// Probability that a lattice edge is rewired to a random target (the
+    /// "small-world" rewiring probability).
+    pub rewire_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SmallWorldConfig {
+    /// A graph with the given node and edge counts and default parameters.
+    pub fn with_size(nodes: usize, edges: usize) -> Self {
+        SmallWorldConfig {
+            nodes,
+            edges,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for SmallWorldConfig {
+    fn default() -> Self {
+        SmallWorldConfig {
+            nodes: 10_000,
+            edges: 20_000,
+            node_label_alphabet: 30,
+            edge_label_alphabet: 10,
+            rewire_probability: 0.1,
+            seed: 13,
+        }
+    }
+}
+
+/// Generates a labeled small-world graph.
+pub fn small_world(config: &SmallWorldConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+
+    let n = config.nodes.max(2);
+    let node_alphabet: Vec<String> = (0..config.node_label_alphabet.max(1))
+        .map(|i| format!("L{i}"))
+        .collect();
+    let edge_alphabet: Vec<String> = (0..config.edge_label_alphabet.max(1))
+        .map(|i| format!("e{i}"))
+        .collect();
+
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| b.add_node(&node_alphabet[rng.gen_range(0..node_alphabet.len())]))
+        .collect();
+
+    // Ring lattice with k = ceil(|E| / |V|) forward neighbors per node, each
+    // edge rewired to a random target with the configured probability.
+    let k = config.edges.div_ceil(n).max(1);
+    let mut added = 0usize;
+    'outer: for hop in 1..=k {
+        for (i, &from) in nodes.iter().enumerate() {
+            if added >= config.edges {
+                break 'outer;
+            }
+            let to = if rng.gen_bool(config.rewire_probability) {
+                nodes[rng.gen_range(0..n)]
+            } else {
+                nodes[(i + hop) % n]
+            };
+            if to == from {
+                continue;
+            }
+            let label = &edge_alphabet[rng.gen_range(0..edge_alphabet.len())];
+            if b.add_edge_dedup(from, to, label).unwrap_or(false) {
+                added += 1;
+            }
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgp_graph::GraphStats;
+
+    #[test]
+    fn respects_requested_sizes_approximately() {
+        let config = SmallWorldConfig::with_size(1_000, 3_000);
+        let g = small_world(&config);
+        assert_eq!(g.node_count(), 1_000);
+        assert!(g.edge_count() <= 3_000);
+        assert!(g.edge_count() > 2_500, "edges = {}", g.edge_count());
+    }
+
+    #[test]
+    fn label_alphabet_is_bounded() {
+        let g = small_world(&SmallWorldConfig::with_size(2_000, 4_000));
+        assert!(g.labels().node_label_count() <= 30);
+        assert!(g.labels().edge_label_count() <= 10);
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.node_count, 2_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let edge_list = |g: &qgp_graph::Graph| {
+            g.edges()
+                .map(|e| (e.from, e.to, e.label))
+                .collect::<Vec<_>>()
+        };
+        let a = small_world(&SmallWorldConfig::with_size(500, 1_500));
+        let b = small_world(&SmallWorldConfig::with_size(500, 1_500));
+        assert_eq!(edge_list(&a), edge_list(&b));
+        let c = small_world(&SmallWorldConfig {
+            seed: 99,
+            ..SmallWorldConfig::with_size(500, 1_500)
+        });
+        assert_ne!(edge_list(&a), edge_list(&c));
+    }
+
+    #[test]
+    fn tiny_configurations_do_not_panic() {
+        let g = small_world(&SmallWorldConfig::with_size(2, 1));
+        assert_eq!(g.node_count(), 2);
+    }
+}

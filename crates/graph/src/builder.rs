@@ -1,0 +1,128 @@
+//! Ergonomic graph construction from string labels.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// A builder that constructs a [`Graph`] from string node and edge labels,
+/// interning the labels on the fly.
+///
+/// ```
+/// use qgp_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let xo = b.add_node("person");
+/// let club = b.add_node("music club");
+/// b.add_edge(xo, club, "in").unwrap();
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder seeded with an existing graph, allowing further
+    /// nodes and edges to be appended.
+    pub fn from_graph(graph: Graph) -> Self {
+        Self { graph }
+    }
+
+    /// Adds a node with the given string label.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        self.graph.add_node_with_name(label)
+    }
+
+    /// Adds `count` nodes that all carry the same label, returning their ids.
+    pub fn add_nodes(&mut self, label: &str, count: usize) -> Vec<NodeId> {
+        let id = self.graph.labels_mut().intern_node_label(label);
+        (0..count).map(|_| self.graph.add_node(id)).collect()
+    }
+
+    /// Adds a directed edge with the given string label.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: &str) -> Result<(), GraphError> {
+        let id = self.graph.labels_mut().intern_edge_label(label);
+        self.graph.add_edge(from, to, id)
+    }
+
+    /// Adds a directed edge, silently ignoring exact duplicates.
+    pub fn add_edge_dedup(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: &str,
+    ) -> Result<bool, GraphError> {
+        let id = self.graph.labels_mut().intern_edge_label(label);
+        self.graph.add_edge_dedup(from, to, id)
+    }
+
+    /// Read access to the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Finishes construction and returns the graph.
+    pub fn build(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_labels_lazily() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let c = b.add_node("person");
+        let x = b.add_node("album");
+        b.add_edge(a, c, "follow").unwrap();
+        b.add_edge(a, x, "like").unwrap();
+        b.add_edge(c, x, "like").unwrap();
+        let g = b.build();
+        assert_eq!(g.labels().node_label_count(), 2);
+        assert_eq!(g.labels().edge_label_count(), 2);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn add_nodes_creates_a_batch_with_one_label() {
+        let mut b = GraphBuilder::new();
+        let people = b.add_nodes("person", 5);
+        assert_eq!(people.len(), 5);
+        let g = b.build();
+        let person = g.labels().node_label("person").unwrap();
+        assert_eq!(g.nodes_with_label(person).len(), 5);
+    }
+
+    #[test]
+    fn duplicate_edge_via_builder_is_reported() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let c = b.add_node("person");
+        b.add_edge(a, c, "follow").unwrap();
+        assert!(b.add_edge(a, c, "follow").is_err());
+        assert_eq!(b.add_edge_dedup(a, c, "follow"), Ok(false));
+    }
+
+    #[test]
+    fn from_graph_appends_to_existing_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let g = b.build();
+
+        let mut b2 = GraphBuilder::from_graph(g);
+        let c = b2.add_node("person");
+        b2.add_edge(a, c, "follow").unwrap();
+        let g2 = b2.build();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! The labeled, directed data graph `G = (V, E, L)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::labels::{LabelId, LabelSet};
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense indexes assigned in insertion order; `u32` keeps the
+/// adjacency lists compact (graphs of up to ~4 billion nodes are supported,
+/// far beyond what fits in memory anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the raw index of this node id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reference to a directed, labeled edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// Source node of the edge.
+    pub from: NodeId,
+    /// Target node of the edge.
+    pub to: NodeId,
+    /// Edge label.
+    pub label: LabelId,
+}
+
+/// One adjacency entry: the edge label together with the neighbor on the
+/// other end.  Adjacency lists are kept sorted by `(label, node)` so that the
+/// set `Mₑ(v)` of neighbors reachable via a particular edge label is a
+/// contiguous range found by binary search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+struct AdjEntry {
+    label: LabelId,
+    node: NodeId,
+}
+
+/// A labeled, directed graph (Section 2.1 of the paper).
+///
+/// * every node carries exactly one node label,
+/// * every edge carries exactly one edge label,
+/// * parallel edges with *different* labels between the same node pair are
+///   allowed (as in property graphs), identical `(from, to, label)` triples
+///   are not.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    labels: LabelSet,
+    node_labels: Vec<LabelId>,
+    out_adj: Vec<Vec<AdjEntry>>,
+    in_adj: Vec<Vec<AdjEntry>>,
+    /// `nodes_by_label[l]` lists every node whose label is `l`.
+    nodes_by_label: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with an empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph that shares an existing label vocabulary.
+    pub fn with_labels(labels: LabelSet) -> Self {
+        let mut g = Self::new();
+        let node_label_count = labels.node_label_count();
+        g.labels = labels;
+        g.nodes_by_label = vec![Vec::new(); node_label_count];
+        g
+    }
+
+    /// Read access to the label vocabulary.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Mutable access to the label vocabulary (used by builders and
+    /// generators to intern new labels).
+    pub fn labels_mut(&mut self) -> &mut LabelSet {
+        &mut self.labels
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Total size `|G| = |V| + |E|` as used in the paper's complexity bounds.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_labels.is_empty()
+    }
+
+    /// Adds a node with an already-interned node label, returning its id.
+    pub fn add_node(&mut self, label: LabelId) -> NodeId {
+        let id = NodeId::new(self.node_labels.len());
+        self.node_labels.push(label);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        if label.index() >= self.nodes_by_label.len() {
+            self.nodes_by_label.resize(label.index() + 1, Vec::new());
+        }
+        self.nodes_by_label[label.index()].push(id);
+        id
+    }
+
+    /// Adds a node labeled with `name`, interning the label if needed.
+    pub fn add_node_with_name(&mut self, name: &str) -> NodeId {
+        let label = self.labels.intern_node_label(name);
+        self.add_node(label)
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() >= self.node_count() {
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds a directed edge `from → to` with the given (already interned)
+    /// edge label.  Returns an error if either endpoint does not exist or the
+    /// exact same labeled edge is already present.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: LabelId) -> Result<(), GraphError> {
+        if self.insert_edge(from, to, label)? {
+            Ok(())
+        } else {
+            Err(GraphError::DuplicateEdge { from, to })
+        }
+    }
+
+    /// Adds a directed edge unless the identical `(from, to, label)` triple is
+    /// already present.  Returns `Ok(true)` if the edge was inserted and
+    /// `Ok(false)` if it was a duplicate.  This is the entry point used by
+    /// randomized generators, which may propose the same edge twice.
+    pub fn add_edge_dedup(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: LabelId,
+    ) -> Result<bool, GraphError> {
+        self.insert_edge(from, to, label)
+    }
+
+    fn insert_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: LabelId,
+    ) -> Result<bool, GraphError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        let entry = AdjEntry { label, node: to };
+        let out = &mut self.out_adj[from.index()];
+        match out.binary_search(&entry) {
+            Ok(_) => return Ok(false),
+            Err(pos) => out.insert(pos, entry),
+        }
+        let rentry = AdjEntry { label, node: from };
+        let inn = &mut self.in_adj[to.index()];
+        let pos = inn.binary_search(&rentry).unwrap_or_else(|p| p);
+        inn.insert(pos, rentry);
+        self.edge_count += 1;
+        Ok(true)
+    }
+
+    /// Node label of `v`.
+    #[inline]
+    pub fn node_label(&self, v: NodeId) -> LabelId {
+        self.node_labels[v.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// All nodes carrying node label `label` (the initial candidate set
+    /// `C(u)` of `FilterCandidate` in Fig. 4 of the paper).
+    pub fn nodes_with_label(&self, label: LabelId) -> &[NodeId] {
+        self.nodes_by_label
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Out-degree of `v` (counting all edge labels).
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v` (counting all edge labels).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// All outgoing edges of `v`.
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out_adj[v.index()].iter().map(move |e| EdgeRef {
+            from: v,
+            to: e.node,
+            label: e.label,
+        })
+    }
+
+    /// All incoming edges of `v`.
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.in_adj[v.index()].iter().map(move |e| EdgeRef {
+            from: e.node,
+            to: v,
+            label: e.label,
+        })
+    }
+
+    /// All out-neighbors of `v` regardless of edge label.
+    pub fn out_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_adj[v.index()].iter().map(|e| e.node)
+    }
+
+    /// All in-neighbors of `v` regardless of edge label.
+    pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_adj[v.index()].iter().map(|e| e.node)
+    }
+
+    fn label_range(adj: &[AdjEntry], label: LabelId) -> &[AdjEntry] {
+        let start = adj.partition_point(|e| e.label < label);
+        let end = adj.partition_point(|e| e.label <= label);
+        &adj[start..end]
+    }
+
+    /// The children of `v` reachable via an edge labeled `label`:
+    /// `Mₑ(v) = {v' | (v, v') ∈ E, L(v, v') = label}` (Table 1).
+    pub fn out_neighbors_with_label(
+        &self,
+        v: NodeId,
+        label: LabelId,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        Self::label_range(&self.out_adj[v.index()], label)
+            .iter()
+            .map(|e| e.node)
+    }
+
+    /// The parents of `v` reachable via an edge labeled `label`.
+    pub fn in_neighbors_with_label(
+        &self,
+        v: NodeId,
+        label: LabelId,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        Self::label_range(&self.in_adj[v.index()], label)
+            .iter()
+            .map(|e| e.node)
+    }
+
+    /// `|Mₑ(v)|` — number of children of `v` connected by an edge labeled
+    /// `label`.  Used as the denominator of ratio aggregates and as the
+    /// initial upper bound `U(v, e)` of the `QMatch` auxiliary structures.
+    #[inline]
+    pub fn out_degree_with_label(&self, v: NodeId, label: LabelId) -> usize {
+        Self::label_range(&self.out_adj[v.index()], label).len()
+    }
+
+    /// Number of parents of `v` connected by an edge labeled `label`.
+    #[inline]
+    pub fn in_degree_with_label(&self, v: NodeId, label: LabelId) -> usize {
+        Self::label_range(&self.in_adj[v.index()], label).len()
+    }
+
+    /// Tests whether the edge `(from, to)` with label `label` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId, label: LabelId) -> bool {
+        if from.index() >= self.node_count() {
+            return false;
+        }
+        self.out_adj[from.index()]
+            .binary_search(&AdjEntry { label, node: to })
+            .is_ok()
+    }
+
+    /// Tests whether *some* edge from `from` to `to` exists, with any label.
+    pub fn has_any_edge(&self, from: NodeId, to: NodeId) -> bool {
+        if from.index() >= self.node_count() {
+            return false;
+        }
+        self.out_adj[from.index()].iter().any(|e| e.node == to)
+    }
+
+    /// Iterates over every edge of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.nodes().flat_map(move |v| self.out_edges(v))
+    }
+
+    /// Returns the subgraph induced by a set of nodes, together with the
+    /// mapping from new (local) node ids to the original (global) ids.
+    ///
+    /// The induced subgraph contains all edges of `self` whose endpoints are
+    /// both in `nodes` (Section 2.1, "subgraph induced by a set of nodes").
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut sub = Graph::with_labels(self.labels.clone());
+        let mut global_of_local = Vec::with_capacity(nodes.len());
+        let mut local_of_global =
+            std::collections::HashMap::with_capacity(nodes.len());
+        for &v in nodes {
+            if local_of_global.contains_key(&v) {
+                continue;
+            }
+            let local = sub.add_node(self.node_label(v));
+            local_of_global.insert(v, local);
+            global_of_local.push(v);
+        }
+        for (&global, &local) in &local_of_global {
+            for e in self.out_edges(global) {
+                if let Some(&local_to) = local_of_global.get(&e.to) {
+                    // Duplicates cannot occur because the source graph has none.
+                    let _ = sub.add_edge_dedup(local, local_to, e.label);
+                }
+            }
+        }
+        (sub, global_of_local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, Vec<NodeId>, LabelId) {
+        let mut g = Graph::new();
+        let person = g.labels_mut().intern_node_label("person");
+        let follows = g.labels_mut().intern_edge_label("follows");
+        let nodes: Vec<_> = (0..3).map(|_| g.add_node(person)).collect();
+        g.add_edge(nodes[0], nodes[1], follows).unwrap();
+        g.add_edge(nodes[1], nodes[2], follows).unwrap();
+        g.add_edge(nodes[2], nodes[0], follows).unwrap();
+        (g, nodes, follows)
+    }
+
+    #[test]
+    fn counts_are_tracked() {
+        let (g, _, _) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.size(), 6);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_consistent_in_both_directions() {
+        let (g, n, follows) = triangle();
+        assert_eq!(g.out_neighbors(n[0]).collect::<Vec<_>>(), vec![n[1]]);
+        assert_eq!(g.in_neighbors(n[0]).collect::<Vec<_>>(), vec![n[2]]);
+        assert_eq!(g.out_degree_with_label(n[0], follows), 1);
+        assert_eq!(g.in_degree_with_label(n[0], follows), 1);
+        assert!(g.has_edge(n[0], n[1], follows));
+        assert!(!g.has_edge(n[1], n[0], follows));
+        assert!(g.has_any_edge(n[0], n[1]));
+        assert!(!g.has_any_edge(n[0], n[2]));
+    }
+
+    #[test]
+    fn duplicate_edges_are_rejected_or_deduped() {
+        let (mut g, n, follows) = triangle();
+        assert_eq!(
+            g.add_edge(n[0], n[1], follows),
+            Err(GraphError::DuplicateEdge {
+                from: n[0],
+                to: n[1]
+            })
+        );
+        assert_eq!(g.add_edge_dedup(n[0], n[1], follows), Ok(false));
+        assert_eq!(g.edge_count(), 3);
+        // A parallel edge with a different label is allowed.
+        let likes = g.labels_mut().intern_edge_label("likes");
+        assert_eq!(g.add_edge_dedup(n[0], n[1], likes), Ok(true));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn out_of_bounds_nodes_are_rejected() {
+        let (mut g, n, follows) = triangle();
+        let bogus = NodeId::new(42);
+        assert!(matches!(
+            g.add_edge(n[0], bogus, follows),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(bogus, n[0], follows),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(!g.has_edge(bogus, n[0], follows));
+    }
+
+    #[test]
+    fn label_filtered_neighborhoods_are_exact() {
+        let mut g = Graph::new();
+        let person = g.labels_mut().intern_node_label("person");
+        let item = g.labels_mut().intern_node_label("item");
+        let follows = g.labels_mut().intern_edge_label("follows");
+        let likes = g.labels_mut().intern_edge_label("likes");
+        let a = g.add_node(person);
+        let b = g.add_node(person);
+        let c = g.add_node(person);
+        let x = g.add_node(item);
+        g.add_edge(a, b, follows).unwrap();
+        g.add_edge(a, c, follows).unwrap();
+        g.add_edge(a, x, likes).unwrap();
+
+        let follow_children: Vec<_> = g.out_neighbors_with_label(a, follows).collect();
+        assert_eq!(follow_children, vec![b, c]);
+        let like_children: Vec<_> = g.out_neighbors_with_label(a, likes).collect();
+        assert_eq!(like_children, vec![x]);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.out_degree_with_label(a, follows), 2);
+        assert_eq!(g.nodes_with_label(person), &[a, b, c]);
+        assert_eq!(g.nodes_with_label(item), &[x]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let (g, n, follows) = triangle();
+        let (sub, mapping) = g.induced_subgraph(&[n[0], n[1]]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1); // only 0 -> 1 survives
+        assert_eq!(mapping.len(), 2);
+        let local_follows = sub.labels().edge_label("follows").unwrap();
+        assert_eq!(local_follows, follows);
+    }
+
+    #[test]
+    fn edges_iterator_covers_every_edge_once() {
+        let (g, _, _) = triangle();
+        assert_eq!(g.edges().count(), g.edge_count());
+    }
+}

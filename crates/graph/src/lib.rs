@@ -1,0 +1,59 @@
+//! # qgp-graph
+//!
+//! Labeled, directed graph substrate used by the quantified graph pattern
+//! (QGP) matching algorithms of *"Adding Counting Quantifiers to Graph
+//! Patterns"* (SIGMOD 2016).
+//!
+//! A data graph `G = (V, E, L)` is a finite set of nodes `V`, a set of
+//! directed edges `E ⊆ V × V`, and a labeling `L` that assigns a label to
+//! every node and every edge (Section 2.1 of the paper).  This crate provides:
+//!
+//! * [`Graph`] — an adjacency-list graph with per-node, label-sorted edge
+//!   lists so that `Mₑ(v)` (the children of `v` reachable via an edge with a
+//!   given label, Table 1 of the paper) can be enumerated without scanning
+//!   unrelated edges,
+//! * [`LabelSet`] — string interning for node and edge labels,
+//! * [`GraphBuilder`] — an ergonomic way to construct graphs from string
+//!   labels,
+//! * [`neighborhood`] — d-hop neighborhoods `N_d(v)` and BFS utilities used
+//!   by the d-hop preserving partition of Section 5,
+//! * [`fragment`] — fragments of a partitioned graph with local/global id
+//!   mappings, used by the parallel algorithms,
+//! * [`stats`] — degree and label statistics used by the synthetic dataset
+//!   generators and the pattern generator of Section 7.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qgp_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let alice = b.add_node("person");
+//! let phone = b.add_node("Redmi 2A");
+//! b.add_edge(alice, phone, "recommends").unwrap();
+//! let g = b.build();
+//!
+//! assert_eq!(g.node_count(), 2);
+//! assert_eq!(g.edge_count(), 1);
+//! let recommends = g.labels().edge_label("recommends").unwrap();
+//! assert_eq!(g.out_neighbors_with_label(alice, recommends).count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod fragment;
+pub mod graph;
+pub mod labels;
+pub mod neighborhood;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use fragment::{Fragment, FragmentId};
+pub use graph::{EdgeRef, Graph, NodeId};
+pub use labels::{LabelId, LabelSet};
+pub use neighborhood::{bfs_within, d_hop_neighborhood, d_hop_nodes};
+pub use stats::GraphStats;

@@ -1,0 +1,126 @@
+//! d-hop neighborhoods and bounded BFS.
+//!
+//! Section 5 of the paper relies on the *d-hop neighborhood* `N_d(v)` of a
+//! node: the subgraph induced by all nodes within `d` hops of `v`, where hops
+//! ignore edge direction (a neighbor is reachable "from or to" the node).
+//! The d-hop preserving partition `DPar` ships `N_d(v)` of border nodes
+//! between fragments, and the radius of a pattern bounds how much of the
+//! graph a single focus candidate can ever touch.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::{Graph, NodeId};
+
+/// Returns every node within `d` undirected hops of `start` (including
+/// `start` itself), each paired with its hop distance, in BFS order.
+pub fn bfs_within(graph: &Graph, start: NodeId, d: usize) -> Vec<(NodeId, usize)> {
+    let mut seen: HashMap<NodeId, usize> = HashMap::new();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start, 0);
+    queue.push_back(start);
+    order.push((start, 0));
+    while let Some(v) = queue.pop_front() {
+        let dist = seen[&v];
+        if dist == d {
+            continue;
+        }
+        for w in graph.out_neighbors(v).chain(graph.in_neighbors(v)) {
+            if !seen.contains_key(&w) {
+                seen.insert(w, dist + 1);
+                order.push((w, dist + 1));
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// The node set of `N_d(v)`: all nodes within `d` undirected hops of `v`.
+pub fn d_hop_nodes(graph: &Graph, v: NodeId, d: usize) -> Vec<NodeId> {
+    bfs_within(graph, v, d).into_iter().map(|(n, _)| n).collect()
+}
+
+/// The d-hop neighborhood `N_d(v)`: the subgraph of `G` induced by the nodes
+/// within `d` hops of `v`, returned together with the local → global node id
+/// mapping.
+pub fn d_hop_neighborhood(graph: &Graph, v: NodeId, d: usize) -> (Graph, Vec<NodeId>) {
+    let nodes = d_hop_nodes(graph, v, d);
+    graph.induced_subgraph(&nodes)
+}
+
+/// Size `|N_d(v)|` measured as nodes + edges of the induced subgraph.  This
+/// is the weight used by the Multiple-Knapsack assignment inside `DPar`
+/// (Section 5.2) and by the parallel-scalability condition
+/// `Σ_v |N_d(v)| ≤ C_d · |G| / n` of Theorem 7.
+pub fn d_hop_size(graph: &Graph, v: NodeId, d: usize) -> usize {
+    let (sub, _) = d_hop_neighborhood(graph, v, d);
+    sub.size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// A path a -> b -> c -> d plus an isolated node.
+    fn path_graph() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes("person", 5);
+        b.add_edge(nodes[0], nodes[1], "follow").unwrap();
+        b.add_edge(nodes[1], nodes[2], "follow").unwrap();
+        b.add_edge(nodes[2], nodes[3], "follow").unwrap();
+        (b.build(), nodes)
+    }
+
+    #[test]
+    fn bfs_respects_hop_limit_and_ignores_direction() {
+        let (g, n) = path_graph();
+        let hop1: Vec<_> = d_hop_nodes(&g, n[1], 1);
+        // One hop from b reaches a (incoming) and c (outgoing).
+        assert_eq!(hop1.len(), 3);
+        assert!(hop1.contains(&n[0]));
+        assert!(hop1.contains(&n[2]));
+
+        let hop2 = d_hop_nodes(&g, n[1], 2);
+        assert_eq!(hop2.len(), 4); // everything except the isolated node
+        assert!(!hop2.contains(&n[4]));
+    }
+
+    #[test]
+    fn zero_hops_is_just_the_start_node() {
+        let (g, n) = path_graph();
+        assert_eq!(d_hop_nodes(&g, n[2], 0), vec![n[2]]);
+    }
+
+    #[test]
+    fn distances_are_correct() {
+        let (g, n) = path_graph();
+        let dist: HashMap<_, _> = bfs_within(&g, n[0], 3).into_iter().collect();
+        assert_eq!(dist[&n[0]], 0);
+        assert_eq!(dist[&n[1]], 1);
+        assert_eq!(dist[&n[2]], 2);
+        assert_eq!(dist[&n[3]], 3);
+        assert!(!dist.contains_key(&n[4]));
+    }
+
+    #[test]
+    fn neighborhood_subgraph_contains_internal_edges() {
+        let (g, n) = path_graph();
+        let (sub, mapping) = d_hop_neighborhood(&g, n[1], 1);
+        assert_eq!(sub.node_count(), 3);
+        // Edges a->b and b->c are internal to the 1-hop neighborhood of b.
+        assert_eq!(sub.edge_count(), 2);
+        assert!(mapping.contains(&n[0]));
+        assert!(mapping.contains(&n[1]));
+        assert!(mapping.contains(&n[2]));
+        assert_eq!(d_hop_size(&g, n[1], 1), 5);
+    }
+
+    #[test]
+    fn isolated_node_has_singleton_neighborhood() {
+        let (g, n) = path_graph();
+        assert_eq!(d_hop_nodes(&g, n[4], 3), vec![n[4]]);
+        assert_eq!(d_hop_size(&g, n[4], 3), 1);
+    }
+}

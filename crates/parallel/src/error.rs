@@ -1,0 +1,57 @@
+//! Errors raised by the parallel matching layer.
+
+use std::fmt;
+
+/// Errors raised when configuring or running parallel quantified matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// The pattern radius exceeds the `d` the partition preserves, so local
+    /// evaluation could miss matches.  Re-partition with a larger `d` (or use
+    /// the incremental extension described in Section 5.2 of the paper).
+    RadiusExceedsPartition {
+        /// The pattern radius.
+        radius: usize,
+        /// The `d` of the d-hop preserving partition.
+        partition_d: usize,
+    },
+    /// The number of workers must be at least one.
+    NoWorkers,
+    /// The pattern failed validation.
+    InvalidPattern(String),
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::RadiusExceedsPartition {
+                radius,
+                partition_d,
+            } => write!(
+                f,
+                "pattern radius {radius} exceeds the d-hop partition (d = {partition_d}); re-partition with a larger d"
+            ),
+            ParallelError::NoWorkers => write!(f, "at least one worker is required"),
+            ParallelError::InvalidPattern(e) => write!(f, "invalid pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ParallelError::RadiusExceedsPartition {
+            radius: 3,
+            partition_d: 2,
+        };
+        assert!(e.to_string().contains("radius 3"));
+        assert!(ParallelError::NoWorkers.to_string().contains("worker"));
+        assert!(ParallelError::InvalidPattern("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # qgp-parallel
+//!
+//! Parallel scalable quantified matching (Section 5 of *"Adding Counting
+//! Quantifiers to Graph Patterns"*, SIGMOD 2016):
+//!
+//! * [`partition::dpar`] — `DPar`, the d-hop preserving, balanced graph
+//!   partition built once per graph and reused for every pattern of radius
+//!   ≤ d,
+//! * [`pqmatch::pqmatch`] — `PQMatch`, which evaluates a QGP on all fragments
+//!   in parallel (one worker per fragment, `b` threads inside each worker)
+//!   and unions the partial answers,
+//! * [`pqmatch::ParallelConfig`] — the `PQMatch` / `PQMatchs` / `PQMatchn` /
+//!   `PEnum` variants compared in the paper's evaluation.
+//!
+//! The paper's cluster of `n` machines is simulated with `n` worker threads
+//! in one process; the parallel-scalability *shape* (more workers → less
+//! time) is preserved even though absolute numbers differ.
+//!
+//! ```
+//! use qgp_parallel::{dpar, pqmatch, ParallelConfig, PartitionConfig};
+//! use qgp_core::pattern::library;
+//! use qgp_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let ann = b.add_node("person");
+//! let bob = b.add_node("person");
+//! let phone = b.add_node("Redmi 2A");
+//! b.add_edge(ann, bob, "follow").unwrap();
+//! b.add_edge(bob, phone, "recom").unwrap();
+//! let graph = b.build();
+//!
+//! let partition = dpar(&graph, &PartitionConfig::new(2, 2));
+//! let answer = pqmatch(
+//!     &library::q2_redmi_universal(),
+//!     &partition,
+//!     &ParallelConfig::pqmatch(2),
+//! ).unwrap();
+//! assert_eq!(answer.matches, vec![ann]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod partition;
+pub mod pqmatch;
+
+pub use error::ParallelError;
+pub use partition::{dpar, DHopPartition, PartitionConfig, PartitionStats};
+pub use pqmatch::{partition_and_match, pqmatch, ParallelAnswer, ParallelConfig};

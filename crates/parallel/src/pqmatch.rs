@@ -1,0 +1,340 @@
+//! `PQMatch`: parallel scalable quantified matching (Section 5.2).
+//!
+//! The coordinator posts the pattern to every worker; each worker evaluates
+//! the QGP locally on its fragment, restricted to the focus candidates its
+//! fragment *covers* (whose d-hop neighborhoods are local), using the
+//! multi-threaded procedure `mQMatch`; the coordinator unions the partial
+//! answers.  Because the partition is d-hop preserving and the pattern radius
+//! is ≤ d, the union equals the global answer `Q(x_o, G)` (Lemma 9(1)).
+//!
+//! The "workers" of the paper's cluster are simulated by threads of one
+//! process (one thread per fragment = inter-fragment parallelism, `b` extra
+//! threads inside each worker = intra-fragment parallelism).  Speedup shapes
+//! with growing `n` are preserved; absolute numbers obviously differ from the
+//! paper's 20-machine deployment.
+
+use std::time::{Duration, Instant};
+
+use qgp_core::matching::{quantified_match_restricted, MatchConfig, MatchStats};
+use qgp_core::pattern::Pattern;
+use qgp_graph::{Fragment, Graph, NodeId};
+
+use crate::error::ParallelError;
+use crate::partition::{dpar, DHopPartition, PartitionConfig};
+
+/// Configuration of a parallel matching run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelConfig {
+    /// Number of intra-fragment threads `b` used by `mQMatch` inside each
+    /// worker (the paper uses b = 4).
+    pub threads_per_worker: usize,
+    /// The sequential matcher configuration each worker runs.
+    pub match_config: MatchConfig,
+}
+
+impl ParallelConfig {
+    /// `PQMatch`: incremental negation handling, `b` intra-fragment threads.
+    pub fn pqmatch(threads_per_worker: usize) -> Self {
+        ParallelConfig {
+            threads_per_worker: threads_per_worker.max(1),
+            match_config: MatchConfig::qmatch(),
+        }
+    }
+
+    /// `PQMatchs`: the single-thread-per-worker counterpart of `PQMatch`.
+    pub fn pqmatch_s() -> Self {
+        Self::pqmatch(1)
+    }
+
+    /// `PQMatchn`: negated edges recomputed from scratch on every worker.
+    pub fn pqmatch_n(threads_per_worker: usize) -> Self {
+        ParallelConfig {
+            threads_per_worker: threads_per_worker.max(1),
+            match_config: MatchConfig::qmatch_n(),
+        }
+    }
+
+    /// `PEnum`: parallel enumerate-then-verify baseline.
+    pub fn penum(threads_per_worker: usize) -> Self {
+        ParallelConfig {
+            threads_per_worker: threads_per_worker.max(1),
+            match_config: MatchConfig::enumerate(),
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::pqmatch(4)
+    }
+}
+
+/// The result of a parallel matching run.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelAnswer {
+    /// Matches of the query focus in global node ids, sorted.
+    pub matches: Vec<NodeId>,
+    /// Aggregated matcher statistics over all workers.
+    pub stats: MatchStats,
+    /// Wall-clock time spent by each worker (useful for measuring balance).
+    pub worker_times: Vec<Duration>,
+    /// Total wall-clock time of the parallel phase.
+    pub elapsed: Duration,
+}
+
+/// Runs `PQMatch` over an existing d-hop preserving partition.
+///
+/// Returns an error when the pattern radius exceeds the partition's `d` —
+/// the covering guarantee would no longer imply that local evaluation is
+/// complete.
+pub fn pqmatch(
+    pattern: &Pattern,
+    partition: &DHopPartition,
+    config: &ParallelConfig,
+) -> Result<ParallelAnswer, ParallelError> {
+    pattern
+        .validate()
+        .map_err(|e| ParallelError::InvalidPattern(e.to_string()))?;
+    let radius = pattern.radius();
+    if radius > partition.d() {
+        return Err(ParallelError::RadiusExceedsPartition {
+            radius,
+            partition_d: partition.d(),
+        });
+    }
+    if partition.is_empty() {
+        return Err(ParallelError::NoWorkers);
+    }
+
+    let start = Instant::now();
+    // Inter-fragment parallelism: one worker thread per fragment.
+    let worker_outputs: Vec<(Vec<NodeId>, MatchStats, Duration)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = partition
+                .fragments()
+                .iter()
+                .map(|fragment| {
+                    scope.spawn(move |_| {
+                        let t0 = Instant::now();
+                        let (matches, stats) = mqmatch(fragment, pattern, config);
+                        (matches, stats, t0.elapsed())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("worker thread panicked");
+
+    // Coordinator: union of the partial answers.
+    let mut matches: Vec<NodeId> = Vec::new();
+    let mut stats = MatchStats::default();
+    let mut worker_times = Vec::with_capacity(worker_outputs.len());
+    for (partial, worker_stats, time) in worker_outputs {
+        matches.extend(partial);
+        stats += worker_stats;
+        worker_times.push(time);
+    }
+    matches.sort_unstable();
+    matches.dedup();
+
+    Ok(ParallelAnswer {
+        matches,
+        stats,
+        worker_times,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Partitions the graph with `DPar` and runs `PQMatch` on the result.
+pub fn partition_and_match(
+    graph: &Graph,
+    pattern: &Pattern,
+    partition_config: &PartitionConfig,
+    config: &ParallelConfig,
+) -> Result<(DHopPartition, ParallelAnswer), ParallelError> {
+    let partition = dpar(graph, partition_config);
+    let answer = pqmatch(pattern, &partition, config)?;
+    Ok((partition, answer))
+}
+
+/// `mQMatch`: evaluates the pattern on one fragment, splitting the covered
+/// focus candidates across `b` intra-fragment threads.
+fn mqmatch(
+    fragment: &Fragment,
+    pattern: &Pattern,
+    config: &ParallelConfig,
+) -> (Vec<NodeId>, MatchStats) {
+    let covered_local = fragment.covered_local_nodes();
+    if covered_local.is_empty() {
+        return (Vec::new(), MatchStats::default());
+    }
+    let threads = config.threads_per_worker.max(1).min(covered_local.len());
+    let chunk = covered_local.len().div_ceil(threads);
+    let graph = fragment.graph();
+    let match_config = config.match_config;
+
+    let results: Vec<(Vec<NodeId>, MatchStats)> = if threads == 1 {
+        vec![run_chunk(graph, pattern, &match_config, &covered_local)]
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = covered_local
+                .chunks(chunk)
+                .map(|chunk_nodes| {
+                    scope.spawn(move |_| run_chunk(graph, pattern, &match_config, chunk_nodes))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("mQMatch thread panicked")
+    };
+
+    let mut matches = Vec::new();
+    let mut stats = MatchStats::default();
+    for (partial, partial_stats) in results {
+        matches.extend(partial);
+        stats += partial_stats;
+    }
+    // Translate local node ids back to global ids for the coordinator.
+    let mut global: Vec<NodeId> = matches.into_iter().map(|v| fragment.to_global(v)).collect();
+    global.sort_unstable();
+    global.dedup();
+    (global, stats)
+}
+
+/// Evaluates the pattern on a fragment-local graph restricted to one chunk of
+/// focus candidates.
+fn run_chunk(
+    graph: &Graph,
+    pattern: &Pattern,
+    config: &MatchConfig,
+    focus_chunk: &[NodeId],
+) -> (Vec<NodeId>, MatchStats) {
+    let answer = quantified_match_restricted(graph, pattern, config, Some(focus_chunk));
+    (answer.matches, answer.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgp_core::matching::quantified_match;
+    use qgp_core::pattern::{library, CountingQuantifier, PatternBuilder};
+    use qgp_graph::GraphBuilder;
+
+    /// A small social graph with enough structure for Q2/Q3-style patterns.
+    fn social_graph(groups: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let redmi = b.add_node("Redmi 2A");
+        for g in 0..groups {
+            let buyer = b.add_node("person");
+            let friends = b.add_nodes("person", 3 + g % 3);
+            for (i, &f) in friends.iter().enumerate() {
+                b.add_edge(buyer, f, "follow").unwrap();
+                if i % 4 != 3 {
+                    b.add_edge(f, redmi, "recom").unwrap();
+                } else {
+                    b.add_edge(f, redmi, "bad_rating").unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_answer_equals_sequential_answer() {
+        let g = social_graph(12);
+        let patterns = vec![
+            library::q2_redmi_universal(),
+            library::q3_redmi_negation(2),
+            library::q3_redmi_negation(3),
+        ];
+        for pattern in patterns {
+            let sequential = quantified_match(&g, &pattern).unwrap();
+            for n in [1, 2, 4] {
+                for threads in [1, 2] {
+                    let partition = dpar(&g, &PartitionConfig::new(n, 2));
+                    let parallel = pqmatch(
+                        &pattern,
+                        &partition,
+                        &ParallelConfig {
+                            threads_per_worker: threads,
+                            match_config: MatchConfig::qmatch(),
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        parallel.matches, sequential.matches,
+                        "n={n} threads={threads} pattern={pattern}"
+                    );
+                    assert_eq!(parallel.worker_times.len(), n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_parallel_variants_agree() {
+        let g = social_graph(8);
+        let pattern = library::q3_redmi_negation(2);
+        let partition = dpar(&g, &PartitionConfig::new(3, 2));
+        let expected = quantified_match(&g, &pattern).unwrap().matches;
+        for config in [
+            ParallelConfig::pqmatch(2),
+            ParallelConfig::pqmatch_s(),
+            ParallelConfig::pqmatch_n(2),
+            ParallelConfig::penum(2),
+        ] {
+            let ans = pqmatch(&pattern, &partition, &config).unwrap();
+            assert_eq!(ans.matches, expected, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn radius_larger_than_d_is_rejected() {
+        let g = social_graph(4);
+        let partition = dpar(&g, &PartitionConfig::new(2, 1));
+        // A radius-2 pattern cannot be answered on a 1-hop partition.
+        let pattern = library::q2_redmi_universal();
+        assert_eq!(pattern.radius(), 2);
+        let err = pqmatch(&pattern, &partition, &ParallelConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            ParallelError::RadiusExceedsPartition {
+                radius: 2,
+                partition_d: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_patterns_are_rejected_before_spawning_workers() {
+        let g = social_graph(2);
+        let partition = dpar(&g, &PartitionConfig::new(2, 2));
+        let mut b = PatternBuilder::new();
+        let xo = b.node("person");
+        let y = b.node("person");
+        b.quantified_edge(xo, y, "follow", CountingQuantifier::at_least_percent(500.0));
+        b.focus(xo);
+        let p = b.build_unchecked();
+        assert!(matches!(
+            pqmatch(&p, &partition, &ParallelConfig::default()),
+            Err(ParallelError::InvalidPattern(_))
+        ));
+    }
+
+    #[test]
+    fn partition_and_match_convenience_roundtrip() {
+        let g = social_graph(6);
+        let pattern = library::q2_redmi_universal();
+        let (partition, answer) = partition_and_match(
+            &g,
+            &pattern,
+            &PartitionConfig::new(3, 2),
+            &ParallelConfig::pqmatch(2),
+        )
+        .unwrap();
+        assert_eq!(partition.len(), 3);
+        let sequential = quantified_match(&g, &pattern).unwrap();
+        assert_eq!(answer.matches, sequential.matches);
+        assert!(answer.elapsed >= Duration::ZERO);
+    }
+}

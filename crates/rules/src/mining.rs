@@ -1,0 +1,332 @@
+//! A simple QGAR miner, reproducing the procedure used in Exp-3 of the
+//! paper: start from frequent single-edge "GPAR-like" seed rules, then
+//! strengthen the antecedent with counting quantifiers as long as the
+//! confidence stays above the threshold η.
+//!
+//! The paper bootstraps its seeds from the GPAR miner of [16]; this module
+//! substitutes a frequent-feature seed generator built on
+//! [`qgp_graph::GraphStats`] (see DESIGN.md for the substitution rationale).
+
+use qgp_core::matching::MatchConfig;
+use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
+use qgp_graph::{Graph, GraphStats, LabelId};
+
+use crate::error::RuleError;
+use crate::evaluate::{evaluate_rule, RuleEvaluation};
+use crate::rule::Qgar;
+
+/// Configuration of the miner.
+#[derive(Debug, Clone)]
+pub struct MiningConfig {
+    /// Node label of the query focus (e.g. `"person"` in a social graph).
+    pub focus_label: String,
+    /// Minimum support `|R(x_o, G)|` a rule must reach to be reported.
+    pub min_support: usize,
+    /// Confidence threshold η.
+    pub confidence_threshold: f64,
+    /// Number of most-frequent focus-incident features considered as seeds.
+    pub max_seed_features: usize,
+    /// Maximum number of rules returned.
+    pub max_rules: usize,
+    /// Ratio-aggregate step (in percentage points) used when strengthening
+    /// antecedent quantifiers; the paper uses 10%.
+    pub ratio_step: f64,
+    /// Matcher configuration used for rule evaluation.
+    pub match_config: MatchConfig,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            focus_label: "person".to_owned(),
+            min_support: 5,
+            confidence_threshold: 0.5,
+            max_seed_features: 8,
+            max_rules: 20,
+            ratio_step: 10.0,
+            match_config: MatchConfig::qmatch(),
+        }
+    }
+}
+
+/// A mined rule with its evaluation on the graph it was mined from.
+#[derive(Debug, Clone)]
+pub struct MinedRule {
+    /// The rule.
+    pub rule: Qgar,
+    /// Support, confidence and matches on the mining graph.
+    pub evaluation: RuleEvaluation,
+    /// The strongest ratio aggregate (in %) the antecedent could be
+    /// strengthened to while staying above the confidence threshold; `None`
+    /// when the plain existential antecedent was already the best.
+    pub strengthened_to: Option<f64>,
+}
+
+/// Mines QGARs from a graph (the Exp-3 procedure).
+///
+/// 1. Frequent focus-incident edge features become candidate antecedent and
+///    consequent building blocks (the "GPAR seeds").
+/// 2. Every (antecedent feature, consequent feature) pair with sufficient
+///    support and confidence forms a seed rule.
+/// 3. The antecedent quantifier of each seed is strengthened from `≥ 1` to
+///    ratio aggregates in steps of `ratio_step`, keeping the strongest
+///    quantifier whose confidence is still ≥ η (support is anti-monotonic,
+///    so it can only drop while strengthening — Lemma 10).
+pub fn mine_qgars(graph: &Graph, config: &MiningConfig) -> Result<Vec<MinedRule>, RuleError> {
+    let stats = GraphStats::compute(graph);
+    let Some(focus_label_id) = graph.labels().node_label(&config.focus_label) else {
+        return Ok(Vec::new());
+    };
+
+    let seeds = seed_features(graph, &stats, focus_label_id, config.max_seed_features);
+    let mut mined = Vec::new();
+
+    for (i, antecedent_seed) in seeds.iter().enumerate() {
+        for (j, consequent_seed) in seeds.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let Some(rule) = seed_rule(config, antecedent_seed, consequent_seed) else {
+                continue;
+            };
+            let Ok(eval) = evaluate_rule(graph, &rule, &config.match_config) else {
+                continue;
+            };
+            if eval.support < config.min_support
+                || eval.confidence < config.confidence_threshold
+            {
+                continue;
+            }
+            // Strengthen the antecedent quantifier while confidence permits.
+            let (best_rule, best_eval, strengthened_to) =
+                strengthen(graph, config, antecedent_seed, consequent_seed, rule, eval);
+            mined.push(MinedRule {
+                rule: best_rule,
+                evaluation: best_eval,
+                strengthened_to,
+            });
+        }
+    }
+
+    // Highest-confidence rules first, ties broken by support.
+    mined.sort_by(|a, b| {
+        b.evaluation
+            .confidence
+            .partial_cmp(&a.evaluation.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.evaluation.support.cmp(&a.evaluation.support))
+    });
+    mined.truncate(config.max_rules);
+    Ok(mined)
+}
+
+/// A frequent edge feature incident to the focus label.
+#[derive(Debug, Clone)]
+struct SeedFeature {
+    edge_label: String,
+    target_label: String,
+    frequency: usize,
+}
+
+fn seed_features(
+    graph: &Graph,
+    stats: &GraphStats,
+    focus_label: LabelId,
+    max: usize,
+) -> Vec<SeedFeature> {
+    let labels = graph.labels();
+    let mut features: Vec<SeedFeature> = stats
+        .edge_feature_counts
+        .iter()
+        .filter(|(f, _)| f.src_label == focus_label)
+        .filter_map(|(f, &count)| {
+            Some(SeedFeature {
+                edge_label: labels.edge_label_name(f.edge_label)?.to_owned(),
+                target_label: labels.node_label_name(f.dst_label)?.to_owned(),
+                frequency: count,
+            })
+        })
+        .collect();
+    features.sort_by(|a, b| {
+        b.frequency
+            .cmp(&a.frequency)
+            .then(a.edge_label.cmp(&b.edge_label))
+            .then(a.target_label.cmp(&b.target_label))
+    });
+    features.truncate(max);
+    features
+}
+
+/// Builds the antecedent pattern for a seed feature with a given quantifier.
+fn antecedent_pattern(
+    config: &MiningConfig,
+    seed: &SeedFeature,
+    quantifier: CountingQuantifier,
+) -> Option<Pattern> {
+    let mut b = PatternBuilder::new();
+    let xo = b.node_named(&config.focus_label, "xo");
+    let target = b.node(&seed.target_label);
+    b.quantified_edge(xo, target, &seed.edge_label, quantifier);
+    b.focus(xo);
+    b.build().ok()
+}
+
+/// Builds the single-edge consequent pattern for a seed feature.
+fn consequent_pattern(config: &MiningConfig, seed: &SeedFeature) -> Option<Pattern> {
+    let mut b = PatternBuilder::new();
+    let xo = b.node_named(&config.focus_label, "xo");
+    let target = b.node(&seed.target_label);
+    b.edge(xo, target, &seed.edge_label);
+    b.focus(xo);
+    b.build().ok()
+}
+
+fn seed_rule(
+    config: &MiningConfig,
+    antecedent_seed: &SeedFeature,
+    consequent_seed: &SeedFeature,
+) -> Option<Qgar> {
+    let antecedent =
+        antecedent_pattern(config, antecedent_seed, CountingQuantifier::existential())?;
+    let consequent = consequent_pattern(config, consequent_seed)?;
+    let name = format!(
+        "{}({}) => {}({})",
+        antecedent_seed.edge_label,
+        antecedent_seed.target_label,
+        consequent_seed.edge_label,
+        consequent_seed.target_label
+    );
+    Qgar::new(name, antecedent, consequent).ok()
+}
+
+/// Strengthens the antecedent quantifier in `ratio_step` increments, keeping
+/// the strongest version whose support and confidence stay acceptable.
+fn strengthen(
+    graph: &Graph,
+    config: &MiningConfig,
+    antecedent_seed: &SeedFeature,
+    consequent_seed: &SeedFeature,
+    seed_rule: Qgar,
+    seed_eval: RuleEvaluation,
+) -> (Qgar, RuleEvaluation, Option<f64>) {
+    let mut best = (seed_rule, seed_eval, None);
+    let mut pct = config.ratio_step.max(1.0);
+    while pct <= 100.0 {
+        let quantifier = CountingQuantifier::at_least_percent(pct);
+        let Some(antecedent) = antecedent_pattern(config, antecedent_seed, quantifier) else {
+            break;
+        };
+        let Some(consequent) = consequent_pattern(config, consequent_seed) else {
+            break;
+        };
+        let name = format!(
+            "{}>= {pct}%({}) => {}({})",
+            antecedent_seed.edge_label,
+            antecedent_seed.target_label,
+            consequent_seed.edge_label,
+            consequent_seed.target_label
+        );
+        let Ok(rule) = Qgar::new(name, antecedent, consequent) else {
+            break;
+        };
+        let Ok(eval) = evaluate_rule(graph, &rule, &config.match_config) else {
+            break;
+        };
+        if eval.support < config.min_support || eval.confidence < config.confidence_threshold {
+            // Anti-monotonicity: strengthening further can only lose more
+            // support, so stop here (the paper stops when confidence drops
+            // below η).
+            break;
+        }
+        best = (rule, eval, Some(pct));
+        pct += config.ratio_step.max(1.0);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgp_graph::GraphBuilder;
+
+    /// A graph with a built-in regularity: users who follow fans of an album
+    /// tend to buy that album.
+    fn regular_graph(users: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let album = b.add_node("album");
+        let club = b.add_node("music club");
+        for i in 0..users {
+            let u = b.add_node("person");
+            b.add_edge(u, club, "in").unwrap();
+            let friends = b.add_nodes("person", 3);
+            for &f in &friends {
+                b.add_edge(u, f, "follow").unwrap();
+                b.add_edge(f, album, "like").unwrap();
+            }
+            // 80% of users buy the album; the rest explicitly buy nothing but
+            // still have purchase data via a different item.
+            if i % 5 != 0 {
+                b.add_edge(u, album, "buy").unwrap();
+            } else {
+                let other = b.add_node("album");
+                b.add_edge(u, other, "buy").unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn miner_finds_the_planted_regularity() {
+        let g = regular_graph(20);
+        let config = MiningConfig {
+            min_support: 3,
+            confidence_threshold: 0.5,
+            ..MiningConfig::default()
+        };
+        let rules = mine_qgars(&g, &config).unwrap();
+        assert!(!rules.is_empty(), "the planted rule should be discovered");
+        // The highest-confidence rules involve buying the album.
+        let top = &rules[0];
+        assert!(top.evaluation.confidence >= 0.5);
+        assert!(top.evaluation.support >= 3);
+        // Rules are sorted by confidence.
+        for w in rules.windows(2) {
+            assert!(w[0].evaluation.confidence >= w[1].evaluation.confidence);
+        }
+        // At least one rule mentions the buy consequent.
+        assert!(rules.iter().any(|r| r.rule.name().contains("buy")));
+    }
+
+    #[test]
+    fn unknown_focus_label_yields_no_rules() {
+        let g = regular_graph(5);
+        let config = MiningConfig {
+            focus_label: "robot".to_owned(),
+            ..MiningConfig::default()
+        };
+        assert!(mine_qgars(&g, &config).unwrap().is_empty());
+    }
+
+    #[test]
+    fn high_support_threshold_filters_everything_out() {
+        let g = regular_graph(6);
+        let config = MiningConfig {
+            min_support: 1000,
+            ..MiningConfig::default()
+        };
+        assert!(mine_qgars(&g, &config).unwrap().is_empty());
+    }
+
+    #[test]
+    fn max_rules_truncates_the_result() {
+        let g = regular_graph(20);
+        let config = MiningConfig {
+            min_support: 1,
+            confidence_threshold: 0.1,
+            max_rules: 2,
+            ..MiningConfig::default()
+        };
+        let rules = mine_qgars(&g, &config).unwrap();
+        assert!(rules.len() <= 2);
+    }
+}

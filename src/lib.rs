@@ -1,0 +1,11 @@
+//! # quantified-graph-patterns
+//!
+//! Facade crate re-exporting the whole QGP stack: graph substrate, quantified
+//! pattern language and matching, parallel matching, association rules and
+//! dataset generators.  See the individual crates for details.
+
+pub use qgp_core as core;
+pub use qgp_datasets as datasets;
+pub use qgp_graph as graph;
+pub use qgp_parallel as parallel;
+pub use qgp_rules as rules;

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: dataset generators → core matching →
+//! parallel matching → association rules, exercised together the way the
+//! examples and the experiment harness use them.
+
+use quantified_graph_patterns::core::matching::{
+    quantified_match, quantified_match_with, MatchConfig,
+};
+use quantified_graph_patterns::core::pattern::{library, CountingQuantifier, PatternBuilder};
+use quantified_graph_patterns::datasets::{
+    generate_pattern, pokec_like, yago_like, KnowledgeConfig, PatternGenConfig, PatternSize,
+    SocialConfig,
+};
+use quantified_graph_patterns::parallel::{dpar, pqmatch, ParallelConfig, PartitionConfig};
+use quantified_graph_patterns::rules::{evaluate_rule, mine_qgars, MiningConfig, Qgar};
+
+#[test]
+fn all_sequential_algorithms_agree_on_generated_social_graphs() {
+    let graph = pokec_like(&SocialConfig::with_persons(800));
+    for pattern in [
+        library::q1_music_club(),
+        library::q2_redmi_universal(),
+        library::q3_redmi_negation(2),
+    ] {
+        let reference = quantified_match_with(&graph, &pattern, &MatchConfig::enumerate())
+            .unwrap()
+            .matches;
+        for config in [
+            MatchConfig::qmatch(),
+            MatchConfig::qmatch_n(),
+            MatchConfig::qmatch_with_simulation(),
+        ] {
+            let got = quantified_match_with(&graph, &pattern, &config).unwrap();
+            assert_eq!(got.matches, reference, "{config:?} on {pattern}");
+        }
+    }
+}
+
+#[test]
+fn parallel_matching_agrees_with_sequential_on_generated_graphs() {
+    let graph = pokec_like(&SocialConfig::with_persons(700));
+    let pattern = library::q3_redmi_negation(2);
+    let sequential = quantified_match(&graph, &pattern).unwrap();
+    for n in [2usize, 3, 5] {
+        let partition = dpar(&graph, &PartitionConfig::new(n, pattern.radius()));
+        let parallel = pqmatch(&pattern, &partition, &ParallelConfig::pqmatch(2)).unwrap();
+        assert_eq!(parallel.matches, sequential.matches, "n = {n}");
+    }
+}
+
+#[test]
+fn knowledge_graph_pipeline_q4() {
+    let graph = yago_like(&KnowledgeConfig::with_persons(900));
+    let q4 = library::q4_uk_professors(2);
+    let sequential = quantified_match(&graph, &q4).unwrap();
+    // Raising p shrinks the answer.
+    let stricter = quantified_match(&graph, &library::q4_uk_professors(3)).unwrap();
+    assert!(stricter.len() <= sequential.len());
+    for v in &stricter.matches {
+        assert!(sequential.contains(*v));
+    }
+    // Parallel evaluation agrees.
+    let partition = dpar(&graph, &PartitionConfig::new(3, q4.radius().max(2)));
+    let parallel = pqmatch(&q4, &partition, &ParallelConfig::pqmatch(2)).unwrap();
+    assert_eq!(parallel.matches, sequential.matches);
+}
+
+#[test]
+fn generated_workload_patterns_agree_across_algorithms() {
+    let graph = pokec_like(&SocialConfig::with_persons(600));
+    for seed in 0..4u64 {
+        let config = PatternGenConfig {
+            focus_label: Some("person".to_owned()),
+            seed,
+            ..PatternGenConfig::with_size(PatternSize::new(5, 7, 30.0, 1))
+        };
+        let Some(pattern) = generate_pattern(&graph, &config) else {
+            continue;
+        };
+        let a = quantified_match_with(&graph, &pattern, &MatchConfig::qmatch()).unwrap();
+        let b = quantified_match_with(&graph, &pattern, &MatchConfig::enumerate()).unwrap();
+        assert_eq!(a.matches, b.matches, "seed {seed}: {pattern}");
+    }
+}
+
+#[test]
+fn rule_evaluation_and_mining_work_end_to_end() {
+    let graph = pokec_like(&SocialConfig::with_persons(800));
+
+    // Hand-written R1-style rule.
+    let mut b = PatternBuilder::new();
+    let xo = b.node("person");
+    let z = b.node("person");
+    let y = b.node("album");
+    b.quantified_edge(xo, z, "follow", CountingQuantifier::at_least_percent(80.0));
+    b.edge(z, y, "like");
+    b.focus(xo);
+    let antecedent = b.build().unwrap();
+    let mut b = PatternBuilder::new();
+    let xo = b.node("person");
+    let y = b.node("album");
+    b.edge(xo, y, "buy");
+    b.focus(xo);
+    let consequent = b.build().unwrap();
+    let rule = Qgar::new("R1", antecedent, consequent).unwrap();
+
+    let eval = evaluate_rule(&graph, &rule, &MatchConfig::qmatch()).unwrap();
+    assert!(eval.support <= eval.antecedent_matches.len());
+    assert!(eval.confidence >= 0.0 && eval.confidence <= 1.0);
+
+    // Mining finds rules whose reported support/confidence are consistent
+    // with re-evaluating the rule from scratch.
+    let mined = mine_qgars(
+        &graph,
+        &MiningConfig {
+            min_support: 10,
+            max_rules: 3,
+            ..MiningConfig::default()
+        },
+    )
+    .unwrap();
+    for rule in mined {
+        let again = evaluate_rule(&graph, &rule.rule, &MatchConfig::qmatch()).unwrap();
+        assert_eq!(again.support, rule.evaluation.support);
+        assert!((again.confidence - rule.evaluation.confidence).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn partition_statistics_are_consistent_with_fragments() {
+    let graph = pokec_like(&SocialConfig::with_persons(500));
+    let partition = dpar(&graph, &PartitionConfig::new(4, 2));
+    let stats = partition.stats();
+    assert_eq!(stats.fragment_sizes.len(), partition.len());
+    assert_eq!(stats.total_nodes, graph.node_count());
+    let covered: usize = partition
+        .fragments()
+        .iter()
+        .map(|f| f.covered_count())
+        .sum();
+    assert_eq!(covered, graph.node_count());
+    assert!(stats.skew > 0.0 && stats.skew <= 1.0);
+}
