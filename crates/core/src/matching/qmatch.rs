@@ -133,8 +133,8 @@ mod tests {
         b.add_edge(xs[2], vs[2], "follow").unwrap();
         b.add_edge(xs[2], vs[3], "follow").unwrap();
         b.add_edge(xs[2], vs[4], "follow").unwrap();
-        for i in 0..4 {
-            b.add_edge(vs[i], redmi, "recom").unwrap();
+        for &v in &vs[..4] {
+            b.add_edge(v, redmi, "recom").unwrap();
         }
         b.add_edge(vs[4], redmi, "bad_rating").unwrap();
         (b.build(), xs, vs)

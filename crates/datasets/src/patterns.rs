@@ -145,9 +145,9 @@ pub fn generate_pattern(graph: &Graph, config: &PatternGenConfig) -> Option<Patt
         // 2-hop path, like `xo → follows → z → likes → album` in Q1).  Deep
         // branches under a quantified edge are what make quantifier
         // verification non-trivial.
-        let (from_node, from_label) = if edges_added == 0 {
-            node_labels[0].clone()
-        } else if rng.gen_bool(0.45) {
+        // Short-circuiting keeps the RNG stream identical to the previous
+        // if/else-if chain: the first edge never draws from the RNG.
+        let (from_node, from_label) = if edges_added == 0 || rng.gen_bool(0.45) {
             node_labels[0].clone()
         } else {
             node_labels[node_labels.len() - 1].clone()
@@ -295,13 +295,9 @@ pub fn generate_pattern(graph: &Graph, config: &PatternGenConfig) -> Option<Patt
         // feature (features are sorted by descending frequency, so take the
         // last): a rare condition such as "… who gave the product a bad
         // rating" removes few matches, exactly like Q3's negated branch.
-        if let Some(cont) = features
-            .iter()
-            .filter(|(src, _, dst, _)| {
-                *src == pick.2 && *dst != focus_label && label_supply(dst) > 0
-            })
-            .last()
-        {
+        if let Some(cont) = features.iter().rev().find(|(src, _, dst, _)| {
+            *src == pick.2 && *dst != focus_label && label_supply(dst) > 0
+        }) {
             let tail = b.node(&cont.2);
             b.edge(leaf, tail, &cont.1);
         }
@@ -401,7 +397,10 @@ mod tests {
         use qgp_core::matching::quantified_match;
         let g = pokec_like(&SocialConfig::with_persons(500));
         let mut matched = 0;
-        for seed in 0..5 {
+        // Enough seeds that the assertion reflects the generator's hit rate
+        // rather than the luck of individual RNG streams.
+        let seeds = 20;
+        for seed in 0..seeds {
             let config = PatternGenConfig {
                 focus_label: Some("person".to_owned()),
                 seed,
@@ -414,6 +413,9 @@ mod tests {
                 }
             }
         }
-        assert!(matched >= 2, "only {matched} of 5 generated patterns matched");
+        assert!(
+            matched >= seeds / 2,
+            "only {matched} of {seeds} generated patterns matched"
+        );
     }
 }

@@ -26,8 +26,8 @@ pub fn bfs_within(graph: &Graph, start: NodeId, d: usize) -> Vec<(NodeId, usize)
             continue;
         }
         for w in graph.out_neighbors(v).chain(graph.in_neighbors(v)) {
-            if !seen.contains_key(&w) {
-                seen.insert(w, dist + 1);
+            if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(w) {
+                entry.insert(dist + 1);
                 order.push((w, dist + 1));
                 queue.push_back(w);
             }

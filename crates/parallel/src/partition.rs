@@ -142,14 +142,17 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     let mut home_covered: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut border: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
     {
-        let results: Vec<(Vec<NodeId>, Vec<(NodeId, Vec<NodeId>)>)> =
-            crossbeam::thread::scope(|scope| {
+        // Per fragment: (nodes whose N_d stays home, border nodes with their
+        // full d-hop neighborhoods).
+        type FragmentScan = (Vec<NodeId>, Vec<(NodeId, Vec<NodeId>)>);
+        let results: Vec<FragmentScan> =
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = base_of_fragment
                     .iter()
                     .enumerate()
                     .map(|(f, base)| {
                         let fragment_of_node = &fragment_of_node;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut covered = Vec::new();
                             let mut borders = Vec::new();
                             for &v in base {
@@ -168,12 +171,10 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("partition worker panicked");
+            });
         for (f, (covered, borders)) in results.into_iter().enumerate() {
             home_covered[f] = covered;
-            border.extend(borders.into_iter().map(|(v, nd)| (v, nd)));
-            let _ = f;
+            border.extend(borders);
         }
     }
     let border_count = border.len();
@@ -200,10 +201,10 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
                     fragment_of_node.get(w) != Some(&f) && !extra_nodes[f].contains(*w)
                 })
                 .count();
-            if node_counts[f] + added <= capacity {
-                if best.map_or(true, |(b_added, _)| added < b_added) {
-                    best = Some((added, f));
-                }
+            if node_counts[f] + added <= capacity
+                && best.is_none_or(|(b_added, _)| added < b_added)
+            {
+                best = Some((added, f));
             }
         }
         match best {

@@ -109,12 +109,12 @@ pub fn pqmatch(
     let start = Instant::now();
     // Inter-fragment parallelism: one worker thread per fragment.
     let worker_outputs: Vec<(Vec<NodeId>, MatchStats, Duration)> =
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = partition
                 .fragments()
                 .iter()
                 .map(|fragment| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let t0 = Instant::now();
                         let (matches, stats) = mqmatch(fragment, pattern, config);
                         (matches, stats, t0.elapsed())
@@ -122,8 +122,7 @@ pub fn pqmatch(
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("worker thread panicked");
+        });
 
     // Coordinator: union of the partial answers.
     let mut matches: Vec<NodeId> = Vec::new();
@@ -176,16 +175,15 @@ fn mqmatch(
     let results: Vec<(Vec<NodeId>, MatchStats)> = if threads == 1 {
         vec![run_chunk(graph, pattern, &match_config, &covered_local)]
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = covered_local
                 .chunks(chunk)
                 .map(|chunk_nodes| {
-                    scope.spawn(move |_| run_chunk(graph, pattern, &match_config, chunk_nodes))
+                    scope.spawn(move || run_chunk(graph, pattern, &match_config, chunk_nodes))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
-        .expect("mQMatch thread panicked")
     };
 
     let mut matches = Vec::new();

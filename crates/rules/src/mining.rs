@@ -3,7 +3,8 @@
 //! strengthen the antecedent with counting quantifiers as long as the
 //! confidence stays above the threshold η.
 //!
-//! The paper bootstraps its seeds from the GPAR miner of [16]; this module
+//! The paper bootstraps its seeds from the GPAR miner of its reference
+//! \[16\] (Fan et al., *Association rules with graph patterns*); this module
 //! substitutes a frequent-feature seed generator built on
 //! [`qgp_graph::GraphStats`] (see DESIGN.md for the substitution rationale).
 

@@ -24,10 +24,11 @@ fn main() {
     // ann follows two fans, both recommend the phone.
     g.add_edge(ann, fans[0], "follow").unwrap();
     g.add_edge(ann, fans[1], "follow").unwrap();
-    // bob follows three people; only one recommends.
-    g.add_edge(bob, fans[1], "follow").unwrap();
+    // bob follows three people; only one of them recommends (and none pans),
+    // so bob fails the numeric aggregate alone.
     g.add_edge(bob, fans[2], "follow").unwrap();
-    g.add_edge(bob, dee, "follow").unwrap();
+    g.add_edge(bob, ann, "follow").unwrap();
+    g.add_edge(bob, cai, "follow").unwrap();
     // cai follows two fans and one person who gave a bad rating.
     g.add_edge(cai, fans[2], "follow").unwrap();
     g.add_edge(cai, fans[3], "follow").unwrap();

@@ -3,6 +3,67 @@
 //! Facade crate re-exporting the whole QGP stack: graph substrate, quantified
 //! pattern language and matching, parallel matching, association rules and
 //! dataset generators.  See the individual crates for details.
+//!
+//! ## Quickstart
+//!
+//! The core flow — build a graph, express a quantified pattern with the
+//! builder DSL, run quantified matching — in one page (the same flow as
+//! `cargo run --example quickstart`, on pattern Q3 of the paper's running
+//! example):
+//!
+//! ```
+//! use quantified_graph_patterns::core::matching::quantified_match;
+//! use quantified_graph_patterns::core::pattern::{CountingQuantifier, PatternBuilder};
+//! use quantified_graph_patterns::graph::GraphBuilder;
+//!
+//! // A small social graph: users, follow edges, and who recommends (or
+//! // pans) the "Redmi 2A" phone.
+//! let mut g = GraphBuilder::new();
+//! let ann = g.add_node("person");
+//! let bob = g.add_node("person");
+//! let cai = g.add_node("person");
+//! let dee = g.add_node("person");
+//! let fans = g.add_nodes("person", 4);
+//! let phone = g.add_node("Redmi 2A");
+//!
+//! // ann follows two fans, both recommend the phone.
+//! g.add_edge(ann, fans[0], "follow").unwrap();
+//! g.add_edge(ann, fans[1], "follow").unwrap();
+//! // bob follows three people; only one of them recommends (and none pans).
+//! g.add_edge(bob, fans[2], "follow").unwrap();
+//! g.add_edge(bob, ann, "follow").unwrap();
+//! g.add_edge(bob, cai, "follow").unwrap();
+//! // cai follows two fans and one person who gave a bad rating.
+//! g.add_edge(cai, fans[2], "follow").unwrap();
+//! g.add_edge(cai, fans[3], "follow").unwrap();
+//! g.add_edge(cai, dee, "follow").unwrap();
+//! for &f in &fans {
+//!     g.add_edge(f, phone, "recom").unwrap();
+//! }
+//! g.add_edge(dee, phone, "bad_rating").unwrap();
+//! let graph = g.build();
+//!
+//! // Q3: "people xo such that at least 2 of the people xo follows recommend
+//! // the Redmi 2A, and nobody xo follows gave it a bad rating" — a numeric
+//! // aggregate plus negation.
+//! let mut b = PatternBuilder::new();
+//! let xo = b.node_named("person", "xo");
+//! let z1 = b.node_named("person", "z1");
+//! let z2 = b.node_named("person", "z2");
+//! let redmi = b.node("Redmi 2A");
+//! b.quantified_edge(xo, z1, "follow", CountingQuantifier::at_least(2));
+//! b.edge(z1, redmi, "recom");
+//! b.negated_edge(xo, z2, "follow");
+//! b.edge(z2, redmi, "bad_rating");
+//! b.focus(xo);
+//! let pattern = b.build().expect("pattern is well-formed");
+//!
+//! let answer = quantified_match(&graph, &pattern).expect("matching succeeds");
+//!
+//! // ann qualifies (2 recommenders, no bad rating among her followees);
+//! // bob fails the numeric aggregate; cai fails the negation.
+//! assert_eq!(answer.matches, vec![ann]);
+//! ```
 
 pub use qgp_core as core;
 pub use qgp_datasets as datasets;

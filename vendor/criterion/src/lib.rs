@@ -1,0 +1,357 @@
+//! Offline stand-in for the `criterion` benchmark harness (see
+//! `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! plain wall-clock sampler: per benchmark it warms up, then takes up to
+//! `sample_size` timed samples within the configured measurement time and
+//! prints `min / mean / max` per iteration.
+//!
+//! No statistical analysis, no HTML reports, no comparison against saved
+//! baselines — swap the real criterion back in for those. Passing `--test`
+//! (as `cargo test --benches` does) runs every benchmark for a single
+//! iteration as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to benchmark functions, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Smoke-test mode (`--test`): run each benchmark exactly once.
+    test_mode: bool,
+    /// Substring filter from the command line, like real criterion.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First free-standing argument (not a `--flag` or its value) is the
+        // benchmark name filter. Cargo's bench runner passes `--bench`.
+        let mut filter = None;
+        let mut skip_value = false;
+        for arg in &args {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            if arg == "--bench" || arg == "--test" || arg == "--nocapture" {
+                continue;
+            }
+            if let Some(flag) = arg.strip_prefix("--") {
+                // Flags with values we don't understand: skip the value too.
+                skip_value = !flag.contains('=');
+                continue;
+            }
+            filter = Some(arg.clone());
+            break;
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmarks `f` outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.label();
+        let config = SampleConfig {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode: self.test_mode,
+        };
+        if self.matches_filter(&label) {
+            run_benchmark(&label, &config, f);
+        }
+        self
+    }
+
+    fn matches_filter(&self, label: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|needle| label.contains(needle))
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets how long to run the routine before sampling starts.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the time budget for collecting samples.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        let config = self.sample_config();
+        if self.criterion.matches_filter(&label) {
+            run_benchmark(&label, &config, f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input, like
+    /// `BenchmarkGroup::bench_with_input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (The real criterion emits summary reports here; the
+    /// shim prints per-benchmark lines as it goes, so this is a no-op.)
+    pub fn finish(self) {}
+
+    fn sample_config(&self) -> SampleConfig {
+        SampleConfig {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            test_mode: self.criterion.test_mode,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function_name: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function_name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SampleConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+/// Timer handed to the benchmarked closure, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_one_sample<F: FnMut(&mut Bencher)>(f: &mut F, iterations: u64) -> Duration {
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &SampleConfig, mut f: F) {
+    if config.test_mode {
+        time_one_sample(&mut f, 1);
+        println!("{label}: ok (test mode)");
+        return;
+    }
+
+    // Warm-up: run single-iteration samples until the warm-up budget is
+    // spent, using the last observation to size the measurement samples.
+    let warm_up_start = Instant::now();
+    let mut observed = time_one_sample(&mut f, 1);
+    while warm_up_start.elapsed() < config.warm_up_time {
+        observed = time_one_sample(&mut f, 1);
+    }
+
+    // Pick iterations-per-sample so `sample_size` samples roughly fill the
+    // measurement budget.
+    let per_iter = observed.max(Duration::from_nanos(1));
+    let budget_per_sample = config.measurement_time / config.sample_size as u32;
+    let iterations = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64;
+
+    let measurement_start = Instant::now();
+    let mut samples = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let sample = time_one_sample(&mut f, iterations);
+        samples.push(sample.as_secs_f64() / iterations as f64);
+        if measurement_start.elapsed() > config.measurement_time * 2 {
+            break; // routine much slower than the warm-up estimate
+        }
+    }
+
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{label}: [{} {} {}] ({} samples × {iterations} iter)",
+        format_seconds(min),
+        format_seconds(mean),
+        format_seconds(max),
+        samples.len(),
+    );
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").label(), "p");
+        assert_eq!(BenchmarkId::from("name").label(), "name");
+    }
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher {
+            iterations: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+}

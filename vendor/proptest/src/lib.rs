@@ -1,0 +1,149 @@
+//! Offline stand-in for the `proptest` property-testing crate (see
+//! `vendor/README.md`).
+//!
+//! Provides the subset of the proptest API this workspace's tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for integer ranges and tuples of strategies,
+//! * [`collection::vec`] for vectors of strategy-generated elements,
+//! * [`arbitrary::any`] (currently for `bool` and the primitive integers),
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros,
+//! * [`test_runner::ProptestConfig`] with a configurable case count.
+//!
+//! Semantics match real proptest for passing tests: each `#[test]` runs its
+//! body against `cases` randomly generated inputs and fails loudly (with the
+//! inputs echoed) on the first counterexample. The differences: generation is
+//! deterministic (seeded per test name, so failures reproduce trivially) and
+//! there is **no shrinking** — a failing case is reported as generated rather
+//! than minimized.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test module typically imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The macro-generated test harness: runs each property against `cases`
+/// generated inputs. Not part of the public proptest API surface; used by
+/// the [`proptest!`] expansion.
+#[doc(hidden)]
+pub fn run_property<F>(test_name: &str, cases: u32, mut property: F)
+where
+    F: FnMut(&mut test_runner::TestRng, u32) -> Result<(), test_runner::TestCaseError>,
+{
+    // Seed from the test name so every test exercises a distinct but
+    // reproducible stream.
+    let seed = test_name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+    let mut rng = test_runner::TestRng::from_seed(seed);
+    for case in 0..cases {
+        if let Err(err) = property(&mut rng, case) {
+            panic!("proptest property '{test_name}' failed at case {case}/{cases}: {err}");
+        }
+    }
+}
+
+/// Declares property-based tests. Mirrors `proptest::proptest!`:
+/// each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
+/// runs `body` against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), config.cases, |rng, _case| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)*
+                    let inputs = format!(concat!($(stringify!($arg), " = {:#?}\n"),*), $(&$arg),*);
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    outcome.map_err(|e| e.with_inputs(&inputs))
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with the generated inputs echoed) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}

@@ -1,0 +1,83 @@
+//! Test-runner plumbing: configuration, the per-test RNG, and the error type
+//! returned by failing property bodies.
+
+use std::fmt;
+
+pub use rand::rngs::StdRng as InnerRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`proptest!`](crate::proptest) block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration that runs `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic random source handed to strategies during generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: InnerRng,
+}
+
+impl TestRng {
+    /// Creates a generator from a fixed 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: InnerRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Access to the underlying [`rand`] generator.
+    pub fn rng(&mut self) -> &mut InnerRng {
+        &mut self.inner
+    }
+}
+
+/// Failure raised by `prop_assert!` and friends inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    inputs: Option<String>,
+}
+
+impl TestCaseError {
+    /// A failed property with the given explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            inputs: None,
+        }
+    }
+
+    /// Attaches the pretty-printed generated inputs to the failure report.
+    pub fn with_inputs(mut self, inputs: &str) -> Self {
+        self.inputs = Some(inputs.to_owned());
+        self
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(inputs) = &self.inputs {
+            write!(f, "\ninputs:\n{inputs}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rand 0.8` API surface this workspace uses
+//! (see `vendor/README.md`): `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and `Rng::{gen_range, gen_bool}`.
+//!
+//! The generator is xoshiro256\*\* seeded through SplitMix64 — the standard
+//! construction recommended by its authors. It is deterministic per seed,
+//! which is all the dataset generators rely on; the streams differ from the
+//! real `StdRng` (ChaCha12), so generated graphs are *statistically*
+//! equivalent but not bit-identical to ones produced with the real crate.
+//!
+//! Not cryptographically secure — only used for synthetic data generation.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random number source: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// An RNG that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a deterministic RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling-convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // 53 random bits → uniform f64 in [0, 1), the same construction the
+        // real rand crate uses for its standard float distribution.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Commonly used pre-built generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// xoshiro256\*\* with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 256 bits of state,
+            // as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`. `high` must be `> low`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`. `high` must be `≥ low`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl UniformSample for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high);
+                let span = (high as u128).wrapping_sub(low as u128);
+                // Multiply-shift bounded sampling (Lemire); the tiny bias of
+                // not rejection-sampling is irrelevant for data generation.
+                let wide = (rng.next_u64() as u128).wrapping_mul(span);
+                low.wrapping_add((wide >> 64) as $ty)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                // Wrapping u128 subtraction yields the correct span for
+                // signed types too; + 1 never overflows because the widest
+                // integer here is 64-bit, so span + 1 ≤ 2^64 < 2^128.
+                let span = (high as u128).wrapping_sub(low as u128) + 1;
+                let wide = (rng.next_u64() as u128).wrapping_mul(span);
+                low.wrapping_add((wide >> 64) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        debug_assert!(low < high);
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        // Over floats the inclusive/exclusive distinction is measure-zero.
+        if low == high {
+            return low;
+        }
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        debug_assert!(low < high);
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        low + unit * (high - low)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        if low == high {
+            return low;
+        }
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+/// Range argument accepted by [`Rng::gen_range`], mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from this range using `rng`.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(1u64..=5);
+            assert!((1..=5).contains(&w));
+            let f = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 gave {hits}/10000");
+    }
+
+    #[test]
+    fn inclusive_range_at_type_max_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = rng.gen_range(u8::MAX..=u8::MAX);
+        assert_eq!(v, u8::MAX);
+        // Full-domain inclusive range must reach values other than MAX.
+        let any_small = (0..100).any(|_| rng.gen_range(u8::MIN..=u8::MAX) < 128);
+        assert!(any_small);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the real `serde` crate (see `vendor/README.md`).
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations — no serializer is ever instantiated — so this shim provides
+//! exactly that: marker traits and re-exported no-op derives. Code written
+//! against it (derive attributes, `#[serde(skip)]`, `T: Serialize` bounds)
+//! keeps compiling unchanged when the real serde is restored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. The real trait's
+/// `serialize<S: Serializer>` method is omitted because nothing in this
+/// workspace instantiates a serializer.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`, mirroring the real
+/// trait's lifetime parameter so bounds written against it stay compatible.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,61 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! This container has no network access to crates.io, so the workspace
+//! vendors the minimal API surface it consumes (see `vendor/README.md`).
+//! The derives here emit empty (marker) trait impls: they accept the same
+//! syntax as the real derives — including inert `#[serde(...)]` helper
+//! attributes such as `#[serde(skip)]` — and register the type as
+//! `serde::Serialize` / `serde::Deserialize`, but no serialization code is
+//! generated.  Swapping back to the real serde is a one-line change in the
+//! workspace manifest.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name a derive was applied to: the identifier following
+/// the first `struct` / `enum` / `union` keyword. Returns `None` for shapes
+/// this shim does not handle (e.g. generic types), in which case the derive
+/// expands to nothing.
+fn derived_type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // Bail out on generic types: emitting a correct impl
+                    // would require real parsing, and nothing in this
+                    // workspace derives serde on a generic type.
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// No-op `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match derived_type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `#[derive(Deserialize)]`: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match derived_type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
