@@ -1,0 +1,205 @@
+//! The `BENCH_*.json` report format.
+//!
+//! The perf harness (`experiments bench`) measures wall-clock numbers for
+//! graph construction and sequential quantified matching on fixed-seed
+//! workloads and emits them as a small, self-describing JSON document, so
+//! successive PRs can diff performance ("the `BENCH_*.json` trajectory" of
+//! the roadmap).  Serialization is hand-rolled: the build environment has no
+//! JSON crate, and the format is flat enough that a writer is ~50 lines.
+//!
+//! A document holds one or more *runs* (typically `baseline` = the commit
+//! before a performance PR, and `current` = the PR itself), each with the
+//! same measurement sections, always produced with the same seeds so numbers
+//! are comparable.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Schema identifier stamped into every document.
+pub const SCHEMA: &str = "qgp-bench/v1";
+
+/// One timed graph-construction workload.
+#[derive(Debug, Clone)]
+pub struct ConstructionMeasurement {
+    /// Workload name (e.g. `pokec-like/20000`).
+    pub workload: String,
+    /// Nodes in the constructed graph.
+    pub nodes: usize,
+    /// Edges in the constructed graph.
+    pub edges: usize,
+    /// Best-of-N wall-clock construction time.
+    pub seconds: f64,
+}
+
+/// One timed sequential matching workload.
+#[derive(Debug, Clone)]
+pub struct QmatchMeasurement {
+    /// Workload name (e.g. `pokec-like/Q3(p=2)`).
+    pub workload: String,
+    /// Matcher configuration (`QMatch`, `QMatchn`, `Enum`).
+    pub algorithm: String,
+    /// Best-of-N wall-clock matching time.
+    pub seconds: f64,
+    /// Number of focus matches (a correctness fingerprint: it must not
+    /// change between runs).
+    pub matches: usize,
+}
+
+/// One labeled measurement run (e.g. `baseline` or `current`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchRun {
+    /// Run label.
+    pub label: String,
+    /// Commit or tree description the run was measured on.
+    pub commit: String,
+    /// Free-form note about the workload scale.
+    pub note: String,
+    /// Graph-construction section.
+    pub graph_construction: Vec<ConstructionMeasurement>,
+    /// Sequential matching section.
+    pub qmatch: Vec<QmatchMeasurement>,
+}
+
+/// A whole `BENCH_*.json` document.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// The measurement runs, oldest first.
+    pub runs: Vec<BenchRun>,
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl BenchReport {
+    /// Renders the document as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", escape(SCHEMA));
+        out.push_str("  \"runs\": [\n");
+        for (ri, run) in self.runs.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"label\": \"{}\",", escape(&run.label));
+            let _ = writeln!(out, "      \"commit\": \"{}\",", escape(&run.commit));
+            let _ = writeln!(out, "      \"note\": \"{}\",", escape(&run.note));
+            out.push_str("      \"graph_construction\": [\n");
+            for (i, m) in run.graph_construction.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"seconds\": {:.6}}}",
+                    escape(&m.workload),
+                    m.nodes,
+                    m.edges,
+                    m.seconds
+                );
+                out.push_str(if i + 1 < run.graph_construction.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ],\n");
+            out.push_str("      \"qmatch\": [\n");
+            for (i, m) in run.qmatch.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"workload\": \"{}\", \"algorithm\": \"{}\", \"seconds\": {:.6}, \"matches\": {}}}",
+                    escape(&m.workload),
+                    escape(&m.algorithm),
+                    m.seconds,
+                    m.matches
+                );
+                out.push_str(if i + 1 < run.qmatch.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if ri + 1 < self.runs.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Best-of-`iters` wall-clock timing of `f`, returning the last result and
+/// the minimum duration (minimum is the conventional noise-resistant
+/// estimator for deterministic workloads).
+pub fn time_best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(iters > 0);
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        let value = f();
+        best = best.min(start.elapsed());
+        out = Some(value);
+    }
+    (out.expect("iters > 0"), best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_looking_json() {
+        let report = BenchReport {
+            runs: vec![BenchRun {
+                label: "current".into(),
+                commit: "abc123".into(),
+                note: "smoke".into(),
+                graph_construction: vec![ConstructionMeasurement {
+                    workload: "pokec-like/800".into(),
+                    nodes: 900,
+                    edges: 5000,
+                    seconds: 0.012345,
+                }],
+                qmatch: vec![
+                    QmatchMeasurement {
+                        workload: "pokec-like/Q3(p=2)".into(),
+                        algorithm: "QMatch".into(),
+                        seconds: 0.5,
+                        matches: 42,
+                    },
+                    QmatchMeasurement {
+                        workload: "pokec-like/Q3(p=2)".into(),
+                        algorithm: "Enum".into(),
+                        seconds: 1.5,
+                        matches: 42,
+                    },
+                ],
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"qgp-bench/v1\""));
+        assert!(json.contains("\"workload\": \"pokec-like/800\""));
+        assert!(json.contains("\"seconds\": 0.012345"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        // No trailing commas before closing brackets.
+        assert!(!json.contains(",\n      ]"));
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn time_best_of_returns_min() {
+        let (v, d) = time_best_of(3, || 7);
+        assert_eq!(v, 7);
+        assert!(d <= Duration::from_secs(1));
+    }
+}

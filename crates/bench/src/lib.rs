@@ -9,20 +9,33 @@
 //!   pattern workloads,
 //! * [`experiments`] — one function per figure: Fig. 8(a) through Fig. 8(l)
 //!   and the Exp-3 QGAR study,
+//! * [`perf`] + [`json`] — the fixed-seed perf harness behind
+//!   `experiments bench` and the `BENCH_*.json` report format it emits,
 //! * [`report`] — plain-text / markdown tables.
 //!
-//! Run the whole suite with:
+//! Run the whole experiment suite with:
 //!
 //! ```text
 //! cargo run --release -p qgp-bench --bin experiments -- all
+//! ```
+//!
+//! and the perf harness (appending a labeled run to `BENCH_qmatch.json`-style
+//! documents) with:
+//!
+//! ```text
+//! cargo run --release -p qgp-bench --bin experiments -- bench --label current --out BENCH_qmatch.json
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod perf;
 pub mod report;
 pub mod workloads;
 
+pub use json::{BenchReport, BenchRun};
+pub use perf::{run_bench, BenchScale};
 pub use report::Table;
 pub use workloads::{Dataset, ExperimentScale};

@@ -13,6 +13,12 @@
 //!   exp2-g     Fig. 8(l)   varying synthetic graph size
 //!   exp3       Exp-3       QGAR discovery
 //!   all        everything above
+//!
+//! experiments bench [--smoke] [--label NAME] [--commit SHA] [--out PATH]
+//!
+//!   Runs the fixed-seed perf harness (graph construction + sequential
+//!   QMatch workloads) and writes a BENCH_*.json document with one run.
+//!   --smoke shrinks the workloads to CI size.
 //! ```
 
 use std::env;
@@ -22,10 +28,68 @@ use qgp_bench::experiments::{
     exp1_qmatch, exp2_dpar, exp2_vary_graph_size, exp2_vary_n, exp2_vary_negated,
     exp2_vary_q, exp2_vary_ratio, exp3_qgar,
 };
-use qgp_bench::{Dataset, ExperimentScale};
+use qgp_bench::{run_bench, BenchReport, BenchScale, Dataset, ExperimentScale};
+
+fn bench_main(args: &[String]) -> ExitCode {
+    let mut scale = BenchScale::full();
+    let mut label = "current".to_string();
+    let mut commit = "worktree".to_string();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = BenchScale::smoke(),
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or(label);
+            }
+            "--commit" => {
+                i += 1;
+                commit = args.get(i).cloned().unwrap_or(commit);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unexpected bench argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let run = run_bench(&label, &commit, &scale);
+    for m in &run.graph_construction {
+        println!(
+            "construct {:<28} {:>9} nodes {:>9} edges  {:.3}s",
+            m.workload, m.nodes, m.edges, m.seconds
+        );
+    }
+    for m in &run.qmatch {
+        println!(
+            "qmatch    {:<28} {:<8} {:.3}s  ({} matches)",
+            m.workload, m.algorithm, m.seconds, m.matches
+        );
+    }
+    let report = BenchReport { runs: vec![run] };
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    } else {
+        println!("{}", report.to_json());
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        return bench_main(&args[1..]);
+    }
     let mut exp = None;
     let mut scale_factor = 1.0f64;
     let mut datasets = vec![Dataset::PokecLike, Dataset::YagoLike];

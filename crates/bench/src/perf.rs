@@ -1,0 +1,183 @@
+//! The perf harness behind `experiments bench`: fixed-seed wall-clock
+//! measurements of graph construction and sequential quantified matching,
+//! emitted as a [`crate::json::BenchReport`] run.
+//!
+//! Workloads are deliberately identical between invocations (all generators
+//! are seeded; the seeds live in the generator defaults), so two runs on the
+//! same machine — e.g. one from the commit before a performance PR and one
+//! from the PR — are directly comparable.  The matching section mirrors the
+//! `bench_qmatch` criterion bench (Fig. 8(a)'s sequential comparison).
+
+use qgp_core::matching::{quantified_match_with, MatchConfig};
+use qgp_core::pattern::{library, Pattern};
+use qgp_datasets::{pokec_like, yago_like, KnowledgeConfig, SocialConfig};
+use qgp_graph::Graph;
+
+use crate::json::{time_best_of, BenchRun, ConstructionMeasurement, QmatchMeasurement};
+use crate::workloads::synthetic_graph;
+
+/// Workload sizes for one harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Persons in the construction-benchmark social/knowledge graphs.
+    pub construction_persons: usize,
+    /// Nodes in the construction-benchmark synthetic graph.
+    pub construction_synthetic_nodes: usize,
+    /// Persons in the matching-benchmark graphs.
+    pub matching_persons: usize,
+    /// Timing iterations (best-of).
+    pub iters: usize,
+}
+
+impl BenchScale {
+    /// The full scale recorded in `BENCH_qmatch.json`.  Construction runs at
+    /// 20× the matching scale: the quadratic hub behavior of naive per-edge
+    /// insertion only becomes visible once item/attribute nodes accumulate
+    /// hundreds of thousands of in-edges (the `prof` node of the yago2-like
+    /// graph collects ~0.6 edges per person, for example).
+    pub fn full() -> Self {
+        BenchScale {
+            construction_persons: 400_000,
+            construction_synthetic_nodes: 2_000_000,
+            matching_persons: 20_000,
+            iters: 3,
+        }
+    }
+
+    /// A seconds-long smoke scale for CI.
+    pub fn smoke() -> Self {
+        BenchScale {
+            construction_persons: 1_000,
+            construction_synthetic_nodes: 4_000,
+            matching_persons: 600,
+            iters: 1,
+        }
+    }
+}
+
+fn construction_case(
+    runs: &mut Vec<ConstructionMeasurement>,
+    workload: String,
+    iters: usize,
+    build: impl FnMut() -> Graph,
+) {
+    let (graph, elapsed) = time_best_of(iters, build);
+    runs.push(ConstructionMeasurement {
+        workload,
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        seconds: elapsed.as_secs_f64(),
+    });
+}
+
+fn qmatch_case(
+    runs: &mut Vec<QmatchMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    pattern: &Pattern,
+    iters: usize,
+) {
+    for (name, config) in [
+        ("QMatch", MatchConfig::qmatch()),
+        ("QMatchn", MatchConfig::qmatch_n()),
+        ("Enum", MatchConfig::enumerate()),
+    ] {
+        let (ans, elapsed) = time_best_of(iters, || {
+            quantified_match_with(graph, pattern, &config).expect("library patterns validate")
+        });
+        runs.push(QmatchMeasurement {
+            workload: workload.to_string(),
+            algorithm: name.to_string(),
+            seconds: elapsed.as_secs_f64(),
+            matches: ans.len(),
+        });
+    }
+}
+
+/// Runs the whole harness at the given scale, returning a labeled run.
+pub fn run_bench(label: &str, commit: &str, scale: &BenchScale) -> BenchRun {
+    let mut run = BenchRun {
+        label: label.to_string(),
+        commit: commit.to_string(),
+        note: format!(
+            "construction: pokec/yago {} persons + synthetic {} nodes; \
+             matching: {} persons; best of {} iterations; fixed generator seeds",
+            scale.construction_persons,
+            scale.construction_synthetic_nodes,
+            scale.matching_persons,
+            scale.iters
+        ),
+        ..BenchRun::default()
+    };
+
+    // --- Graph construction ------------------------------------------------
+    let iters = scale.iters;
+    construction_case(
+        &mut run.graph_construction,
+        format!("pokec-like/{}", scale.construction_persons),
+        iters,
+        || pokec_like(&SocialConfig::with_persons(scale.construction_persons)),
+    );
+    construction_case(
+        &mut run.graph_construction,
+        format!("yago2-like/{}", scale.construction_persons),
+        iters,
+        || yago_like(&KnowledgeConfig::with_persons(scale.construction_persons)),
+    );
+    construction_case(
+        &mut run.graph_construction,
+        format!("synthetic/{}", scale.construction_synthetic_nodes),
+        iters,
+        || synthetic_graph(scale.construction_synthetic_nodes),
+    );
+
+    // --- Sequential quantified matching (the bench_qmatch workloads) -------
+    let pokec = pokec_like(&SocialConfig::with_persons(scale.matching_persons));
+    let yago = yago_like(&KnowledgeConfig::with_persons(scale.matching_persons));
+    qmatch_case(
+        &mut run.qmatch,
+        "pokec-like/Q3(p=2)",
+        &pokec,
+        &library::q3_redmi_negation(2),
+        iters,
+    );
+    qmatch_case(
+        &mut run.qmatch,
+        "pokec-like/Q1(80%)",
+        &pokec,
+        &library::q1_music_club(),
+        iters,
+    );
+    qmatch_case(
+        &mut run.qmatch,
+        "yago2-like/Q4(p=2)",
+        &yago,
+        &library::q4_uk_professors(2),
+        iters,
+    );
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_produces_all_sections() {
+        let scale = BenchScale {
+            construction_persons: 300,
+            construction_synthetic_nodes: 500,
+            matching_persons: 200,
+            iters: 1,
+        };
+        let run = run_bench("test", "deadbeef", &scale);
+        assert_eq!(run.graph_construction.len(), 3);
+        assert_eq!(run.qmatch.len(), 9); // 3 workloads × 3 algorithms
+        assert!(run.graph_construction.iter().all(|m| m.nodes > 0));
+        // The same workload must report the same match count for every
+        // algorithm (correctness fingerprint).
+        for chunk in run.qmatch.chunks(3) {
+            assert!(chunk.iter().all(|m| m.matches == chunk[0].matches));
+        }
+    }
+}

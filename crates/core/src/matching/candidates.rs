@@ -11,37 +11,94 @@
 //!   already fails the quantifier (Example 5 of the paper),
 //! * for every in-edge `e = (u'', u)` the candidate must have at least one
 //!   parent via `e`'s label.
+//!
+//! Candidate sets are stored twice: as sorted vectors (for ordered iteration
+//! and rank lookups) and as dense `NodeId`-indexed bitmaps
+//! ([`qgp_graph::DenseBitSet`]), so the membership test in the isomorphism
+//! engine's inner loop and in the focus upper-bound check is a single
+//! shift-and-mask instead of a binary search.  Short-lived restricted sets
+//! (built once per focus in the exact-decision path) skip the bitmaps and
+//! fall back to binary search — see
+//! [`CandidateSets::from_sorted_sets_sparse`].
 
-use qgp_graph::{Graph, NodeId};
+use qgp_graph::{DenseBitSet, Graph, NodeId};
 
 use super::resolved::ResolvedPattern;
 use super::stats::MatchStats;
 
-/// Candidate sets `C(u)` for every pattern node, kept sorted so membership
-/// tests are `O(log n)`.
+/// Candidate sets `C(u)` for every pattern node: sorted vectors, optionally
+/// paired with dense bitmaps over the graph's node-id universe.
 #[derive(Debug, Clone)]
 pub(crate) struct CandidateSets {
+    /// Sorted, deduplicated candidate list per pattern node.
     sets: Vec<Vec<NodeId>>,
+    /// `bits[u]` mirrors `sets[u]` over the node-id universe.  Empty for
+    /// *sparse* candidate sets (see [`CandidateSets::from_sorted_sets_sparse`]).
+    bits: Vec<DenseBitSet>,
 }
 
 impl CandidateSets {
-    /// Creates candidate sets from per-node vectors (sorting them).
-    pub fn from_sets(mut sets: Vec<Vec<NodeId>>) -> Self {
+    /// Creates candidate sets from per-node vectors (sorting and deduping
+    /// them), over a node-id universe of size `universe`.
+    #[allow(dead_code)] // the matcher produces sorted sets; kept for tests/API symmetry
+    pub fn from_sets(mut sets: Vec<Vec<NodeId>>, universe: usize) -> Self {
         for s in &mut sets {
             s.sort_unstable();
             s.dedup();
         }
-        CandidateSets { sets }
+        Self::from_sorted_sets(sets, universe)
     }
 
-    /// The candidate set of pattern node `u`.
+    /// Creates candidate sets from vectors that are already sorted and
+    /// deduplicated, with dense membership bitmaps sized for the node-id
+    /// universe — the form used for the long-lived, per-run candidate sets
+    /// that the isomorphism engine probes in its inner loop.
+    pub fn from_sorted_sets(sets: Vec<Vec<NodeId>>, universe: usize) -> Self {
+        debug_assert!(sets
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0] < w[1])));
+        let bits = sets
+            .iter()
+            .map(|s| DenseBitSet::from_members(s.iter().map(|v| v.index()), universe))
+            .collect();
+        CandidateSets { sets, bits }
+    }
+
+    /// Creates *sparse* candidate sets: sorted vectors only, no bitmaps,
+    /// membership by binary search.  This is the right form for the
+    /// short-lived restricted sets built once per focus candidate in the
+    /// exact-decision path — allocating and zeroing universe-sized bitmaps
+    /// there would cost `O(V)` per focus.
+    pub fn from_sorted_sets_sparse(sets: Vec<Vec<NodeId>>) -> Self {
+        debug_assert!(sets
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0] < w[1])));
+        CandidateSets {
+            bits: Vec::new(),
+            sets,
+        }
+    }
+
+    /// The candidate set of pattern node `u`, sorted ascending.
     pub fn set(&self, u: usize) -> &[NodeId] {
         &self.sets[u]
     }
 
-    /// Membership test.
+    /// Membership test — one load, shift and mask when dense; binary search
+    /// when sparse.
+    #[inline]
     pub fn contains(&self, u: usize, v: NodeId) -> bool {
-        self.sets[u].binary_search(&v).is_ok()
+        match self.bits.get(u) {
+            Some(bits) => bits.contains(v.index()),
+            None => self.sets[u].binary_search(&v).is_ok(),
+        }
+    }
+
+    /// The rank of `v` within the sorted candidate set of `u` — the dense
+    /// index the counter accumulator keys its per-edge state by.
+    #[inline]
+    pub fn rank(&self, u: usize, v: NodeId) -> Option<usize> {
+        self.sets[u].binary_search(&v).ok()
     }
 
     /// Is some candidate set empty (in which case the pattern has no match)?
@@ -55,9 +112,23 @@ impl CandidateSets {
     }
 
     /// Replaces the candidate set of one pattern node.
+    #[allow(dead_code)] // the matcher replaces with sorted sets; kept for tests/API symmetry
     pub fn replace(&mut self, u: usize, mut set: Vec<NodeId>) {
         set.sort_unstable();
         set.dedup();
+        self.replace_sorted(u, set);
+    }
+
+    /// Replaces the candidate set of one pattern node with an already-sorted,
+    /// deduplicated vector.
+    pub fn replace_sorted(&mut self, u: usize, set: Vec<NodeId>) {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]));
+        if let Some(bits) = self.bits.get_mut(u) {
+            bits.clear();
+            for v in &set {
+                bits.insert(v.index());
+            }
+        }
         self.sets[u] = set;
     }
 
@@ -123,7 +194,9 @@ pub(crate) fn build_candidates(
         }
         sets.push(set);
     }
-    let candidates = CandidateSets::from_sets(sets);
+    // `nodes_with_label` lists nodes in insertion (= id) order, so the sets
+    // are already sorted.
+    let candidates = CandidateSets::from_sorted_sets(sets, graph.node_count());
     stats.initial_candidates += candidates.total();
     candidates
 }
@@ -222,10 +295,13 @@ mod tests {
 
     #[test]
     fn candidate_set_operations() {
-        let sets = CandidateSets::from_sets(vec![vec![NodeId::new(3), NodeId::new(1)], vec![]]);
+        let sets =
+            CandidateSets::from_sets(vec![vec![NodeId::new(3), NodeId::new(1)], vec![]], 10);
         assert_eq!(sets.set(0), &[NodeId::new(1), NodeId::new(3)]);
         assert!(sets.contains(0, NodeId::new(3)));
         assert!(!sets.contains(0, NodeId::new(2)));
+        assert_eq!(sets.rank(0, NodeId::new(3)), Some(1));
+        assert_eq!(sets.rank(0, NodeId::new(2)), None);
         assert!(sets.any_empty());
         assert_eq!(sets.total(), 2);
         assert_eq!(sets.node_count(), 2);
@@ -233,6 +309,21 @@ mod tests {
         let mut sets = sets;
         sets.replace(1, vec![NodeId::new(9), NodeId::new(9)]);
         assert_eq!(sets.set(1), &[NodeId::new(9)]);
+        assert!(sets.contains(1, NodeId::new(9)));
         assert!(!sets.any_empty());
+    }
+
+    #[test]
+    fn bitmap_agrees_with_sorted_set_across_word_boundaries() {
+        // Candidates straddling the 64-bit word boundary.
+        let members: Vec<NodeId> = [0usize, 63, 64, 65, 127, 128, 199]
+            .iter()
+            .map(|&i| NodeId::new(i))
+            .collect();
+        let sets = CandidateSets::from_sorted_sets(vec![members.clone()], 200);
+        for i in 0..200 {
+            let v = NodeId::new(i);
+            assert_eq!(sets.contains(0, v), members.contains(&v), "node {i}");
+        }
     }
 }

@@ -200,17 +200,14 @@ impl<'a> IsomorphismEngine<'a> {
         let anchor = self.order.anchors[depth].expect("non-root depth has an anchor");
         let anchor_value = assignment[anchor.matched_node];
         let label = self.rp.edges[anchor.edge].label;
-        // Candidates come straight from the adjacency of the anchored node.
-        let neighbor_iter: Vec<NodeId> = if anchor.forward {
-            self.graph
-                .out_neighbors_with_label(anchor_value, label)
-                .collect()
+        // Candidates come straight from the frozen adjacency of the anchored
+        // node — a contiguous slice, no per-depth allocation.
+        let neighbors: &[NodeId] = if anchor.forward {
+            self.graph.out_neighbors_with_label_slice(anchor_value, label)
         } else {
-            self.graph
-                .in_neighbors_with_label(anchor_value, label)
-                .collect()
+            self.graph.in_neighbors_with_label_slice(anchor_value, label)
         };
-        for v in neighbor_iter {
+        for &v in neighbors {
             self.try_assign(depth, u, v, focus_value, assignment, used, stats, on_match)?;
         }
         ControlFlow::Continue(())

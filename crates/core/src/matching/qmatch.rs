@@ -9,8 +9,6 @@
 //!    from scratch (`QMatchn`),
 //! 3. return `Q(x_o, G) = Π(Q)(x_o, G) \ ⋃_e Π(Q^{+e})(x_o, G)`.
 
-use std::collections::HashSet;
-
 use qgp_graph::{Graph, NodeId};
 
 use super::config::MatchConfig;
@@ -77,7 +75,10 @@ pub fn quantified_match_restricted(
 
     let negated = pattern.negated_edges();
     if !negated.is_empty() && !matches.is_empty() {
-        let mut excluded: HashSet<NodeId> = HashSet::new();
+        // The union ⋃_e Π(Q^{+e})(x_o, G) as a sorted vector: each
+        // per-edge answer arrives sorted, so one merge-sort + dedup replaces
+        // the hash set and the final difference is a binary-search retain.
+        let mut excluded: Vec<NodeId> = Vec::new();
         for e in negated {
             let positified = pattern.pi_positified(e);
             let restriction: Option<&[NodeId]> = if config.incremental_negation {
@@ -93,7 +94,9 @@ pub fn quantified_match_restricted(
             stats += out.stats;
             excluded.extend(out.focus_matches);
         }
-        matches.retain(|v| !excluded.contains(v));
+        excluded.sort_unstable();
+        excluded.dedup();
+        matches.retain(|v| excluded.binary_search(v).is_err());
     }
 
     QueryAnswer { matches, stats }

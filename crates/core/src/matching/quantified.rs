@@ -23,11 +23,17 @@
 //!    as `= 100%` or `= p`, or the enumeration simply finished), an exact
 //!    decision from the accumulated counters followed by a constrained
 //!    existence check restricted to "good" candidates.
+//!
+//! The auxiliary state is flat: the counters `c(v, e)` live in per-edge
+//! vectors indexed by the *rank* of `v` in the sorted candidate set `C(u)`,
+//! and the participant sets are rank-space bitmaps.  One
+//! [`CounterAccumulator`] is allocated per matching run and recycled across
+//! focus candidates with an `O(touched)` reset, so the per-focus cost tracks
+//! the number of isomorphisms found, not the candidate population.
 
-use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
-use qgp_graph::{Graph, NodeId};
+use qgp_graph::{DenseBitSet, Graph, NodeId};
 
 use super::candidates::{build_candidates, CandidateFilter, CandidateSets};
 use super::config::MatchConfig;
@@ -84,7 +90,7 @@ pub(crate) fn match_positive(
         Some(restriction) => restriction
             .iter()
             .copied()
-            .filter(|&v| candidates.contains(rp.focus, v))
+            .filter(|&v| v.index() < graph.node_count() && candidates.contains(rp.focus, v))
             .collect(),
         None => candidates.set(rp.focus).to_vec(),
     };
@@ -97,8 +103,9 @@ pub(crate) fn match_positive(
         candidates: &candidates,
         config,
     };
+    let mut acc = CounterAccumulator::new(&rp, &candidates);
     for vx in focus_list {
-        if verifier.verify(vx, &mut out.stats) {
+        if verifier.verify(vx, &mut acc, &mut out.stats) {
             out.focus_matches.push(vx);
         }
     }
@@ -117,7 +124,7 @@ struct CandidateVerifier<'a> {
 
 impl<'a> CandidateVerifier<'a> {
     /// Decides whether `vx ∈ Π(Q)(x_o, G)`.
-    fn verify(&self, vx: NodeId, stats: &mut MatchStats) -> bool {
+    fn verify(&self, vx: NodeId, acc: &mut CounterAccumulator, stats: &mut MatchStats) -> bool {
         // Focus-level upper-bound pruning: for every out-edge of the focus,
         // the number of candidate children reachable from `vx` bounds the
         // counter from above; if that bound already fails the quantifier, the
@@ -135,11 +142,11 @@ impl<'a> CandidateVerifier<'a> {
             .all(|e| e.quantifier.is_monotone() || e.quantifier.is_existential());
         let early_accept = self.config.early_accept && all_monotone;
 
-        let mut acc = CounterAccumulator::new(self.rp.node_count());
+        acc.reset();
         let engine = IsomorphismEngine::new(self.graph, self.rp, self.order, self.candidates);
         let accepted_early = engine.enumerate_with_focus(vx, stats, |assignment| {
-            acc.record(self.rp, assignment);
-            if early_accept && self.assignment_is_good(&acc, assignment) {
+            acc.record(self.rp, self.candidates, assignment);
+            if early_accept && self.assignment_is_good(acc, assignment) {
                 ControlFlow::Break(())
             } else {
                 ControlFlow::Continue(())
@@ -148,7 +155,7 @@ impl<'a> CandidateVerifier<'a> {
         if accepted_early {
             return true;
         }
-        if acc.participants[self.rp.focus].is_empty() {
+        if acc.no_participants(self.rp.focus) {
             // No isomorphism maps the focus to vx at all.
             return false;
         }
@@ -156,18 +163,16 @@ impl<'a> CandidateVerifier<'a> {
         // Exact decision from the accumulated counters: restrict every
         // pattern node to its "good" candidates (those whose counters satisfy
         // every out-edge quantifier) and ask whether an isomorphism survives.
-        let good = self.good_sets(&acc);
-        if !good[self.rp.focus].contains(&vx) {
+        let good = self.good_sets(acc);
+        if good[self.rp.focus].binary_search(&vx).is_err() {
             return false;
         }
-        let restricted = CandidateSets::from_sets(
-            good.iter()
-                .map(|s| s.iter().copied().collect::<Vec<_>>())
-                .collect(),
-        );
-        if restricted.any_empty() {
+        if good.iter().any(Vec::is_empty) {
             return false;
         }
+        // Sparse sets: the restricted existence check touches a handful of
+        // nodes, so universe-sized bitmaps would cost O(V) per focus here.
+        let restricted = CandidateSets::from_sorted_sets_sparse(good);
         let engine = IsomorphismEngine::new(self.graph, self.rp, self.order, &restricted);
         engine.enumerate_with_focus(vx, stats, |_| ControlFlow::Break(()))
     }
@@ -177,11 +182,11 @@ impl<'a> CandidateVerifier<'a> {
     fn focus_upper_bounds_feasible(&self, vx: NodeId) -> bool {
         for &eidx in &self.rp.out_edges[self.rp.focus] {
             let e = &self.rp.edges[eidx];
-            let total = self.graph.out_degree_with_label(vx, e.label);
-            let upper = self
-                .graph
-                .out_neighbors_with_label(vx, e.label)
-                .filter(|&child| self.candidates.contains(e.to, child))
+            let children = self.graph.out_neighbors_with_label_slice(vx, e.label);
+            let total = children.len();
+            let upper = children
+                .iter()
+                .filter(|&&child| self.candidates.contains(e.to, child))
                 .count();
             if !e.quantifier.feasible_with_upper_bound(upper, total) {
                 return false;
@@ -193,19 +198,23 @@ impl<'a> CandidateVerifier<'a> {
     /// Does the given isomorphism only use nodes whose *current* counters
     /// already satisfy every out-edge quantifier?  (Sound for monotone
     /// quantifiers: counters only grow as more isomorphisms are found.)
+    /// Must be called right after [`CounterAccumulator::record`] for the same
+    /// assignment, so the cached ranks are current.
     fn assignment_is_good(&self, acc: &CounterAccumulator, assignment: &[NodeId]) -> bool {
         for (u, &v) in assignment.iter().enumerate() {
-            if !self.node_is_good(acc, u, v) {
+            if !self.node_is_good(acc, u, acc.assigned_rank(u), v) {
                 return false;
             }
         }
         true
     }
 
-    fn node_is_good(&self, acc: &CounterAccumulator, u: usize, v: NodeId) -> bool {
+    /// Do the counters of candidate `v` (at `rank` within `C(u)`) satisfy
+    /// every out-edge quantifier of pattern node `u`?
+    fn node_is_good(&self, acc: &CounterAccumulator, u: usize, rank: usize, v: NodeId) -> bool {
         for &eidx in &self.rp.out_edges[u] {
             let e = &self.rp.edges[eidx];
-            let count = acc.count(eidx, v);
+            let count = acc.count(eidx, rank);
             let total = self.graph.out_degree_with_label(v, e.label);
             if !e.quantifier.check(count, total) {
                 return false;
@@ -215,15 +224,20 @@ impl<'a> CandidateVerifier<'a> {
     }
 
     /// The good candidate set per pattern node, computed from the final
-    /// counters.
-    fn good_sets(&self, acc: &CounterAccumulator) -> Vec<HashSet<NodeId>> {
+    /// counters.  Participants are visited in rank order, so each returned
+    /// vector is sorted by node id — ready for
+    /// [`CandidateSets::from_sorted_sets`] with no hashing or re-sort.
+    fn good_sets(&self, acc: &CounterAccumulator) -> Vec<Vec<NodeId>> {
         (0..self.rp.node_count())
             .map(|u| {
-                acc.participants[u]
-                    .iter()
-                    .copied()
-                    .filter(|&v| self.node_is_good(acc, u, v))
-                    .collect()
+                let mut good = Vec::new();
+                acc.for_each_participant(u, |rank| {
+                    let v = self.candidates.set(u)[rank];
+                    if self.node_is_good(acc, u, rank, v) {
+                        good.push(v);
+                    }
+                });
+                good
             })
             .collect()
     }
@@ -232,37 +246,107 @@ impl<'a> CandidateVerifier<'a> {
 /// Accumulates, across the isomorphisms seen so far for one focus candidate,
 /// the auxiliary structures of `QMatch`:
 ///
-/// * `participants[u]` — which graph nodes have matched pattern node `u`
-///   (the cached match sets reused by `IncQMatch`),
-/// * `children[(e, v)]` — the distinct children of `v` matched to the target
-///   of pattern edge `e`, i.e. `Mₑ(v_x, v, Q)`; its size is the counter
-///   `c(v, e)`.
+/// * `participants[u]` — which candidates of pattern node `u` appeared in an
+///   isomorphism (the cached match sets reused by `IncQMatch`), as a bitmap
+///   over candidate ranks,
+/// * `children[e][rank(v)]` — the distinct children of `v` matched to the
+///   target of pattern edge `e`, i.e. `Mₑ(v_x, v, Q)`, as a small sorted
+///   vector; its length is the counter `c(v, e)`.
+///
+/// The structure is allocated once per matching run and reset per focus in
+/// time proportional to what the previous focus actually touched.
 struct CounterAccumulator {
-    participants: Vec<HashSet<NodeId>>,
-    children: HashMap<(usize, NodeId), HashSet<NodeId>>,
+    /// Rank-space participant sets, one per pattern node.
+    participants: Vec<DenseBitSet>,
+    /// `(u, rank)` pairs inserted into `participants` since the last reset.
+    participant_touched: Vec<(u32, u32)>,
+    /// `children[eidx][rank of v in C(from)]` = sorted distinct children.
+    children: Vec<Vec<Vec<NodeId>>>,
+    /// Slots of `children` that are non-empty, for the cheap reset.
+    children_touched: Vec<(u32, u32)>,
+    /// Rank of the most recently recorded assignment, per pattern node.
+    assigned_ranks: Vec<u32>,
 }
 
 impl CounterAccumulator {
-    fn new(node_count: usize) -> Self {
+    fn new(rp: &ResolvedPattern, candidates: &CandidateSets) -> Self {
         CounterAccumulator {
-            participants: vec![HashSet::new(); node_count],
-            children: HashMap::new(),
+            participants: (0..rp.node_count())
+                .map(|u| DenseBitSet::new(candidates.set(u).len()))
+                .collect(),
+            participant_touched: Vec::new(),
+            children: rp
+                .edges
+                .iter()
+                .map(|e| vec![Vec::new(); candidates.set(e.from).len()])
+                .collect(),
+            children_touched: Vec::new(),
+            assigned_ranks: vec![0; rp.node_count()],
         }
     }
 
-    fn record(&mut self, rp: &ResolvedPattern, assignment: &[NodeId]) {
+    /// Clears all per-focus state in time proportional to what was touched
+    /// (participants are removed bit by bit, not by zeroing whole bitmaps —
+    /// the candidate population can dwarf the isomorphism count).
+    fn reset(&mut self) {
+        for &(u, rank) in &self.participant_touched {
+            self.participants[u as usize].remove(rank as usize);
+        }
+        self.participant_touched.clear();
+        for &(eidx, rank) in &self.children_touched {
+            self.children[eidx as usize][rank as usize].clear();
+        }
+        self.children_touched.clear();
+    }
+
+    /// Folds one complete isomorphism into the counters.
+    fn record(&mut self, rp: &ResolvedPattern, candidates: &CandidateSets, assignment: &[NodeId]) {
         for (u, &v) in assignment.iter().enumerate() {
-            self.participants[u].insert(v);
+            let rank = candidates
+                .rank(u, v)
+                .expect("the engine only assigns candidates");
+            self.assigned_ranks[u] = rank as u32;
+            if self.participants[u].insert(rank) {
+                self.participant_touched.push((u as u32, rank as u32));
+            }
         }
         for (eidx, e) in rp.edges.iter().enumerate() {
-            let v = assignment[e.from];
+            let rank = self.assigned_ranks[e.from] as usize;
             let child = assignment[e.to];
-            self.children.entry((eidx, v)).or_default().insert(child);
+            let slot = &mut self.children[eidx][rank];
+            if slot.is_empty() {
+                self.children_touched.push((eidx as u32, rank as u32));
+            }
+            if let Err(pos) = slot.binary_search(&child) {
+                slot.insert(pos, child);
+            }
         }
     }
 
-    fn count(&self, edge: usize, v: NodeId) -> usize {
-        self.children.get(&(edge, v)).map_or(0, HashSet::len)
+    /// The counter `c(v, e)` for the candidate at `rank` within `C(from(e))`.
+    #[inline]
+    fn count(&self, edge: usize, rank: usize) -> usize {
+        self.children[edge][rank].len()
+    }
+
+    /// Rank (within its candidate set) of the node most recently recorded for
+    /// pattern node `u`.
+    #[inline]
+    fn assigned_rank(&self, u: usize) -> usize {
+        self.assigned_ranks[u] as usize
+    }
+
+    /// Did no isomorphism at all bind pattern node `u`?
+    #[inline]
+    fn no_participants(&self, u: usize) -> bool {
+        self.participants[u].is_empty()
+    }
+
+    /// Visits every participant rank of pattern node `u` in ascending order.
+    fn for_each_participant(&self, u: usize, mut f: impl FnMut(usize)) {
+        for rank in self.participants[u].iter() {
+            f(rank);
+        }
     }
 }
 
@@ -389,6 +473,23 @@ mod tests {
             // x2 follows exactly v1, v2 (both recommend): count 2. x3 follows
             // v2, v3 (recommend) and v4 (not): count 2 as well. x1: count 1.
             assert_eq!(out.focus_matches, vec![xs[1], xs[2]], "{config:?}");
+        }
+    }
+
+    #[test]
+    fn accumulator_reset_recycles_state_across_foci() {
+        // Verifying several foci back to back with one accumulator must give
+        // the same answers as fresh runs (the reset is O(touched), not a
+        // reallocation).
+        let (g, xs, _) = g1();
+        let pi = library::q3_redmi_negation(2).pi();
+        let out = match_positive(&g, &pi.pattern, &MatchConfig::qmatch(), None);
+        for &x in &xs[1..] {
+            let solo = match_positive(&g, &pi.pattern, &MatchConfig::qmatch(), Some(&[x]));
+            assert_eq!(
+                solo.focus_matches.contains(&x),
+                out.focus_matches.contains(&x)
+            );
         }
     }
 }

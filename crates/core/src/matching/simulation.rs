@@ -8,10 +8,14 @@
 //! more candidates.  The maximal simulation relation is computed by a
 //! fixpoint in time quadratic in `|C| · |Q|`, and candidates that fail it can
 //! be removed before the expensive backtracking search starts.
+//!
+//! The relation is held in dense `NodeId`-indexed bit sets
+//! ([`qgp_graph::DenseBitSet`], one per pattern node) alongside ordered
+//! candidate vectors, so the inner "does some neighbor simulate `u'`" test
+//! is a slice scan with a bit-probe per neighbor — no hashing anywhere in
+//! the fixpoint.
 
-use std::collections::HashSet;
-
-use qgp_graph::{Graph, NodeId};
+use qgp_graph::{DenseBitSet, Graph, NodeId};
 
 use super::candidates::CandidateSets;
 use super::resolved::ResolvedPattern;
@@ -27,32 +31,46 @@ pub(crate) fn refine_by_simulation(
     stats: &mut MatchStats,
 ) {
     let n = rp.node_count();
-    let mut sim: Vec<HashSet<NodeId>> = (0..n)
-        .map(|u| candidates.set(u).iter().copied().collect())
+    let universe = graph.node_count();
+    let mut alive: Vec<Vec<NodeId>> = (0..n).map(|u| candidates.set(u).to_vec()).collect();
+    let mut bits: Vec<DenseBitSet> = alive
+        .iter()
+        .map(|members| {
+            DenseBitSet::from_members(members.iter().map(|v| v.index()), universe)
+        })
         .collect();
 
     let mut changed = true;
     while changed {
         changed = false;
         for u in 0..n {
-            let mut to_remove = Vec::new();
-            for &v in &sim[u] {
-                if !still_simulates(graph, rp, &sim, u, v) {
-                    to_remove.push(v);
-                }
+            // Two passes so the relation stays fixed while `u` is scanned
+            // (matching the collect-then-remove semantics of the fixpoint).
+            let before = alive[u].len();
+            let keep: Vec<bool> = alive[u]
+                .iter()
+                .map(|&v| still_simulates(graph, rp, &bits, u, v))
+                .collect();
+            if keep.iter().all(|&k| k) {
+                continue;
             }
-            if !to_remove.is_empty() {
-                changed = true;
-                stats.pruned_by_simulation += to_remove.len();
-                for v in to_remove {
-                    sim[u].remove(&v);
+            changed = true;
+            let mut idx = 0;
+            alive[u].retain(|&v| {
+                let k = keep[idx];
+                idx += 1;
+                if !k {
+                    bits[u].remove(v.index());
                 }
-            }
+                k
+            });
+            stats.pruned_by_simulation += before - alive[u].len();
         }
     }
 
-    for (u, set) in sim.into_iter().enumerate() {
-        candidates.replace(u, set.into_iter().collect());
+    for (u, members) in alive.into_iter().enumerate() {
+        // `retain` preserves the sorted order of the candidate vectors.
+        candidates.replace_sorted(u, members);
     }
 }
 
@@ -61,15 +79,16 @@ pub(crate) fn refine_by_simulation(
 fn still_simulates(
     graph: &Graph,
     rp: &ResolvedPattern,
-    sim: &[HashSet<NodeId>],
+    sim: &[DenseBitSet],
     u: usize,
     v: NodeId,
 ) -> bool {
     for &eidx in &rp.out_edges[u] {
         let e = &rp.edges[eidx];
         let ok = graph
-            .out_neighbors_with_label(v, e.label)
-            .any(|child| sim[e.to].contains(&child));
+            .out_neighbors_with_label_slice(v, e.label)
+            .iter()
+            .any(|&child| sim[e.to].contains(child.index()));
         if !ok {
             return false;
         }
@@ -77,8 +96,9 @@ fn still_simulates(
     for &eidx in &rp.in_edges[u] {
         let e = &rp.edges[eidx];
         let ok = graph
-            .in_neighbors_with_label(v, e.label)
-            .any(|parent| sim[e.from].contains(&parent));
+            .in_neighbors_with_label_slice(v, e.label)
+            .iter()
+            .any(|&parent| sim[e.from].contains(parent.index()));
         if !ok {
             return false;
         }
@@ -157,5 +177,40 @@ mod tests {
         assert!(cands.contains(0, a));
         assert!(cands.contains(0, b));
         assert_eq!(stats.pruned_by_simulation, 0);
+    }
+
+    #[test]
+    fn refined_sets_stay_sorted() {
+        // A fan where only some spokes survive: the surviving candidate
+        // vector must remain sorted for the downstream rank lookups.
+        let mut gb = GraphBuilder::new();
+        let hub = gb.add_node("A");
+        let spokes: Vec<_> = (0..6).map(|_| gb.add_node("B")).collect();
+        let leaf = gb.add_node("C");
+        for &s in &spokes {
+            gb.add_edge(hub, s, "l").unwrap();
+        }
+        // Only even spokes reach a C leaf.
+        for s in spokes.iter().step_by(2) {
+            gb.add_edge(*s, leaf, "l").unwrap();
+        }
+        let g = gb.build();
+
+        let mut pb = PatternBuilder::new();
+        let x = pb.node("A");
+        let y = pb.node("B");
+        let z = pb.node("C");
+        pb.edge(x, y, "l");
+        pb.edge(y, z, "l");
+        pb.focus(x);
+        let p = pb.build().unwrap();
+
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let mut cands = build_candidates(&g, &rp, CandidateFilter::LabelOnly, &mut stats);
+        refine_by_simulation(&g, &rp, &mut cands, &mut stats);
+        let survivors = cands.set(1);
+        assert_eq!(survivors.len(), 3);
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]));
     }
 }

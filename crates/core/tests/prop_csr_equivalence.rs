@@ -1,0 +1,215 @@
+//! Property-based equivalence of the two graph-construction paths.
+//!
+//! The storage crate freezes a CSR layout either from the batch loader
+//! (`GraphBuilder` accumulates triples and sorts once at `build()`) or from
+//! incremental `Graph::add_edge` calls (an `O(V·L + E)` splice per edge).
+//! Both must produce byte-for-byte identical adjacency — same edge list,
+//! same degrees, same per-label neighbor ranges — and, downstream, identical
+//! `quantified_match` answers for every matcher configuration.
+
+use proptest::prelude::*;
+
+use qgp_core::matching::{quantified_match_with, MatchConfig};
+use qgp_core::pattern::{CountingQuantifier, PatternBuilder};
+use qgp_graph::{Graph, GraphBuilder, NodeId};
+
+const NODE_LABELS: &[&str] = &["A", "B", "C"];
+const EDGE_LABELS: &[&str] = &["r", "s", "t"];
+
+/// A compact description of a random graph: node labels + labeled edges
+/// (duplicates allowed — both paths must agree on dedup behavior too).
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    node_labels: Vec<u8>,
+    edges: Vec<(u8, u8, u8)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (2usize..12).prop_flat_map(|n| {
+        let nodes = proptest::collection::vec(0u8..NODE_LABELS.len() as u8, n);
+        let edges = proptest::collection::vec(
+            (0u8..n as u8, 0u8..n as u8, 0u8..EDGE_LABELS.len() as u8),
+            0..(4 * n),
+        );
+        (nodes, edges).prop_map(|(node_labels, edges)| GraphSpec { node_labels, edges })
+    })
+}
+
+/// Builds the spec through the batch loader.
+fn build_batch(spec: &GraphSpec) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = spec
+        .node_labels
+        .iter()
+        .map(|&l| b.add_node(NODE_LABELS[l as usize]))
+        .collect();
+    for &(from, to, label) in &spec.edges {
+        let _ = b
+            .add_edge_dedup(
+                ids[from as usize],
+                ids[to as usize],
+                EDGE_LABELS[label as usize],
+            )
+            .unwrap();
+    }
+    b.build()
+}
+
+/// Builds the spec through per-edge incremental insertion on `Graph`.
+fn build_incremental(spec: &GraphSpec) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = spec
+        .node_labels
+        .iter()
+        .map(|&l| g.add_node_with_name(NODE_LABELS[l as usize]))
+        .collect();
+    for &(from, to, label) in &spec.edges {
+        let id = g.labels_mut().intern_edge_label(EDGE_LABELS[label as usize]);
+        let _ = g
+            .add_edge_dedup(ids[from as usize], ids[to as usize], id)
+            .unwrap();
+    }
+    g
+}
+
+fn assert_same_adjacency(a: &Graph, b: &Graph) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.node_count(), b.node_count());
+    prop_assert_eq!(a.edge_count(), b.edge_count());
+    let edge_list =
+        |g: &Graph| g.edges().map(|e| (e.from, e.label, e.to)).collect::<Vec<_>>();
+    prop_assert_eq!(edge_list(a), edge_list(b));
+    for v in a.nodes() {
+        prop_assert_eq!(a.out_degree(v), b.out_degree(v));
+        prop_assert_eq!(a.in_degree(v), b.in_degree(v));
+        prop_assert_eq!(a.out_neighbors_slice(v), b.out_neighbors_slice(v));
+        prop_assert_eq!(a.in_neighbors_slice(v), b.in_neighbors_slice(v));
+        for name in EDGE_LABELS {
+            let (Some(la), Some(lb)) = (a.labels().edge_label(name), b.labels().edge_label(name))
+            else {
+                prop_assert_eq!(
+                    a.labels().edge_label(name).is_some(),
+                    b.labels().edge_label(name).is_some()
+                );
+                continue;
+            };
+            prop_assert_eq!(
+                a.out_neighbors_with_label_slice(v, la),
+                b.out_neighbors_with_label_slice(v, lb),
+                "out label range of {:?} via {}",
+                v,
+                name
+            );
+            prop_assert_eq!(
+                a.in_neighbors_with_label_slice(v, la),
+                b.in_neighbors_with_label_slice(v, lb)
+            );
+            prop_assert_eq!(a.out_degree_with_label(v, la), b.out_degree_with_label(v, lb));
+            prop_assert_eq!(a.in_degree_with_label(v, la), b.in_degree_with_label(v, lb));
+        }
+    }
+    // Label-indexed node lists agree as well.
+    for name in NODE_LABELS {
+        match (a.labels().node_label(name), b.labels().node_label(name)) {
+            (Some(la), Some(lb)) => {
+                prop_assert_eq!(a.nodes_with_label(la), b.nodes_with_label(lb))
+            }
+            (none_a, none_b) => prop_assert_eq!(none_a.is_some(), none_b.is_some()),
+        }
+    }
+    Ok(())
+}
+
+/// A small quantified pattern exercising numeric, ratio and universal
+/// quantifiers over the random label alphabet.
+fn probe_patterns() -> Vec<qgp_core::pattern::Pattern> {
+    let mut patterns = Vec::new();
+    for q in [
+        CountingQuantifier::existential(),
+        CountingQuantifier::at_least(2),
+        CountingQuantifier::at_least_percent(50.0),
+        CountingQuantifier::universal(),
+    ] {
+        let mut b = PatternBuilder::new();
+        let xo = b.node("A");
+        let y = b.node("B");
+        b.quantified_edge(xo, y, "r", q);
+        b.focus(xo);
+        patterns.push(b.build().unwrap());
+
+        let mut b = PatternBuilder::new();
+        let xo = b.node("A");
+        let y = b.node("B");
+        let z = b.node("C");
+        b.quantified_edge(xo, y, "r", q);
+        b.edge(y, z, "s");
+        b.focus(xo);
+        patterns.push(b.build().unwrap());
+    }
+    // Negation: xo has an r-child matching B, and no s-child matching C.
+    let mut b = PatternBuilder::new();
+    let xo = b.node("A");
+    let y = b.node("B");
+    let z = b.node("C");
+    b.edge(xo, y, "r");
+    b.negated_edge(xo, z, "s");
+    b.focus(xo);
+    patterns.push(b.build().unwrap());
+    patterns
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batch and incremental construction freeze identical CSR state.
+    #[test]
+    fn batch_and_incremental_graphs_are_identical(spec in graph_spec()) {
+        let batch = build_batch(&spec);
+        let incremental = build_incremental(&spec);
+        assert_same_adjacency(&batch, &incremental)?;
+    }
+
+    /// ... and therefore identical quantified matching answers, for every
+    /// matcher configuration.
+    #[test]
+    fn batch_and_incremental_graphs_match_identically(spec in graph_spec()) {
+        let batch = build_batch(&spec);
+        let incremental = build_incremental(&spec);
+        for pattern in probe_patterns() {
+            for config in [
+                MatchConfig::qmatch(),
+                MatchConfig::qmatch_n(),
+                MatchConfig::enumerate(),
+            ] {
+                let a = quantified_match_with(&batch, &pattern, &config).unwrap();
+                let b = quantified_match_with(&incremental, &pattern, &config).unwrap();
+                prop_assert_eq!(
+                    &a.matches, &b.matches,
+                    "pattern {} config {:?}", pattern, config
+                );
+            }
+        }
+    }
+
+    /// The bulk API on `Graph` itself (used by `induced_subgraph` and the
+    /// builder's flush) agrees with the builder path.
+    #[test]
+    fn bulk_api_agrees_with_builder(spec in graph_spec()) {
+        let batch = build_batch(&spec);
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = spec
+            .node_labels
+            .iter()
+            .map(|&l| g.add_node_with_name(NODE_LABELS[l as usize]))
+            .collect();
+        let triples: Vec<_> = spec
+            .edges
+            .iter()
+            .map(|&(f, t, l)| {
+                let label = g.labels_mut().intern_edge_label(EDGE_LABELS[l as usize]);
+                (ids[f as usize], ids[t as usize], label)
+            })
+            .collect();
+        g.add_edges_bulk(triples).unwrap();
+        assert_same_adjacency(&batch, &g)?;
+    }
+}

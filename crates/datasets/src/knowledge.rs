@@ -60,9 +60,9 @@ const COUNTRIES: &[&str] = &[
 /// Generates a YAGO2-like knowledge graph.
 pub fn yago_like(config: &KnowledgeConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut b = GraphBuilder::new();
-
     let n = config.persons.max(1);
+    // Persons plus roughly 1/8 concept/entity nodes (universities, books, …).
+    let mut b = GraphBuilder::with_capacity(n + n / 8);
     let persons: Vec<NodeId> = b.add_nodes("person", n);
 
     // Concept and entity nodes.

@@ -63,10 +63,11 @@ const PRODUCTS: &[&str] = &["Redmi 2A", "Redmi 2", "Mac", "PC", "camera", "headp
 /// Generates a Pokec-like social graph.
 pub fn pokec_like(config: &SocialConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut b = GraphBuilder::new();
+    let n = config.persons.max(1);
+    // Persons plus roughly 10% attribute/item nodes (albums, products, …).
+    let mut b = GraphBuilder::with_capacity(n + n / 10);
 
-    let persons: Vec<NodeId> = b.add_nodes("person", config.persons.max(1));
-    let n = persons.len();
+    let persons: Vec<NodeId> = b.add_nodes("person", n);
     let community_size = config.community_size.max(2);
     let communities = n.div_ceil(community_size);
 

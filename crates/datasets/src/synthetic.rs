@@ -58,9 +58,8 @@ impl Default for SmallWorldConfig {
 /// Generates a labeled small-world graph.
 pub fn small_world(config: &SmallWorldConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut b = GraphBuilder::new();
-
     let n = config.nodes.max(2);
+    let mut b = GraphBuilder::with_capacity(n);
     let node_alphabet: Vec<String> = (0..config.node_label_alphabet.max(1))
         .map(|i| format!("L{i}"))
         .collect();

@@ -1,0 +1,150 @@
+//! A dense fixed-universe bit set.
+//!
+//! The flat-state layout used across the stack — candidate sets, simulation
+//! relations, partition replication sets, participant sets — needs the same
+//! three primitives everywhere: O(1) membership (one load, shift, mask),
+//! O(1) insert/remove with an exact "was it new" answer, and ordered
+//! iteration.  This is the one shared implementation.
+
+/// A bit set over a fixed universe `0..universe` of small integers
+/// (typically raw [`crate::NodeId`] indexes or candidate ranks).
+#[derive(Debug, Clone, Default)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// An empty set over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        DenseBitSet {
+            words: vec![0u64; universe.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Builds a set from its members.
+    pub fn from_members(members: impl IntoIterator<Item = usize>, universe: usize) -> Self {
+        let mut set = Self::new(universe);
+        for i in members {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`, returning `true` when it was not yet a member.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let word = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *word & bit != 0 {
+            return false;
+        }
+        *word |= bit;
+        self.len += 1;
+        true
+    }
+
+    /// Removes `i`, returning `true` when it was a member.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        let word = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        self.len -= 1;
+        true
+    }
+
+    /// Empties the set (touches every word; prefer targeted [`Self::remove`]
+    /// when the member count is far below the universe).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len_roundtrip() {
+        let mut s = DenseBitSet::new(200);
+        assert!(s.is_empty());
+        for i in [0usize, 63, 64, 65, 127, 128, 199] {
+            assert!(s.insert(i), "first insert of {i}");
+            assert!(!s.insert(i), "second insert of {i}");
+        }
+        assert_eq!(s.len(), 7);
+        for i in 0..200 {
+            let member = [0usize, 63, 64, 65, 127, 128, 199].contains(&i);
+            assert_eq!(s.contains(i), member, "bit {i}");
+        }
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 6);
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let s = DenseBitSet::from_members([150usize, 3, 64, 63, 199, 3], 200);
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![3, 63, 64, 150, 199]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = DenseBitSet::from_members(0..100, 100);
+        assert_eq!(s.len(), 100);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(50));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_universe_is_fine() {
+        let s = DenseBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,10 +1,33 @@
-//! Ergonomic graph construction from string labels.
+//! Ergonomic, batch-loading graph construction from string labels.
+//!
+//! The builder is the bulk-load path of the frozen CSR storage.  Nodes are
+//! appended eagerly (cheap); edges are staged in *per-source* vectors kept
+//! sorted by `(label, target)`.  Staging an edge costs a binary search plus
+//! a short memmove within one small, cache-resident vector — out-degrees are
+//! modest in real graphs even when in-degrees are not — and gives an exact,
+//! online duplicate answer without any global hash set.  The freeze at
+//! [`GraphBuilder::build`] is sort-free:
+//!
+//! * the out-CSR is the concatenation of the staged vectors (already in
+//!   `(node, label, target)` order),
+//! * the in-CSR is produced by a stable counting scatter — count per
+//!   `(target, label)` bucket, prefix-sum into the dense range index, then
+//!   scatter; visiting sources in ascending order makes every bucket arrive
+//!   sorted.
+//!
+//! Total freeze cost is `O(V·L + E)`.  The seed implementation paid an
+//! `O(d)` sorted insert into *both* endpoints' adjacency per edge, which on
+//! hub-heavy graphs (items with tens of thousands of in-edges) turns
+//! quadratic; the staged builder never touches the in-direction until the
+//! single scatter pass.
 
+use crate::csr::CsrAdjacency;
 use crate::error::GraphError;
 use crate::graph::{Graph, NodeId};
+use crate::labels::LabelId;
 
 /// A builder that constructs a [`Graph`] from string node and edge labels,
-/// interning the labels on the fly.
+/// interning the labels on the fly and freezing the CSR storage once.
 ///
 /// ```
 /// use qgp_graph::GraphBuilder;
@@ -18,7 +41,16 @@ use crate::graph::{Graph, NodeId};
 /// ```
 #[derive(Debug, Default)]
 pub struct GraphBuilder {
+    /// Holds the label vocabulary and the nodes; its edge storage is only
+    /// rebuilt from `staged` when freezing.
     graph: Graph,
+    /// `staged[v]` = out-edges of `v` as `(label, target)`, sorted.  This is
+    /// the single source of truth for edges until the freeze.
+    staged: Vec<Vec<(LabelId, NodeId)>>,
+    /// Total staged edges.
+    staged_edges: usize,
+    /// Do `graph`'s frozen edges lag behind `staged`?
+    dirty: bool,
 }
 
 impl GraphBuilder {
@@ -27,47 +59,167 @@ impl GraphBuilder {
         Self::default()
     }
 
+    /// Creates an empty builder with node-side storage pre-sized for `nodes`
+    /// nodes.  (Edges need no global reservation: they are staged in
+    /// per-source vectors and the freeze allocates exact sizes.)
+    pub fn with_capacity(nodes: usize) -> Self {
+        let mut b = Self::new();
+        b.staged.reserve(nodes);
+        b.graph.reserve_nodes(nodes);
+        b
+    }
+
     /// Creates a builder seeded with an existing graph, allowing further
     /// nodes and edges to be appended.
     pub fn from_graph(graph: Graph) -> Self {
-        Self { graph }
+        let staged: Vec<Vec<(LabelId, NodeId)>> = graph
+            .nodes()
+            .map(|v| graph.out_edges(v).map(|e| (e.label, e.to)).collect())
+            .collect();
+        let staged_edges = graph.edge_count();
+        Self {
+            graph,
+            staged,
+            staged_edges,
+            dirty: false,
+        }
     }
 
     /// Adds a node with the given string label.
     pub fn add_node(&mut self, label: &str) -> NodeId {
+        self.staged.push(Vec::new());
         self.graph.add_node_with_name(label)
     }
 
     /// Adds `count` nodes that all carry the same label, returning their ids.
     pub fn add_nodes(&mut self, label: &str, count: usize) -> Vec<NodeId> {
         let id = self.graph.labels_mut().intern_node_label(label);
+        self.staged
+            .extend(std::iter::repeat_with(Vec::new).take(count));
         (0..count).map(|_| self.graph.add_node(id)).collect()
     }
 
-    /// Adds a directed edge with the given string label.
+    /// Adds a directed edge with the given string label.  The edge is staged
+    /// (not yet visible in the frozen adjacency) but duplicates and
+    /// out-of-bounds endpoints are reported immediately.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: &str) -> Result<(), GraphError> {
-        let id = self.graph.labels_mut().intern_edge_label(label);
-        self.graph.add_edge(from, to, id)
+        if self.stage_edge(from, to, label)? {
+            Ok(())
+        } else {
+            Err(GraphError::DuplicateEdge { from, to })
+        }
     }
 
-    /// Adds a directed edge, silently ignoring exact duplicates.
+    /// Adds a directed edge, silently ignoring exact duplicates.  Returns
+    /// `Ok(true)` when the edge is new.
     pub fn add_edge_dedup(
         &mut self,
         from: NodeId,
         to: NodeId,
         label: &str,
     ) -> Result<bool, GraphError> {
-        let id = self.graph.labels_mut().intern_edge_label(label);
-        self.graph.add_edge_dedup(from, to, id)
+        self.stage_edge(from, to, label)
     }
 
-    /// Read access to the graph under construction.
-    pub fn graph(&self) -> &Graph {
+    fn stage_edge(&mut self, from: NodeId, to: NodeId, label: &str) -> Result<bool, GraphError> {
+        self.graph.check_node(from)?;
+        self.graph.check_node(to)?;
+        let id = self.graph.labels_mut().intern_edge_label(label);
+        let list = &mut self.staged[from.index()];
+        match list.binary_search(&(id, to)) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                list.insert(pos, (id, to));
+                self.staged_edges += 1;
+                self.dirty = true;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Freezes the staged edges into the graph's CSR storage (sort-free; see
+    /// the module docs).
+    fn flush(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let n = self.staged.len();
+        let label_count = self.graph.labels().edge_label_count();
+        let stride = label_count + 1;
+        let edges = self.staged_edges;
+
+        // --- out-CSR: concatenate the staged (already ordered) vectors ---
+        let mut out_offsets = vec![0u32; n * stride];
+        let mut out_targets: Vec<NodeId> = Vec::with_capacity(edges);
+        for (v, list) in self.staged.iter().enumerate() {
+            let base = v * stride;
+            let mut i = 0usize;
+            for l in 0..label_count {
+                out_offsets[base + l] = out_targets.len() as u32;
+                while let Some(&(label, to)) = list.get(i) {
+                    if label.index() != l {
+                        break;
+                    }
+                    out_targets.push(to);
+                    i += 1;
+                }
+            }
+            out_offsets[base + label_count] = out_targets.len() as u32;
+        }
+
+        // --- in-CSR: stable counting scatter -----------------------------
+        // Pass 1: bucket sizes per (target, label).
+        let mut in_offsets = vec![0u32; n * stride];
+        for list in &self.staged {
+            for &(label, to) in list {
+                in_offsets[to.index() * stride + label.index()] += 1;
+            }
+        }
+        // Prefix-sum the counts into range starts; `in_offsets[v*stride+l]`
+        // becomes the start of bucket (v, l), the extra lane per node the
+        // node's end.
+        let mut running = 0u32;
+        for v in 0..n {
+            let base = v * stride;
+            for l in 0..label_count {
+                let count = in_offsets[base + l];
+                in_offsets[base + l] = running;
+                running += count;
+            }
+            in_offsets[base + label_count] = running;
+        }
+        // Pass 2: scatter. Sources are visited in ascending order, so every
+        // bucket is filled sorted — counting sort is stable.
+        let mut cursor = in_offsets.clone();
+        let mut in_targets: Vec<NodeId> = vec![NodeId(0); edges];
+        for (from, list) in self.staged.iter().enumerate() {
+            for &(label, to) in list {
+                let slot = &mut cursor[to.index() * stride + label.index()];
+                in_targets[*slot as usize] = NodeId::new(from);
+                *slot += 1;
+            }
+        }
+
+        self.graph.set_frozen_edges(
+            CsrAdjacency::from_parts(n, label_count, out_offsets, out_targets),
+            CsrAdjacency::from_parts(n, label_count, in_offsets, in_targets),
+            edges,
+        );
+        self.dirty = false;
+    }
+
+    /// Read access to the graph under construction.  Freezes any staged
+    /// edges first (hence `&mut self`); prefer calling it sparingly — every
+    /// call after new edges were staged pays an `O(V·L + E)` rebuild.
+    pub fn graph(&mut self) -> &Graph {
+        self.flush();
         &self.graph
     }
 
-    /// Finishes construction and returns the graph.
-    pub fn build(self) -> Graph {
+    /// Finishes construction, freezing all staged edges, and returns the
+    /// graph.
+    pub fn build(mut self) -> Graph {
+        self.flush();
         self.graph
     }
 }
@@ -93,8 +245,42 @@ mod tests {
     }
 
     #[test]
-    fn add_nodes_creates_a_batch_with_one_label() {
+    fn frozen_adjacency_matches_incremental_insertion() {
+        // The sort-free freeze must agree with the incremental `Graph` path
+        // in both directions, including label grouping and in-bucket order.
         let mut b = GraphBuilder::new();
+        let mut g = Graph::new();
+        let nodes_b = b.add_nodes("n", 6);
+        let label = g.labels_mut().intern_node_label("n");
+        let nodes_g: Vec<_> = (0..6).map(|_| g.add_node(label)).collect();
+        let edges = [
+            (4usize, 0usize, "s"),
+            (1, 0, "r"),
+            (3, 0, "r"),
+            (2, 0, "s"),
+            (0, 5, "r"),
+            (5, 0, "r"),
+            (2, 1, "r"),
+        ];
+        for &(f, t, l) in &edges {
+            b.add_edge(nodes_b[f], nodes_b[t], l).unwrap();
+            let id = g.labels_mut().intern_edge_label(l);
+            g.add_edge(nodes_g[f], nodes_g[t], id).unwrap();
+        }
+        let frozen = b.build();
+        for v in frozen.nodes() {
+            assert_eq!(frozen.out_neighbors_slice(v), g.out_neighbors_slice(v));
+            assert_eq!(frozen.in_neighbors_slice(v), g.in_neighbors_slice(v));
+            for e in frozen.out_edges(v) {
+                assert!(g.has_edge(e.from, e.to, e.label));
+            }
+        }
+        assert_eq!(frozen.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn add_nodes_creates_a_batch_with_one_label() {
+        let mut b = GraphBuilder::with_capacity(5);
         let people = b.add_nodes("person", 5);
         assert_eq!(people.len(), 5);
         let g = b.build();
@@ -113,6 +299,18 @@ mod tests {
     }
 
     #[test]
+    fn out_of_bounds_edges_are_rejected_at_stage_time() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let bogus = NodeId::new(7);
+        assert!(matches!(
+            b.add_edge(a, bogus, "follow"),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert_eq!(b.build().edge_count(), 0);
+    }
+
+    #[test]
     fn from_graph_appends_to_existing_graph() {
         let mut b = GraphBuilder::new();
         let a = b.add_node("person");
@@ -121,8 +319,39 @@ mod tests {
         let mut b2 = GraphBuilder::from_graph(g);
         let c = b2.add_node("person");
         b2.add_edge(a, c, "follow").unwrap();
+        // Duplicates against the pre-existing graph are also detected.
+        assert_eq!(b2.add_edge_dedup(a, c, "follow"), Ok(false));
         let g2 = b2.build();
         assert_eq!(g2.node_count(), 2);
         assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_graph_preserves_existing_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let c = b.add_node("person");
+        b.add_edge(a, c, "follow").unwrap();
+        let g = b.build();
+
+        let mut b2 = GraphBuilder::from_graph(g);
+        let d = b2.add_node("person");
+        b2.add_edge(c, d, "follow").unwrap();
+        let g2 = b2.build();
+        assert_eq!(g2.edge_count(), 2);
+        assert!(g2.has_any_edge(a, c));
+        assert!(g2.has_any_edge(c, d));
+    }
+
+    #[test]
+    fn graph_accessor_freezes_staged_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let c = b.add_node("person");
+        b.add_edge(a, c, "follow").unwrap();
+        assert_eq!(b.graph().edge_count(), 1);
+        assert_eq!(b.graph().out_neighbors(a).collect::<Vec<_>>(), vec![c]);
+        b.add_edge(c, a, "follow").unwrap();
+        assert_eq!(b.graph().edge_count(), 2);
     }
 }

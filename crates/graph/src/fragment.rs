@@ -7,8 +7,11 @@
 //! resides in the fragment, so matches anchored at them can be computed
 //! without communication — the "covering" property of a d-hop preserving
 //! partition).
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The global → local translation is a dense array indexed by global node id
+//! (one load per lookup, no hashing), and the covered set is a sorted vector
+//! probed by binary search — both in keeping with the flat-state layout of
+//! the storage crate.
 
 use crate::graph::{Graph, NodeId};
 
@@ -24,6 +27,10 @@ impl FragmentId {
     }
 }
 
+/// Sentinel marking "not present in this fragment" in the dense global →
+/// local map.
+const ABSENT: u32 = u32::MAX;
+
 /// A fragment `F_i` of a partitioned graph: the subgraph induced by a set of
 /// global nodes, with local ↔ global node id mappings and the set of covered
 /// (anchor) nodes.
@@ -32,8 +39,11 @@ pub struct Fragment {
     id: FragmentId,
     graph: Graph,
     global_of_local: Vec<NodeId>,
-    local_of_global: HashMap<NodeId, NodeId>,
-    covered: HashSet<NodeId>,
+    /// Dense map over global node ids; [`ABSENT`] when the node is not in
+    /// the fragment.
+    local_of_global: Vec<u32>,
+    /// Covered global node ids, sorted.
+    covered: Vec<NodeId>,
 }
 
 impl Fragment {
@@ -51,15 +61,18 @@ impl Fragment {
         covered: impl IntoIterator<Item = NodeId>,
     ) -> Self {
         let (graph, global_of_local) = global.induced_subgraph(nodes);
-        let local_of_global = global_of_local
-            .iter()
-            .enumerate()
-            .map(|(local, &g)| (g, NodeId::new(local)))
-            .collect::<HashMap<_, _>>();
-        let covered: HashSet<NodeId> = covered
+        let mut local_of_global = vec![ABSENT; global.node_count()];
+        for (local, &g) in global_of_local.iter().enumerate() {
+            local_of_global[g.index()] = local as u32;
+        }
+        let mut covered: Vec<NodeId> = covered
             .into_iter()
-            .filter(|v| local_of_global.contains_key(v))
+            .filter(|v| {
+                v.index() < local_of_global.len() && local_of_global[v.index()] != ABSENT
+            })
             .collect();
+        covered.sort_unstable();
+        covered.dedup();
         Self {
             id,
             graph,
@@ -96,22 +109,27 @@ impl Fragment {
     }
 
     /// Maps a global node id to its local id, if the node is present.
+    #[inline]
     pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
-        self.local_of_global.get(&global).copied()
+        match self.local_of_global.get(global.index()) {
+            Some(&local) if local != ABSENT => Some(NodeId(local)),
+            _ => None,
+        }
     }
 
     /// Returns `true` when the given global node is present in the fragment.
+    #[inline]
     pub fn contains(&self, global: NodeId) -> bool {
-        self.local_of_global.contains_key(&global)
+        self.to_local(global).is_some()
     }
 
     /// Returns `true` when this fragment covers (is responsible for) the
     /// given global node.
     pub fn covers(&self, global: NodeId) -> bool {
-        self.covered.contains(&global)
+        self.covered.binary_search(&global).is_ok()
     }
 
-    /// Iterates over the covered global nodes.
+    /// Iterates over the covered global nodes (in ascending id order).
     pub fn covered_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.covered.iter().copied()
     }
@@ -168,6 +186,14 @@ mod tests {
         assert!(!frag.covers(n[5]));
         assert_eq!(frag.covered_count(), 1);
         assert_eq!(frag.covered_local_nodes().len(), 1);
+    }
+
+    #[test]
+    fn covered_nodes_iterate_in_ascending_order() {
+        let (g, n) = sample();
+        let frag = Fragment::build(FragmentId(2), &g, &n[0..4], vec![n[3], n[1], n[1]]);
+        let covered: Vec<_> = frag.covered_nodes().collect();
+        assert_eq!(covered, vec![n[1], n[3]]);
     }
 
     #[test]

@@ -1,14 +1,23 @@
 //! The labeled, directed data graph `G = (V, E, L)`.
+//!
+//! Storage is a frozen CSR layout per direction (see the `csr` module): flat
+//! neighbor arrays plus a dense per-`(node, label)` range index, so the
+//! neighborhood sets `Mₑ(v)` of Table 1 and the degrees `|Mₑ(v)|` that seed
+//! the `QMatch` upper bounds are constant-time slice lookups.  Bulk
+//! construction goes through [`crate::GraphBuilder`] (accumulate triples,
+//! sort once); [`Graph::add_edge`] remains available for small incremental
+//! edits but pays an `O(V·L + E)` splice per call.
 
 use serde::{Deserialize, Serialize};
 
+use crate::csr::{CsrAdjacency, Triple};
 use crate::error::GraphError;
 use crate::labels::{LabelId, LabelSet};
 
 /// Identifier of a node in a [`Graph`].
 ///
 /// Node ids are dense indexes assigned in insertion order; `u32` keeps the
-/// adjacency lists compact (graphs of up to ~4 billion nodes are supported,
+/// adjacency arrays compact (graphs of up to ~4 billion nodes are supported,
 /// far beyond what fits in memory anyway).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
@@ -38,16 +47,6 @@ pub struct EdgeRef {
     pub label: LabelId,
 }
 
-/// One adjacency entry: the edge label together with the neighbor on the
-/// other end.  Adjacency lists are kept sorted by `(label, node)` so that the
-/// set `Mₑ(v)` of neighbors reachable via a particular edge label is a
-/// contiguous range found by binary search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
-struct AdjEntry {
-    label: LabelId,
-    node: NodeId,
-}
-
 /// A labeled, directed graph (Section 2.1 of the paper).
 ///
 /// * every node carries exactly one node label,
@@ -59,8 +58,8 @@ struct AdjEntry {
 pub struct Graph {
     labels: LabelSet,
     node_labels: Vec<LabelId>,
-    out_adj: Vec<Vec<AdjEntry>>,
-    in_adj: Vec<Vec<AdjEntry>>,
+    out: CsrAdjacency,
+    inn: CsrAdjacency,
     /// `nodes_by_label[l]` lists every node whose label is `l`.
     nodes_by_label: Vec<Vec<NodeId>>,
     edge_count: usize,
@@ -74,11 +73,14 @@ impl Graph {
 
     /// Creates an empty graph that shares an existing label vocabulary.
     pub fn with_labels(labels: LabelSet) -> Self {
-        let mut g = Self::new();
-        let node_label_count = labels.node_label_count();
-        g.labels = labels;
-        g.nodes_by_label = vec![Vec::new(); node_label_count];
-        g
+        let edge_label_count = labels.edge_label_count();
+        Graph {
+            nodes_by_label: vec![Vec::new(); labels.node_label_count()],
+            out: CsrAdjacency::with_label_count(edge_label_count),
+            inn: CsrAdjacency::with_label_count(edge_label_count),
+            labels,
+            ..Self::default()
+        }
     }
 
     /// Read access to the label vocabulary.
@@ -115,12 +117,20 @@ impl Graph {
         self.node_labels.is_empty()
     }
 
+    /// Reserves capacity for `additional` more nodes across the node table
+    /// and both adjacency indexes.
+    pub fn reserve_nodes(&mut self, additional: usize) {
+        self.node_labels.reserve(additional);
+        self.out.reserve_nodes(additional);
+        self.inn.reserve_nodes(additional);
+    }
+
     /// Adds a node with an already-interned node label, returning its id.
     pub fn add_node(&mut self, label: LabelId) -> NodeId {
         let id = NodeId::new(self.node_labels.len());
         self.node_labels.push(label);
-        self.out_adj.push(Vec::new());
-        self.in_adj.push(Vec::new());
+        self.out.push_node();
+        self.inn.push_node();
         if label.index() >= self.nodes_by_label.len() {
             self.nodes_by_label.resize(label.index() + 1, Vec::new());
         }
@@ -134,7 +144,7 @@ impl Graph {
         self.add_node(label)
     }
 
-    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+    pub(crate) fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
         if node.index() >= self.node_count() {
             Err(GraphError::NodeOutOfBounds {
                 node,
@@ -177,18 +187,88 @@ impl Graph {
     ) -> Result<bool, GraphError> {
         self.check_node(from)?;
         self.check_node(to)?;
-        let entry = AdjEntry { label, node: to };
-        let out = &mut self.out_adj[from.index()];
-        match out.binary_search(&entry) {
-            Ok(_) => return Ok(false),
-            Err(pos) => out.insert(pos, entry),
+        let capacity = self.labels.edge_label_count().max(label.index() + 1);
+        self.out.ensure_label_capacity(capacity);
+        self.inn.ensure_label_capacity(capacity);
+        if !self.out.insert(from.index(), label.index(), to) {
+            return Ok(false);
         }
-        let rentry = AdjEntry { label, node: from };
-        let inn = &mut self.in_adj[to.index()];
-        let pos = inn.binary_search(&rentry).unwrap_or_else(|p| p);
-        inn.insert(pos, rentry);
+        let inserted = self.inn.insert(to.index(), label.index(), from);
+        debug_assert!(inserted, "out/in CSR views disagree");
         self.edge_count += 1;
         Ok(true)
+    }
+
+    /// Adds a batch of edges in one `O(E log E)` rebuild — the fast path the
+    /// [`crate::GraphBuilder`] finalization and [`Graph::induced_subgraph`]
+    /// use.  Exact duplicate triples (within the batch or against edges
+    /// already present) are skipped; the number of edges actually inserted is
+    /// returned.  Fails without modifying the graph if any endpoint is out of
+    /// bounds.
+    pub fn add_edges_bulk(
+        &mut self,
+        edges: impl IntoIterator<Item = (NodeId, NodeId, LabelId)>,
+    ) -> Result<usize, GraphError> {
+        let mut fresh: Vec<Triple> = Vec::new();
+        let mut max_label = self.labels.edge_label_count();
+        for (from, to, label) in edges {
+            self.check_node(from)?;
+            self.check_node(to)?;
+            max_label = max_label.max(label.index() + 1);
+            fresh.push((from.0, label.0, to.0));
+        }
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        fresh.sort_unstable();
+        fresh.dedup();
+
+        // Merge with the existing (already sorted) triples, skipping exact
+        // duplicates with a linear pass — no per-edge search.
+        let existing = self.out.to_triples();
+        let mut merged: Vec<Triple> = Vec::with_capacity(existing.len() + fresh.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < existing.len() && j < fresh.len() {
+            match existing[i].cmp(&fresh[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(existing[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(fresh[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(existing[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&existing[i..]);
+        merged.extend_from_slice(&fresh[j..]);
+        let added = merged.len() - existing.len();
+
+        let mut reversed: Vec<Triple> = merged.iter().map(|&(f, l, t)| (t, l, f)).collect();
+        let n = self.node_count();
+        self.out.rebuild(n, max_label, &mut merged);
+        self.inn.rebuild(n, max_label, &mut reversed);
+        self.edge_count += added;
+        Ok(added)
+    }
+
+    /// Installs fully-built frozen adjacency state (both directions plus the
+    /// edge count) — the hand-off point for [`crate::GraphBuilder`]'s
+    /// sort-free freeze.
+    pub(crate) fn set_frozen_edges(
+        &mut self,
+        out: CsrAdjacency,
+        inn: CsrAdjacency,
+        edge_count: usize,
+    ) {
+        self.out = out;
+        self.inn = inn;
+        self.edge_count = edge_count;
     }
 
     /// Node label of `v`.
@@ -214,70 +294,94 @@ impl Graph {
     /// Out-degree of `v` (counting all edge labels).
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_adj[v.index()].len()
+        self.out.degree(v.index())
     }
 
     /// In-degree of `v` (counting all edge labels).
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_adj[v.index()].len()
+        self.inn.degree(v.index())
     }
 
-    /// All outgoing edges of `v`.
+    /// All outgoing edges of `v`, grouped by edge label.
     pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.out_adj[v.index()].iter().map(move |e| EdgeRef {
-            from: v,
-            to: e.node,
-            label: e.label,
+        (0..self.out.label_count()).flat_map(move |l| {
+            self.out.slice(v.index(), l).iter().map(move |&to| EdgeRef {
+                from: v,
+                to,
+                label: LabelId(l as u32),
+            })
         })
     }
 
-    /// All incoming edges of `v`.
+    /// All incoming edges of `v`, grouped by edge label.
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.in_adj[v.index()].iter().map(move |e| EdgeRef {
-            from: e.node,
-            to: v,
-            label: e.label,
+        (0..self.inn.label_count()).flat_map(move |l| {
+            self.inn
+                .slice(v.index(), l)
+                .iter()
+                .map(move |&from| EdgeRef {
+                    from,
+                    to: v,
+                    label: LabelId(l as u32),
+                })
         })
+    }
+
+    /// All out-neighbors of `v` regardless of edge label, as one contiguous
+    /// slice (grouped by edge label; a neighbor reachable via several labels
+    /// appears once per label).
+    #[inline]
+    pub fn out_neighbors_slice(&self, v: NodeId) -> &[NodeId] {
+        self.out.node_slice(v.index())
+    }
+
+    /// All in-neighbors of `v` regardless of edge label, as one slice.
+    #[inline]
+    pub fn in_neighbors_slice(&self, v: NodeId) -> &[NodeId] {
+        self.inn.node_slice(v.index())
     }
 
     /// All out-neighbors of `v` regardless of edge label.
     pub fn out_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_adj[v.index()].iter().map(|e| e.node)
+        self.out_neighbors_slice(v).iter().copied()
     }
 
     /// All in-neighbors of `v` regardless of edge label.
     pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.in_adj[v.index()].iter().map(|e| e.node)
+        self.in_neighbors_slice(v).iter().copied()
     }
 
-    fn label_range(adj: &[AdjEntry], label: LabelId) -> &[AdjEntry] {
-        let start = adj.partition_point(|e| e.label < label);
-        let end = adj.partition_point(|e| e.label <= label);
-        &adj[start..end]
+    /// The children of `v` reachable via an edge labeled `label` as a sorted
+    /// slice: `Mₑ(v) = {v' | (v, v') ∈ E, L(v, v') = label}` (Table 1).
+    /// Constant-time via the dense per-`(node, label)` range index.
+    #[inline]
+    pub fn out_neighbors_with_label_slice(&self, v: NodeId, label: LabelId) -> &[NodeId] {
+        self.out.slice(v.index(), label.index())
     }
 
-    /// The children of `v` reachable via an edge labeled `label`:
-    /// `Mₑ(v) = {v' | (v, v') ∈ E, L(v, v') = label}` (Table 1).
+    /// The parents of `v` reachable via an edge labeled `label`, sorted.
+    #[inline]
+    pub fn in_neighbors_with_label_slice(&self, v: NodeId, label: LabelId) -> &[NodeId] {
+        self.inn.slice(v.index(), label.index())
+    }
+
+    /// Iterator form of [`Graph::out_neighbors_with_label_slice`].
     pub fn out_neighbors_with_label(
         &self,
         v: NodeId,
         label: LabelId,
     ) -> impl Iterator<Item = NodeId> + '_ {
-        Self::label_range(&self.out_adj[v.index()], label)
-            .iter()
-            .map(|e| e.node)
+        self.out_neighbors_with_label_slice(v, label).iter().copied()
     }
 
-    /// The parents of `v` reachable via an edge labeled `label`.
+    /// Iterator form of [`Graph::in_neighbors_with_label_slice`].
     pub fn in_neighbors_with_label(
         &self,
         v: NodeId,
         label: LabelId,
     ) -> impl Iterator<Item = NodeId> + '_ {
-        Self::label_range(&self.in_adj[v.index()], label)
-            .iter()
-            .map(|e| e.node)
+        self.in_neighbors_with_label_slice(v, label).iter().copied()
     }
 
     /// `|Mₑ(v)|` — number of children of `v` connected by an edge labeled
@@ -285,13 +389,13 @@ impl Graph {
     /// initial upper bound `U(v, e)` of the `QMatch` auxiliary structures.
     #[inline]
     pub fn out_degree_with_label(&self, v: NodeId, label: LabelId) -> usize {
-        Self::label_range(&self.out_adj[v.index()], label).len()
+        self.out.degree_with_label(v.index(), label.index())
     }
 
     /// Number of parents of `v` connected by an edge labeled `label`.
     #[inline]
     pub fn in_degree_with_label(&self, v: NodeId, label: LabelId) -> usize {
-        Self::label_range(&self.in_adj[v.index()], label).len()
+        self.inn.degree_with_label(v.index(), label.index())
     }
 
     /// Tests whether the edge `(from, to)` with label `label` exists.
@@ -299,17 +403,17 @@ impl Graph {
         if from.index() >= self.node_count() {
             return false;
         }
-        self.out_adj[from.index()]
-            .binary_search(&AdjEntry { label, node: to })
-            .is_ok()
+        self.out.contains(from.index(), label.index(), to)
     }
 
     /// Tests whether *some* edge from `from` to `to` exists, with any label.
+    /// Binary-searches each label range: `O(L · log d)` on high-degree nodes
+    /// instead of a linear scan of the whole adjacency.
     pub fn has_any_edge(&self, from: NodeId, to: NodeId) -> bool {
         if from.index() >= self.node_count() {
             return false;
         }
-        self.out_adj[from.index()].iter().any(|e| e.node == to)
+        self.out.contains_any(from.index(), to)
     }
 
     /// Iterates over every edge of the graph.
@@ -322,6 +426,10 @@ impl Graph {
     ///
     /// The induced subgraph contains all edges of `self` whose endpoints are
     /// both in `nodes` (Section 2.1, "subgraph induced by a set of nodes").
+    /// Construction is deterministic: nodes keep their first-occurrence
+    /// order, and edges are collected by scanning `global_of_local` in order
+    /// and frozen with one bulk rebuild (no per-edge dedup search — the
+    /// source graph has no duplicates).
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
         let mut sub = Graph::with_labels(self.labels.clone());
         let mut global_of_local = Vec::with_capacity(nodes.len());
@@ -335,14 +443,16 @@ impl Graph {
             local_of_global.insert(v, local);
             global_of_local.push(v);
         }
-        for (&global, &local) in &local_of_global {
+        let mut triples: Vec<(NodeId, NodeId, LabelId)> = Vec::new();
+        for (local, &global) in global_of_local.iter().enumerate() {
             for e in self.out_edges(global) {
                 if let Some(&local_to) = local_of_global.get(&e.to) {
-                    // Duplicates cannot occur because the source graph has none.
-                    let _ = sub.add_edge_dedup(local, local_to, e.label);
+                    triples.push((NodeId::new(local), local_to, e.label));
                 }
             }
         }
+        sub.add_edges_bulk(triples)
+            .expect("induced subgraph endpoints are in bounds");
         (sub, global_of_local)
     }
 }
@@ -415,6 +525,10 @@ mod tests {
             Err(GraphError::NodeOutOfBounds { .. })
         ));
         assert!(!g.has_edge(bogus, n[0], follows));
+        assert!(matches!(
+            g.add_edges_bulk(vec![(bogus, n[0], follows)]),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -440,6 +554,49 @@ mod tests {
         assert_eq!(g.out_degree_with_label(a, follows), 2);
         assert_eq!(g.nodes_with_label(person), &[a, b, c]);
         assert_eq!(g.nodes_with_label(item), &[x]);
+    }
+
+    #[test]
+    fn bulk_insertion_matches_incremental_insertion() {
+        let build = |bulk: bool| {
+            let mut g = Graph::new();
+            let person = g.labels_mut().intern_node_label("person");
+            let follows = g.labels_mut().intern_edge_label("follows");
+            let likes = g.labels_mut().intern_edge_label("likes");
+            let n: Vec<_> = (0..4).map(|_| g.add_node(person)).collect();
+            let edges = vec![
+                (n[2], n[0], follows),
+                (n[0], n[1], likes),
+                (n[0], n[1], follows),
+                (n[3], n[1], follows),
+                (n[2], n[0], follows), // duplicate
+            ];
+            if bulk {
+                assert_eq!(g.add_edges_bulk(edges).unwrap(), 4);
+            } else {
+                for (f, t, l) in edges {
+                    let _ = g.add_edge_dedup(f, t, l).unwrap();
+                }
+            }
+            g
+        };
+        let a = build(true);
+        let b = build(false);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let edge_list = |g: &Graph| {
+            g.edges()
+                .map(|e| (e.from, e.label, e.to))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(edge_list(&a), edge_list(&b));
+        for v in a.nodes() {
+            assert_eq!(
+                a.out_neighbors_slice(v),
+                b.out_neighbors_slice(v),
+                "out adjacency of {v:?}"
+            );
+            assert_eq!(a.in_neighbors_slice(v), b.in_neighbors_slice(v));
+        }
     }
 
     #[test]

@@ -8,13 +8,13 @@
 //! directed edges `E ⊆ V × V`, and a labeling `L` that assigns a label to
 //! every node and every edge (Section 2.1 of the paper).  This crate provides:
 //!
-//! * [`Graph`] — an adjacency-list graph with per-node, label-sorted edge
-//!   lists so that `Mₑ(v)` (the children of `v` reachable via an edge with a
-//!   given label, Table 1 of the paper) can be enumerated without scanning
-//!   unrelated edges,
+//! * [`Graph`] — a frozen CSR (compressed sparse row) graph: flat neighbor
+//!   arrays plus a dense per-`(node, label)` range index, so that `Mₑ(v)`
+//!   (the children of `v` reachable via an edge with a given label, Table 1
+//!   of the paper) and its size `|Mₑ(v)|` are constant-time slice lookups,
 //! * [`LabelSet`] — string interning for node and edge labels,
-//! * [`GraphBuilder`] — an ergonomic way to construct graphs from string
-//!   labels,
+//! * [`GraphBuilder`] — the batch loader: accumulates `(from, to, label)`
+//!   triples and freezes the CSR layout with one sort at `build()`,
 //! * [`neighborhood`] — d-hop neighborhoods `N_d(v)` and BFS utilities used
 //!   by the d-hop preserving partition of Section 5,
 //! * [`fragment`] — fragments of a partitioned graph with local/global id
@@ -42,7 +42,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod builder;
+pub(crate) mod csr;
 pub mod error;
 pub mod fragment;
 pub mod graph;
@@ -50,10 +52,13 @@ pub mod labels;
 pub mod neighborhood;
 pub mod stats;
 
+pub use bitset::DenseBitSet;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use fragment::{Fragment, FragmentId};
 pub use graph::{EdgeRef, Graph, NodeId};
 pub use labels::{LabelId, LabelSet};
-pub use neighborhood::{bfs_within, d_hop_neighborhood, d_hop_nodes};
+pub use neighborhood::{
+    bfs_within, bfs_within_with, d_hop_neighborhood, d_hop_nodes, d_hop_nodes_with, BfsScratch,
+};
 pub use stats::GraphStats;

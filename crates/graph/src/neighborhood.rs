@@ -6,33 +6,112 @@
 //! The d-hop preserving partition `DPar` ships `N_d(v)` of border nodes
 //! between fragments, and the radius of a pattern bounds how much of the
 //! graph a single focus candidate can ever touch.
+//!
+//! `DPar` runs one bounded BFS *per node*; allocating a visited map per call
+//! dominates at that rate.  [`BfsScratch`] is an epoch-marked visited array
+//! that is allocated once and reused: marking a node is one store, and
+//! "clearing" between calls is a single counter increment.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::graph::{Graph, NodeId};
+
+/// Reusable scratch state for repeated bounded BFS runs over one graph.
+///
+/// `mark[v] == epoch` means `v` was visited during the current run; bumping
+/// `epoch` invalidates all marks at once.  `dist[v]` is only meaningful when
+/// the mark is current.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    mark: Vec<u32>,
+    dist: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<NodeId>,
+}
+
+impl BfsScratch {
+    /// Creates scratch state sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        BfsScratch {
+            mark: vec![0; graph.node_count()],
+            dist: vec![0; graph.node_count()],
+            epoch: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Starts a new run: grows the arrays if the graph did, and invalidates
+    /// every mark.
+    fn begin(&mut self, node_count: usize) {
+        if self.mark.len() < node_count {
+            self.mark.resize(node_count, self.epoch);
+            self.dist.resize(node_count, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped around: old marks could collide with the new epoch.
+            self.mark.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+}
+
+/// Bounded undirected BFS using caller-provided scratch state.  Appends every
+/// node within `d` hops of `start` (including `start`), paired with its hop
+/// distance, to `out` in BFS order.
+pub fn bfs_within_with(
+    graph: &Graph,
+    start: NodeId,
+    d: usize,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<(NodeId, usize)>,
+) {
+    scratch.begin(graph.node_count());
+    let epoch = scratch.epoch;
+    scratch.mark[start.index()] = epoch;
+    scratch.dist[start.index()] = 0;
+    scratch.queue.push_back(start);
+    out.push((start, 0));
+    while let Some(v) = scratch.queue.pop_front() {
+        let dist = scratch.dist[v.index()] as usize;
+        if dist == d {
+            continue;
+        }
+        for &w in graph
+            .out_neighbors_slice(v)
+            .iter()
+            .chain(graph.in_neighbors_slice(v))
+        {
+            if scratch.mark[w.index()] != epoch {
+                scratch.mark[w.index()] = epoch;
+                scratch.dist[w.index()] = (dist + 1) as u32;
+                out.push((w, dist + 1));
+                scratch.queue.push_back(w);
+            }
+        }
+    }
+}
+
+/// The node set of `N_d(v)` computed with reusable scratch state — the form
+/// `DPar` calls in its per-node loop.
+pub fn d_hop_nodes_with(
+    graph: &Graph,
+    v: NodeId,
+    d: usize,
+    scratch: &mut BfsScratch,
+) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    bfs_within_with(graph, v, d, scratch, &mut order);
+    order.into_iter().map(|(n, _)| n).collect()
+}
 
 /// Returns every node within `d` undirected hops of `start` (including
 /// `start` itself), each paired with its hop distance, in BFS order.
 pub fn bfs_within(graph: &Graph, start: NodeId, d: usize) -> Vec<(NodeId, usize)> {
-    let mut seen: HashMap<NodeId, usize> = HashMap::new();
+    let mut scratch = BfsScratch::for_graph(graph);
     let mut order = Vec::new();
-    let mut queue = VecDeque::new();
-    seen.insert(start, 0);
-    queue.push_back(start);
-    order.push((start, 0));
-    while let Some(v) = queue.pop_front() {
-        let dist = seen[&v];
-        if dist == d {
-            continue;
-        }
-        for w in graph.out_neighbors(v).chain(graph.in_neighbors(v)) {
-            if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(w) {
-                entry.insert(dist + 1);
-                order.push((w, dist + 1));
-                queue.push_back(w);
-            }
-        }
-    }
+    bfs_within_with(graph, start, d, &mut scratch, &mut order);
     order
 }
 
@@ -62,6 +141,7 @@ pub fn d_hop_size(graph: &Graph, v: NodeId, d: usize) -> usize {
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use std::collections::HashMap;
 
     /// A path a -> b -> c -> d plus an isolated node.
     fn path_graph() -> (Graph, Vec<NodeId>) {
@@ -102,6 +182,36 @@ mod tests {
         assert_eq!(dist[&n[2]], 2);
         assert_eq!(dist[&n[3]], 3);
         assert!(!dist.contains_key(&n[4]));
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let (g, n) = path_graph();
+        let mut scratch = BfsScratch::for_graph(&g);
+        for &start in &n {
+            for d in 0..3 {
+                assert_eq!(
+                    d_hop_nodes_with(&g, start, d, &mut scratch),
+                    d_hop_nodes(&g, start, d),
+                    "start {start:?} d {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_epoch_wraparound() {
+        let (g, n) = path_graph();
+        let mut scratch = BfsScratch::for_graph(&g);
+        scratch.epoch = u32::MAX - 1;
+        for _ in 0..4 {
+            assert_eq!(
+                d_hop_nodes_with(&g, n[1], 1, &mut scratch).len(),
+                3,
+                "epoch {}",
+                scratch.epoch
+            );
+        }
     }
 
     #[test]

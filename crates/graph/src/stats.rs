@@ -44,22 +44,24 @@ pub struct GraphStats {
 
 impl GraphStats {
     /// Computes statistics for a graph in a single pass over its edges.
+    /// Label frequencies are tallied in dense per-label vectors (the label
+    /// alphabets are tiny) and only converted to the public hash maps at the
+    /// end.
     pub fn compute(graph: &Graph) -> Self {
         let mut stats = GraphStats {
             node_count: graph.node_count(),
             edge_count: graph.edge_count(),
             ..Default::default()
         };
+        let mut node_counts = vec![0usize; graph.labels().node_label_count()];
+        let mut edge_counts = vec![0usize; graph.labels().edge_label_count()];
         for v in graph.nodes() {
-            *stats
-                .node_label_counts
-                .entry(graph.node_label(v))
-                .or_insert(0) += 1;
+            node_counts[graph.node_label(v).index()] += 1;
             let deg = graph.out_degree(v);
             stats.max_out_degree = stats.max_out_degree.max(deg);
         }
         for e in graph.edges() {
-            *stats.edge_label_counts.entry(e.label).or_insert(0) += 1;
+            edge_counts[e.label.index()] += 1;
             let feature = EdgeFeature {
                 src_label: graph.node_label(e.from),
                 edge_label: e.label,
@@ -67,6 +69,18 @@ impl GraphStats {
             };
             *stats.edge_feature_counts.entry(feature).or_insert(0) += 1;
         }
+        stats.node_label_counts = node_counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(l, c)| (LabelId(l as u32), c))
+            .collect();
+        stats.edge_label_counts = edge_counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(l, c)| (LabelId(l as u32), c))
+            .collect();
         stats.avg_out_degree = if stats.node_count == 0 {
             0.0
         } else {

@@ -18,10 +18,14 @@
 //! PTAS of Chekuri–Khanna with a greedy value/weight packing (documented in
 //! DESIGN.md); the balance it achieves is measured and reported as the *skew*
 //! statistic, mirroring the paper's Exp-2.
+//!
+//! All bookkeeping is flat and `NodeId`-indexed: the node → fragment
+//! assignment is a dense vector, each fragment's replicated-node set is a
+//! bitmap, and the per-node neighborhood scans reuse one epoch-marked BFS
+//! scratch per worker thread — no hash maps anywhere on the partitioning
+//! path.
 
-use std::collections::{HashMap, HashSet};
-
-use qgp_graph::{d_hop_nodes, Fragment, FragmentId, Graph, NodeId};
+use qgp_graph::{d_hop_nodes_with, BfsScratch, DenseBitSet, Fragment, FragmentId, Graph, NodeId};
 
 /// Configuration of the partitioner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,17 +132,19 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     let visit_order = bfs_visit_order(graph);
     let chunk = total_nodes.div_ceil(n).max(1);
     let mut base_of_fragment: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    let mut fragment_of_node: HashMap<NodeId, usize> = HashMap::with_capacity(total_nodes);
+    // Dense node → base-fragment assignment (every node gets one).
+    let mut fragment_of_node: Vec<u32> = vec![0; total_nodes];
     for (i, &v) in visit_order.iter().enumerate() {
         let f = (i / chunk).min(n - 1);
         base_of_fragment[f].push(v);
-        fragment_of_node.insert(v, f);
+        fragment_of_node[v.index()] = f as u32;
     }
 
     // ---- Step 2: border-node discovery + neighborhood computation ------
     // For each node, determine whether its d-hop neighborhood stays within
     // its base fragment; if not it is a border node and its neighborhood
-    // must be shipped somewhere.  Executed fragment-parallel.
+    // must be shipped somewhere.  Executed fragment-parallel, each worker
+    // reusing one BFS scratch across all of its nodes.
     let mut home_covered: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut border: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
     {
@@ -153,13 +159,14 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
                     .map(|(f, base)| {
                         let fragment_of_node = &fragment_of_node;
                         scope.spawn(move || {
+                            let mut scratch = BfsScratch::for_graph(graph);
                             let mut covered = Vec::new();
                             let mut borders = Vec::new();
                             for &v in base {
-                                let nd = d_hop_nodes(graph, v, d);
+                                let nd = d_hop_nodes_with(graph, v, d, &mut scratch);
                                 let local = nd
                                     .iter()
-                                    .all(|w| fragment_of_node.get(w) == Some(&f));
+                                    .all(|w| fragment_of_node[w.index()] == f as u32);
                                 if local {
                                     covered.push(v);
                                 } else {
@@ -186,7 +193,8 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     // the neighborhood (so the marginal weight is smallest).
     let capacity = ((config.capacity_factor * total_nodes as f64 / n as f64).ceil() as usize)
         .max(chunk);
-    let mut extra_nodes: Vec<HashSet<NodeId>> = vec![HashSet::new(); n];
+    let mut extra_nodes: Vec<DenseBitSet> =
+        (0..n).map(|_| DenseBitSet::new(total_nodes)).collect();
     let mut covered_by: Vec<Vec<NodeId>> = home_covered;
     let mut node_counts: Vec<usize> = base_of_fragment.iter().map(Vec::len).collect();
 
@@ -195,12 +203,7 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     for (v, nd) in border {
         let mut best: Option<(usize, usize)> = None; // (added, fragment)
         for f in 0..n {
-            let added = nd
-                .iter()
-                .filter(|w| {
-                    fragment_of_node.get(w) != Some(&f) && !extra_nodes[f].contains(*w)
-                })
-                .count();
+            let added = marginal_weight(&nd, f, &fragment_of_node, &extra_nodes[f]);
             if node_counts[f] + added <= capacity
                 && best.is_none_or(|(b_added, _)| added < b_added)
             {
@@ -230,13 +233,7 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     for (v, nd) in uncovered {
         let f = (0..n)
             .min_by_key(|&f| {
-                let added = nd
-                    .iter()
-                    .filter(|w| {
-                        fragment_of_node.get(w) != Some(&f) && !extra_nodes[f].contains(*w)
-                    })
-                    .count();
-                node_counts[f] + added
+                node_counts[f] + marginal_weight(&nd, f, &fragment_of_node, &extra_nodes[f])
             })
             .expect("at least one fragment");
         assign_neighborhood(
@@ -253,7 +250,7 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     let fragments: Vec<Fragment> = (0..n)
         .map(|f| {
             let mut nodes: Vec<NodeId> = base_of_fragment[f].clone();
-            nodes.extend(extra_nodes[f].iter().copied());
+            nodes.extend(extra_nodes[f].iter().map(NodeId::new));
             Fragment::build(
                 FragmentId(f as u32),
                 graph,
@@ -283,17 +280,31 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     }
 }
 
+/// How many nodes of `nd` fragment `f` would have to replicate (nodes neither
+/// based in `f` nor already replicated there).
+#[inline]
+fn marginal_weight(
+    nd: &[NodeId],
+    f: usize,
+    fragment_of_node: &[u32],
+    extra: &DenseBitSet,
+) -> usize {
+    nd.iter()
+        .filter(|w| fragment_of_node[w.index()] != f as u32 && !extra.contains(w.index()))
+        .count()
+}
+
 /// Adds the out-of-fragment part of a neighborhood to a fragment's extra
 /// nodes and updates the size estimate.
 fn assign_neighborhood(
     nd: &[NodeId],
     fragment: usize,
-    fragment_of_node: &HashMap<NodeId, usize>,
-    extra_nodes: &mut [HashSet<NodeId>],
+    fragment_of_node: &[u32],
+    extra_nodes: &mut [DenseBitSet],
     node_counts: &mut [usize],
 ) {
     for &w in nd {
-        if fragment_of_node.get(&w) != Some(&fragment) && extra_nodes[fragment].insert(w) {
+        if fragment_of_node[w.index()] != fragment as u32 && extra_nodes[fragment].insert(w.index()) {
             node_counts[fragment] += 1;
         }
     }
@@ -313,7 +324,11 @@ fn bfs_visit_order(graph: &Graph) -> Vec<NodeId> {
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            for w in graph.out_neighbors(v).chain(graph.in_neighbors(v)) {
+            for &w in graph
+                .out_neighbors_slice(v)
+                .iter()
+                .chain(graph.in_neighbors_slice(v))
+            {
                 if !seen[w.index()] {
                     seen[w.index()] = true;
                     queue.push_back(w);
@@ -327,7 +342,8 @@ fn bfs_visit_order(graph: &Graph) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qgp_graph::GraphBuilder;
+    use qgp_graph::{d_hop_nodes, GraphBuilder};
+    use std::collections::HashSet;
 
     /// A ring of people with a few attribute nodes hanging off it.
     fn ring_graph(n: usize) -> Graph {
@@ -421,6 +437,26 @@ mod tests {
         let p = dpar(&g, &PartitionConfig::new(4, 1));
         assert_partition_invariants(&g, &p);
         assert!(p.stats().border_nodes > 0);
+    }
+
+    #[test]
+    fn repeated_partitions_are_deterministic() {
+        // Dense bookkeeping has no iteration-order entropy: two runs must
+        // produce identical fragments and statistics.
+        let g = ring_graph(35);
+        let a = dpar(&g, &PartitionConfig::new(3, 2));
+        let b = dpar(&g, &PartitionConfig::new(3, 2));
+        assert_eq!(a.stats().fragment_sizes, b.stats().fragment_sizes);
+        assert_eq!(
+            a.stats().covered_before_completion,
+            b.stats().covered_before_completion
+        );
+        for (fa, fb) in a.fragments().iter().zip(b.fragments()) {
+            assert_eq!(fa.node_count(), fb.node_count());
+            let ca: Vec<_> = fa.covered_nodes().collect();
+            let cb: Vec<_> = fb.covered_nodes().collect();
+            assert_eq!(ca, cb);
+        }
     }
 
     #[test]
