@@ -11,8 +11,9 @@ use qgp_core::matching::{quantified_match_with, MatchConfig};
 use qgp_core::pattern::Pattern;
 use qgp_datasets::PatternSize;
 use qgp_graph::Graph;
-use qgp_parallel::{dpar, pqmatch, DHopPartition, ParallelConfig, PartitionConfig};
+use qgp_parallel::{dpar, dpar_with, pqmatch, DHopPartition, ParallelConfig, PartitionConfig};
 use qgp_rules::{mine_qgars, MiningConfig};
+use qgp_runtime::Runtime;
 
 use crate::report::{secs, Table};
 use crate::workloads::{
@@ -37,12 +38,16 @@ fn sequential_configs() -> [(&'static str, MatchConfig); 3] {
     ]
 }
 
-fn parallel_configs(threads: usize) -> [(&'static str, ParallelConfig); 4] {
+/// The parallel variants at `n` workers with `b` threads per worker.  The
+/// paper's deployment maps to executor threads as `n × b` (`PQMatchs` is
+/// the b = 1 case), so sweeping `n` really sweeps parallelism.
+fn parallel_configs(n: usize, b: usize) -> [(&'static str, ParallelConfig); 4] {
+    let total = n.saturating_mul(b).max(1);
     [
-        ("PEnum", ParallelConfig::penum(threads)),
-        ("PQMatchs", ParallelConfig::pqmatch_s()),
-        ("PQMatchn", ParallelConfig::pqmatch_n(threads)),
-        ("PQMatch", ParallelConfig::pqmatch(threads)),
+        ("PEnum", ParallelConfig::penum(total)),
+        ("PQMatchs", ParallelConfig::pqmatch(n.max(1))),
+        ("PQMatchn", ParallelConfig::pqmatch_n(total)),
+        ("PQMatch", ParallelConfig::pqmatch(total)),
     ]
 }
 
@@ -129,7 +134,7 @@ pub fn exp2_vary_n(dataset: Dataset, scale: &ExperimentScale) -> Table {
         let partition = dpar(&graph, &PartitionConfig::new(n, d));
         let mut row = vec![n.to_string()];
         let mut matches = 0usize;
-        for (_, config) in parallel_configs(scale.threads_per_worker) {
+        for (_, config) in parallel_configs(n, scale.threads_per_worker) {
             let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
             matches = ans.matches.len();
             row.push(secs(elapsed));
@@ -150,7 +155,8 @@ pub fn exp2_dpar(dataset: Dataset, scale: &ExperimentScale) -> Table {
     let graph = dataset_graph(dataset, scale);
     for &d in &[2usize, 3] {
         for &n in &scale.workers {
-            let (partition, elapsed) = time(|| dpar(&graph, &PartitionConfig::new(n, d)));
+            let (partition, elapsed) =
+                time(|| dpar_with(&graph, &PartitionConfig::new(n, d), &Runtime::new(n)));
             let stats = partition.stats();
             table.push_row(vec![
                 n.to_string(),
@@ -200,7 +206,7 @@ pub fn exp2_vary_q(dataset: Dataset, scale: &ExperimentScale) -> Table {
     for (vq, eq, pattern) in patterns {
         let mut row = vec![format!("({vq},{eq})")];
         let mut matches = 0usize;
-        for (_, config) in parallel_configs(scale.threads_per_worker) {
+        for (_, config) in parallel_configs(n, scale.threads_per_worker) {
             let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
             matches = ans.matches.len();
             row.push(secs(elapsed));
@@ -240,7 +246,7 @@ pub fn exp2_vary_negated(dataset: Dataset, scale: &ExperimentScale) -> Table {
     for (neg, pattern) in patterns {
         let mut row = vec![neg.to_string()];
         let mut matches = 0usize;
-        for (_, config) in parallel_configs(scale.threads_per_worker) {
+        for (_, config) in parallel_configs(n, scale.threads_per_worker) {
             let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
             matches = ans.matches.len();
             row.push(secs(elapsed));
@@ -284,7 +290,7 @@ pub fn exp2_vary_ratio(dataset: Dataset, scale: &ExperimentScale) -> Table {
     for (pa, pattern) in patterns {
         let mut row = vec![format!("{pa}%")];
         let mut matches = 0usize;
-        for (_, config) in parallel_configs(scale.threads_per_worker) {
+        for (_, config) in parallel_configs(n, scale.threads_per_worker) {
             let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
             matches = ans.matches.len();
             row.push(secs(elapsed));
@@ -311,7 +317,7 @@ pub fn exp2_vary_graph_size(scale: &ExperimentScale) -> Table {
         let partition = dpar(&graph, &PartitionConfig::new(n, d));
         let mut row = vec![format!("({}, {})", graph.node_count(), graph.edge_count())];
         let mut matches = 0usize;
-        for (_, config) in parallel_configs(scale.threads_per_worker) {
+        for (_, config) in parallel_configs(n, scale.threads_per_worker) {
             let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
             matches = ans.matches.len();
             row.push(secs(elapsed));

@@ -45,6 +45,37 @@ pub struct QmatchMeasurement {
     pub matches: usize,
 }
 
+/// One timed parallel workload (PQMatch or QGAR mining) at a given executor
+/// thread count.
+///
+/// Besides the wall clock, each row records the executor's busy accounting
+/// (per-thread **on-CPU time** from the kernel scheduler, so concurrent
+/// threads on an oversubscribed host are not double-counted):
+/// `busy_seconds` is the total work executed and `critical_path_seconds` the
+/// largest per-thread share.  On a multi-core host `wall ≈ critical path`;
+/// on a single-core CI container the wall clock cannot drop below
+/// `busy_seconds`, and the critical path is what an n-core deployment of the
+/// same run would observe — the honest speedup curve either way.
+#[derive(Debug, Clone)]
+pub struct ParallelMeasurement {
+    /// Workload name (e.g. `pokec-like/Q3(p=2)`).
+    pub workload: String,
+    /// What ran: `QMatch` (sequential baseline), `PQMatch`, `QGAR-mine`.
+    pub mode: String,
+    /// Executor threads used.
+    pub threads: usize,
+    /// Best-of-N wall-clock time.
+    pub wall_seconds: f64,
+    /// Total busy time across executor threads (sequential-equivalent work).
+    pub busy_seconds: f64,
+    /// Largest per-thread busy time (the parallel critical path).
+    pub critical_path_seconds: f64,
+    /// Focus matches (PQMatch) or mined rules (QGAR-mine) — the correctness
+    /// fingerprint that must be identical across thread counts and against
+    /// the sequential baseline.
+    pub matches: usize,
+}
+
 /// One labeled measurement run (e.g. `baseline` or `current`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchRun {
@@ -58,6 +89,9 @@ pub struct BenchRun {
     pub graph_construction: Vec<ConstructionMeasurement>,
     /// Sequential matching section.
     pub qmatch: Vec<QmatchMeasurement>,
+    /// Parallel speedup section (empty unless the harness ran with
+    /// `--parallel`).
+    pub parallel: Vec<ParallelMeasurement>,
 }
 
 /// A whole `BENCH_*.json` document.
@@ -79,6 +113,59 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
+/// Renders one run object at the indentation used inside the `runs` array.
+fn render_run(out: &mut String, run: &BenchRun, last: bool) {
+    out.push_str("    {\n");
+    let _ = writeln!(out, "      \"label\": \"{}\",", escape(&run.label));
+    let _ = writeln!(out, "      \"commit\": \"{}\",", escape(&run.commit));
+    let _ = writeln!(out, "      \"note\": \"{}\",", escape(&run.note));
+    out.push_str("      \"graph_construction\": [\n");
+    for (i, m) in run.graph_construction.iter().enumerate() {
+        let _ = write!(
+            out,
+            "        {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"seconds\": {:.6}}}",
+            escape(&m.workload),
+            m.nodes,
+            m.edges,
+            m.seconds
+        );
+        out.push_str(if i + 1 < run.graph_construction.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("      ],\n");
+    out.push_str("      \"qmatch\": [\n");
+    for (i, m) in run.qmatch.iter().enumerate() {
+        let _ = write!(
+            out,
+            "        {{\"workload\": \"{}\", \"algorithm\": \"{}\", \"seconds\": {:.6}, \"matches\": {}}}",
+            escape(&m.workload),
+            escape(&m.algorithm),
+            m.seconds,
+            m.matches
+        );
+        out.push_str(if i + 1 < run.qmatch.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("      ],\n");
+    out.push_str("      \"parallel\": [\n");
+    for (i, m) in run.parallel.iter().enumerate() {
+        let _ = write!(
+            out,
+            "        {{\"workload\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+             \"wall_seconds\": {:.6}, \"busy_seconds\": {:.6}, \
+             \"critical_path_seconds\": {:.6}, \"matches\": {}}}",
+            escape(&m.workload),
+            escape(&m.mode),
+            m.threads,
+            m.wall_seconds,
+            m.busy_seconds,
+            m.critical_path_seconds,
+            m.matches
+        );
+        out.push_str(if i + 1 < run.parallel.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("      ]\n");
+    out.push_str(if last { "    }\n" } else { "    },\n" });
+}
+
 impl BenchReport {
     /// Renders the document as pretty-printed JSON.
     pub fn to_json(&self) -> String {
@@ -87,40 +174,36 @@ impl BenchReport {
         let _ = writeln!(out, "  \"schema\": \"{}\",", escape(SCHEMA));
         out.push_str("  \"runs\": [\n");
         for (ri, run) in self.runs.iter().enumerate() {
-            out.push_str("    {\n");
-            let _ = writeln!(out, "      \"label\": \"{}\",", escape(&run.label));
-            let _ = writeln!(out, "      \"commit\": \"{}\",", escape(&run.commit));
-            let _ = writeln!(out, "      \"note\": \"{}\",", escape(&run.note));
-            out.push_str("      \"graph_construction\": [\n");
-            for (i, m) in run.graph_construction.iter().enumerate() {
-                let _ = write!(
-                    out,
-                    "        {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"seconds\": {:.6}}}",
-                    escape(&m.workload),
-                    m.nodes,
-                    m.edges,
-                    m.seconds
-                );
-                out.push_str(if i + 1 < run.graph_construction.len() { ",\n" } else { "\n" });
-            }
-            out.push_str("      ],\n");
-            out.push_str("      \"qmatch\": [\n");
-            for (i, m) in run.qmatch.iter().enumerate() {
-                let _ = write!(
-                    out,
-                    "        {{\"workload\": \"{}\", \"algorithm\": \"{}\", \"seconds\": {:.6}, \"matches\": {}}}",
-                    escape(&m.workload),
-                    escape(&m.algorithm),
-                    m.seconds,
-                    m.matches
-                );
-                out.push_str(if i + 1 < run.qmatch.len() { ",\n" } else { "\n" });
-            }
-            out.push_str("      ]\n");
-            out.push_str(if ri + 1 < self.runs.len() { "    },\n" } else { "    }\n" });
+            render_run(&mut out, run, ri + 1 == self.runs.len());
         }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Splices one new run into an existing `BENCH_*.json` document (as
+    /// rendered by [`BenchReport::to_json`]), preserving the earlier runs
+    /// textually.  Returns `None` when the document does not end the way
+    /// this writer renders it (reformatted files are rejected rather than
+    /// corrupted — regenerate them instead).
+    pub fn append_run(existing: &str, run: &BenchRun) -> Option<String> {
+        const TAIL: &str = "  ]\n}";
+        let body = existing
+            .trim_end_matches(['\n', ' '])
+            .strip_suffix(TAIL)?;
+        let mut out = body.to_string();
+        // Turn the previous last run's closing brace into a separator; a
+        // document with zero runs ends the body with the array opener and
+        // needs none.  Anything else is not our format.
+        if let Some(stripped) = out.strip_suffix("    }\n") {
+            out = stripped.to_string();
+            out.push_str("    },\n");
+        } else if !out.ends_with("\"runs\": [\n") {
+            return None;
+        }
+        render_run(&mut out, run, true);
+        out.push_str(TAIL);
+        out.push('\n');
+        Some(out)
     }
 }
 
@@ -171,6 +254,15 @@ mod tests {
                         matches: 42,
                     },
                 ],
+                parallel: vec![ParallelMeasurement {
+                    workload: "pokec-like/Q3(p=2)".into(),
+                    mode: "PQMatch".into(),
+                    threads: 4,
+                    wall_seconds: 0.4,
+                    busy_seconds: 0.39,
+                    critical_path_seconds: 0.11,
+                    matches: 42,
+                }],
             }],
         };
         let json = report.to_json();
@@ -188,6 +280,56 @@ mod tests {
         // No trailing commas before closing brackets.
         assert!(!json.contains(",\n      ]"));
         assert!(!json.contains(",\n  ]"));
+        assert!(json.contains("\"critical_path_seconds\": 0.110000"));
+    }
+
+    #[test]
+    fn append_run_preserves_earlier_runs_and_stays_balanced() {
+        let run_a = BenchRun {
+            label: "baseline".into(),
+            commit: "aaa".into(),
+            ..BenchRun::default()
+        };
+        let doc = BenchReport {
+            runs: vec![run_a],
+        }
+        .to_json();
+        let run_b = BenchRun {
+            label: "current".into(),
+            commit: "bbb".into(),
+            parallel: vec![ParallelMeasurement {
+                workload: "w".into(),
+                mode: "PQMatch".into(),
+                threads: 2,
+                wall_seconds: 1.0,
+                busy_seconds: 1.0,
+                critical_path_seconds: 0.5,
+                matches: 7,
+            }],
+            ..BenchRun::default()
+        };
+        let merged = BenchReport::append_run(&doc, &run_b).unwrap();
+        assert!(merged.contains("\"label\": \"baseline\""));
+        assert!(merged.contains("\"label\": \"current\""));
+        assert!(merged.contains("\"mode\": \"PQMatch\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                merged.matches(open).count(),
+                merged.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        // Appending twice keeps working (the previous append's tail is
+        // what the splicer expects).
+        let again = BenchReport::append_run(&merged, &run_b).unwrap();
+        assert_eq!(again.matches("\"label\": \"current\"").count(), 2);
+        // Garbage input is rejected.
+        assert!(BenchReport::append_run("not json", &run_b).is_none());
+        // So is a document with our tail but a reformatted last run —
+        // better to refuse than to splice a missing comma.
+        let reformatted =
+            "{\n  \"schema\": \"qgp-bench/v1\",\n  \"runs\": [\n  {\"label\": \"x\"}\n  ]\n}\n";
+        assert!(BenchReport::append_run(reformatted, &run_b).is_none());
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //!   exp3       Exp-3       QGAR discovery
 //!   all        everything above
 //!
-//! experiments bench [--smoke] [--label NAME] [--commit SHA] [--out PATH]
+//! experiments bench [--smoke] [--parallel] [--label NAME] [--commit SHA]
+//!                   [--out PATH] [--append]
 //!
 //!   Runs the fixed-seed perf harness (graph construction + sequential
 //!   QMatch workloads) and writes a BENCH_*.json document with one run.
-//!   --smoke shrinks the workloads to CI size.
+//!   --smoke shrinks the workloads to CI size.  --parallel adds the
+//!   speedup section (PQMatch and QGAR mining at 1/2/4 executor threads,
+//!   with wall/busy/critical-path accounting and identical-match checks).
+//!   --append splices the run into an existing --out document instead of
+//!   overwriting it.
 //! ```
 
 use std::env;
@@ -28,17 +33,23 @@ use qgp_bench::experiments::{
     exp1_qmatch, exp2_dpar, exp2_vary_graph_size, exp2_vary_n, exp2_vary_negated,
     exp2_vary_q, exp2_vary_ratio, exp3_qgar,
 };
-use qgp_bench::{run_bench, BenchReport, BenchScale, Dataset, ExperimentScale};
+use qgp_bench::{
+    run_bench, run_parallel_section, BenchReport, BenchScale, Dataset, ExperimentScale,
+};
 
 fn bench_main(args: &[String]) -> ExitCode {
     let mut scale = BenchScale::full();
     let mut label = "current".to_string();
     let mut commit = "worktree".to_string();
     let mut out: Option<String> = None;
+    let mut parallel = false;
+    let mut append = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => scale = BenchScale::smoke(),
+            "--parallel" => parallel = true,
+            "--append" => append = true,
             "--label" => {
                 i += 1;
                 label = args.get(i).cloned().unwrap_or(label);
@@ -58,8 +69,15 @@ fn bench_main(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
+    if append && out.is_none() {
+        eprintln!("--append requires --out PATH (there is no document to append to)");
+        return ExitCode::FAILURE;
+    }
 
-    let run = run_bench(&label, &commit, &scale);
+    let mut run = run_bench(&label, &commit, &scale);
+    if parallel {
+        run_parallel_section(&mut run, &scale);
+    }
     for m in &run.graph_construction {
         println!(
             "construct {:<28} {:>9} nodes {:>9} edges  {:.3}s",
@@ -72,15 +90,42 @@ fn bench_main(args: &[String]) -> ExitCode {
             m.workload, m.algorithm, m.seconds, m.matches
         );
     }
-    let report = BenchReport { runs: vec![run] };
+    for m in &run.parallel {
+        println!(
+            "parallel  {:<28} {:<9} n={} wall {:.3}s busy {:.3}s critical {:.3}s  ({} matches)",
+            m.workload,
+            m.mode,
+            m.threads,
+            m.wall_seconds,
+            m.busy_seconds,
+            m.critical_path_seconds,
+            m.matches
+        );
+    }
+    let document = match &out {
+        Some(path) if append => match std::fs::read_to_string(path) {
+            Ok(existing) => match BenchReport::append_run(&existing, &run) {
+                Some(doc) => doc,
+                None => {
+                    eprintln!("{path} is not a BENCH_*.json document; cannot --append");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path} for --append: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => BenchReport { runs: vec![run] }.to_json(),
+    };
     if let Some(path) = out {
-        if let Err(e) = std::fs::write(&path, report.to_json()) {
+        if let Err(e) = std::fs::write(&path, document) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
     } else {
-        println!("{}", report.to_json());
+        println!("{document}");
     }
     ExitCode::SUCCESS
 }

@@ -12,8 +12,13 @@ use qgp_core::matching::{quantified_match_with, MatchConfig};
 use qgp_core::pattern::{library, Pattern};
 use qgp_datasets::{pokec_like, yago_like, KnowledgeConfig, SocialConfig};
 use qgp_graph::Graph;
+use qgp_parallel::{dpar_with, pqmatch_on, ParallelConfig, PartitionConfig};
+use qgp_rules::{mine_qgars_with_report, MiningConfig};
+use qgp_runtime::Runtime;
 
-use crate::json::{time_best_of, BenchRun, ConstructionMeasurement, QmatchMeasurement};
+use crate::json::{
+    time_best_of, BenchRun, ConstructionMeasurement, ParallelMeasurement, QmatchMeasurement,
+};
 use crate::workloads::synthetic_graph;
 
 /// Workload sizes for one harness invocation.
@@ -92,6 +97,162 @@ fn qmatch_case(
             matches: ans.len(),
         });
     }
+}
+
+/// Executor thread counts measured by the parallel speedup section.
+const PARALLEL_THREADS: &[usize] = &[1, 2, 4];
+
+/// Best-of-`iters` keeping the *matching* result: returns the result of the
+/// iteration with the minimum wall time, so one JSON row never mixes the
+/// wall clock of one run with the busy accounting of another (which could
+/// report the impossible `wall < critical path`).
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, std::time::Duration) {
+    assert!(iters > 0);
+    let mut best: Option<(T, std::time::Duration)> = None;
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        let value = f();
+        let elapsed = start.elapsed();
+        if best.as_ref().is_none_or(|(_, b)| elapsed < *b) {
+            best = Some((value, elapsed));
+        }
+    }
+    best.expect("iters > 0")
+}
+
+/// One parallel-matching workload: a sequential `QMatch` baseline followed
+/// by `PQMatch` on a fixed 4-fragment `DPar` partition at each thread count.
+/// Panics when any parallel run's matches differ from the sequential answer
+/// (the identical-match-count check), so a correctness regression can never
+/// be committed as a performance number.
+fn parallel_qmatch_case(
+    runs: &mut Vec<ParallelMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    pattern: &Pattern,
+    iters: usize,
+) {
+    let (seq, seq_elapsed) = best_of(iters, || {
+        quantified_match_with(graph, pattern, &MatchConfig::qmatch())
+            .expect("library patterns validate")
+    });
+    let seq_seconds = seq_elapsed.as_secs_f64();
+    runs.push(ParallelMeasurement {
+        workload: workload.to_string(),
+        mode: "QMatch".to_string(),
+        threads: 1,
+        wall_seconds: seq_seconds,
+        busy_seconds: seq_seconds,
+        critical_path_seconds: seq_seconds,
+        matches: seq.len(),
+    });
+
+    let d = pattern.radius().max(2);
+    let partition = dpar_with(graph, &PartitionConfig::new(4, d), &Runtime::new(4));
+    let config = ParallelConfig {
+        threads: None,
+        match_config: MatchConfig::qmatch(),
+    };
+    for &threads in PARALLEL_THREADS {
+        let runtime = Runtime::new(threads);
+        let (ans, elapsed) = best_of(iters, || {
+            pqmatch_on(pattern, &partition, &config, &runtime).expect("radius fits partition")
+        });
+        assert_eq!(
+            ans.matches, seq.matches,
+            "PQMatch({threads} threads) disagrees with sequential QMatch on {workload}"
+        );
+        runs.push(ParallelMeasurement {
+            workload: workload.to_string(),
+            mode: "PQMatch".to_string(),
+            threads,
+            wall_seconds: elapsed.as_secs_f64(),
+            busy_seconds: ans.thread_busy.iter().map(std::time::Duration::as_secs_f64).sum(),
+            critical_path_seconds: ans
+                .thread_busy
+                .iter()
+                .map(std::time::Duration::as_secs_f64)
+                .fold(0.0, f64::max),
+            matches: ans.matches.len(),
+        });
+    }
+}
+
+/// The Exp-3 mining workload at each thread count.  Panics when the mined
+/// rule set differs from the single-threaded run.
+fn parallel_mining_case(
+    runs: &mut Vec<ParallelMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    config: &MiningConfig,
+    iters: usize,
+) {
+    let mut reference: Option<Vec<String>> = None;
+    for &threads in PARALLEL_THREADS {
+        let runtime = Runtime::new(threads);
+        let ((rules, report), elapsed) = best_of(iters, || {
+            mine_qgars_with_report(graph, config, &runtime).expect("mining succeeds")
+        });
+        let names: Vec<String> = rules.iter().map(|r| r.rule.name().to_string()).collect();
+        match &reference {
+            None => reference = Some(names),
+            Some(expected) => assert_eq!(
+                &names, expected,
+                "QGAR mining at {threads} threads disagrees with 1 thread on {workload}"
+            ),
+        }
+        runs.push(ParallelMeasurement {
+            workload: workload.to_string(),
+            mode: "QGAR-mine".to_string(),
+            threads,
+            wall_seconds: elapsed.as_secs_f64(),
+            busy_seconds: report
+                .worker_busy
+                .iter()
+                .map(std::time::Duration::as_secs_f64)
+                .sum(),
+            critical_path_seconds: report
+                .worker_busy
+                .iter()
+                .map(std::time::Duration::as_secs_f64)
+                .fold(0.0, f64::max),
+            matches: rules.len(),
+        });
+    }
+}
+
+/// The parallel speedup section: skewed pokec-like matching workloads plus
+/// the Exp-3 mining workload, at 1/2/4 executor threads.
+pub fn run_parallel_section(run: &mut BenchRun, scale: &BenchScale) {
+    let pokec = pokec_like(&SocialConfig::with_persons(scale.matching_persons));
+    parallel_qmatch_case(
+        &mut run.parallel,
+        "pokec-like/Q3(p=2)",
+        &pokec,
+        &library::q3_redmi_negation(2),
+        scale.iters,
+    );
+    parallel_qmatch_case(
+        &mut run.parallel,
+        "pokec-like/Q1(80%)",
+        &pokec,
+        &library::q1_music_club(),
+        scale.iters,
+    );
+    // Exp-3: seed-and-strengthen QGAR mining on the social graph.
+    let mining = MiningConfig {
+        min_support: (pokec.node_count() / 200).max(5),
+        confidence_threshold: 0.5,
+        max_rules: 8,
+        ..MiningConfig::default()
+    };
+    parallel_mining_case(
+        &mut run.parallel,
+        "pokec-like/exp3-mining",
+        &pokec,
+        &mining,
+        scale.iters,
+    );
 }
 
 /// Runs the whole harness at the given scale, returning a labeled run.
@@ -179,5 +340,32 @@ mod tests {
         for chunk in run.qmatch.chunks(3) {
             assert!(chunk.iter().all(|m| m.matches == chunk[0].matches));
         }
+    }
+
+    #[test]
+    fn smoke_parallel_section_has_consistent_fingerprints() {
+        let scale = BenchScale {
+            construction_persons: 300,
+            construction_synthetic_nodes: 500,
+            matching_persons: 200,
+            iters: 1,
+        };
+        let mut run = BenchRun::default();
+        run_parallel_section(&mut run, &scale);
+        // 2 matching workloads × (1 baseline + 3 thread counts) + 3 mining
+        // rows.
+        assert_eq!(run.parallel.len(), 2 * 4 + 3);
+        // Within a workload every row reports the same fingerprint (the
+        // harness itself asserts equality; this re-checks the recorded rows).
+        for w in ["pokec-like/Q3(p=2)", "pokec-like/Q1(80%)", "pokec-like/exp3-mining"] {
+            let rows: Vec<_> = run.parallel.iter().filter(|m| m.workload == w).collect();
+            assert!(!rows.is_empty());
+            assert!(rows.iter().all(|m| m.matches == rows[0].matches), "{w}");
+        }
+        // Busy accounting is populated.
+        assert!(run
+            .parallel
+            .iter()
+            .all(|m| m.critical_path_seconds <= m.busy_seconds + 1e-9));
     }
 }

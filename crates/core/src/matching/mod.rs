@@ -5,6 +5,8 @@
 //!   variants evaluated in Section 7),
 //! * [`conventional_match`] — traditional subgraph-isomorphism matching of
 //!   the stratified pattern,
+//! * [`MatchSession`] — the resumable per-candidate session API the batch
+//!   matchers and the parallel runtime both schedule through,
 //! * [`reference::evaluate_reference`] — a naive, brute-force oracle used for
 //!   testing.
 
@@ -15,6 +17,7 @@ mod qmatch;
 mod quantified;
 pub mod reference;
 mod resolved;
+mod session;
 mod simulation;
 mod stats;
 
@@ -23,4 +26,5 @@ pub use qmatch::{
     conventional_match, quantified_match, quantified_match_restricted, quantified_match_with,
     QueryAnswer,
 };
+pub use session::MatchSession;
 pub use stats::MatchStats;

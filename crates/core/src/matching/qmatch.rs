@@ -13,6 +13,7 @@ use qgp_graph::{Graph, NodeId};
 
 use super::config::MatchConfig;
 use super::quantified::match_positive;
+use super::session::MatchSession;
 use super::stats::MatchStats;
 use crate::error::MatchError;
 use crate::pattern::Pattern;
@@ -62,44 +63,41 @@ pub fn quantified_match_with(
 /// Quantified matching with the focus candidates restricted to a given node
 /// set (used by the parallel workers, which only report matches for the nodes
 /// their fragment covers).  The pattern is assumed validated.
+///
+/// This is a thin loop over [`MatchSession::decide`] — the same per-candidate
+/// session the parallel runtime schedules, so the sequential and parallel
+/// paths share one implementation of the semantics.
 pub fn quantified_match_restricted(
     graph: &Graph,
     pattern: &Pattern,
     config: &MatchConfig,
     focus_restriction: Option<&[NodeId]>,
 ) -> QueryAnswer {
-    let pi = pattern.pi();
-    let positive = match_positive(graph, &pi.pattern, config, focus_restriction);
-    let mut stats = positive.stats;
-    let mut matches = positive.focus_matches;
-
-    let negated = pattern.negated_edges();
-    if !negated.is_empty() && !matches.is_empty() {
-        // The union ⋃_e Π(Q^{+e})(x_o, G) as a sorted vector: each
-        // per-edge answer arrives sorted, so one merge-sort + dedup replaces
-        // the hash set and the final difference is a binary-search retain.
-        let mut excluded: Vec<NodeId> = Vec::new();
-        for e in negated {
-            let positified = pattern.pi_positified(e);
-            let restriction: Option<&[NodeId]> = if config.incremental_negation {
-                // IncQMatch: Π(Q^{+e})(x_o, G) ⊆ Π(Q)(x_o, G), so only the
-                // cached matches need to be re-verified.
-                stats.reused_from_cache += matches.len();
-                Some(&matches)
-            } else {
-                // QMatchn: recompute the positified pattern from scratch.
-                focus_restriction
-            };
-            let out = match_positive(graph, &positified.pattern, config, restriction);
-            stats += out.stats;
-            excluded.extend(out.focus_matches);
+    let mut session = MatchSession::new(graph, pattern, config);
+    let mut matches: Vec<NodeId> = Vec::new();
+    match focus_restriction {
+        Some(restriction) => {
+            for &vx in restriction {
+                if session.decide(vx) {
+                    matches.push(vx);
+                }
+            }
+            matches.sort_unstable();
+            matches.dedup();
         }
-        excluded.sort_unstable();
-        excluded.dedup();
-        matches.retain(|v| excluded.binary_search(v).is_err());
+        None => {
+            // Focus candidates are sorted, so the answer comes out sorted.
+            for vx in session.focus_candidates().to_vec() {
+                if session.decide(vx) {
+                    matches.push(vx);
+                }
+            }
+        }
     }
-
-    QueryAnswer { matches, stats }
+    QueryAnswer {
+        matches,
+        stats: session.stats(),
+    }
 }
 
 /// Conventional graph pattern matching: the pattern is interpreted as a

@@ -63,54 +63,126 @@ pub(crate) fn match_positive(
     config: &MatchConfig,
     focus_restriction: Option<&[NodeId]>,
 ) -> PositiveMatchOutput {
-    debug_assert!(pattern.is_positive(), "match_positive requires Π(Q)");
     let mut out = PositiveMatchOutput::default();
-
-    let Some(rp) = ResolvedPattern::resolve(pattern, graph) else {
-        return out;
-    };
-    let filter = if config.use_upper_bound_pruning {
-        CandidateFilter::QuantifierAware
-    } else {
-        CandidateFilter::LabelOnly
-    };
-    let mut candidates = build_candidates(graph, &rp, filter, &mut out.stats);
-    if candidates.any_empty() {
-        return out;
-    }
-    if config.use_simulation_filter {
-        refine_by_simulation(graph, &rp, &mut candidates, &mut out.stats);
-        if candidates.any_empty() {
-            return out;
-        }
-    }
-    let order = SearchOrder::new(&rp);
-
+    let mut session = PositiveSession::new(graph, pattern, config, &mut out.stats);
     let focus_list: Vec<NodeId> = match focus_restriction {
         Some(restriction) => restriction
             .iter()
             .copied()
-            .filter(|&v| v.index() < graph.node_count() && candidates.contains(rp.focus, v))
+            .filter(|&v| session.is_focus_candidate(v))
             .collect(),
-        None => candidates.set(rp.focus).to_vec(),
+        None => session.focus_candidates().to_vec(),
     };
     out.stats.focus_candidates += focus_list.len();
-
-    let verifier = CandidateVerifier {
-        graph,
-        rp: &rp,
-        order: &order,
-        candidates: &candidates,
-        config,
-    };
-    let mut acc = CounterAccumulator::new(&rp, &candidates);
     for vx in focus_list {
-        if verifier.verify(vx, &mut acc, &mut out.stats) {
+        if session.verify(graph, vx, &mut out.stats) {
             out.focus_matches.push(vx);
         }
     }
     out.focus_matches.sort_unstable();
     out
+}
+
+/// A reusable matching session for one *positive* pattern on one graph: the
+/// resolved pattern, candidate sets, search order and counter scratch are
+/// built once and reused to verify any number of focus candidates, one at a
+/// time.
+///
+/// This is the per-worker unit of state behind the `qgp-runtime` executor:
+/// a steal victim's remaining focus candidates are plain indices, so a thief
+/// resumes matching by calling [`PositiveSession::verify`] on its own
+/// session — nothing per-chunk is ever rebuilt.
+pub(crate) struct PositiveSession {
+    config: MatchConfig,
+    /// `None` when the pattern cannot match at all (unresolvable labels or
+    /// an empty candidate set).
+    inner: Option<SessionInner>,
+}
+
+struct SessionInner {
+    rp: ResolvedPattern,
+    order: SearchOrder,
+    candidates: CandidateSets,
+    acc: CounterAccumulator,
+    /// Node-id universe of the graph the session was built for, guarding the
+    /// candidate bitmap probes against out-of-range ids.
+    universe: usize,
+}
+
+impl PositiveSession {
+    /// Builds the session: label resolution, candidate initialization with
+    /// quantifier-aware pruning, optional simulation refinement, search
+    /// order, and the counter accumulator.
+    pub fn new(
+        graph: &Graph,
+        pattern: &Pattern,
+        config: &MatchConfig,
+        stats: &mut MatchStats,
+    ) -> Self {
+        debug_assert!(pattern.is_positive(), "PositiveSession requires Π(Q)");
+        let inner = (|| {
+            let rp = ResolvedPattern::resolve(pattern, graph)?;
+            let filter = if config.use_upper_bound_pruning {
+                CandidateFilter::QuantifierAware
+            } else {
+                CandidateFilter::LabelOnly
+            };
+            let mut candidates = build_candidates(graph, &rp, filter, stats);
+            if candidates.any_empty() {
+                return None;
+            }
+            if config.use_simulation_filter {
+                refine_by_simulation(graph, &rp, &mut candidates, stats);
+                if candidates.any_empty() {
+                    return None;
+                }
+            }
+            let order = SearchOrder::new(&rp);
+            let acc = CounterAccumulator::new(&rp, &candidates);
+            Some(SessionInner {
+                rp,
+                order,
+                candidates,
+                acc,
+                universe: graph.node_count(),
+            })
+        })();
+        PositiveSession {
+            config: *config,
+            inner,
+        }
+    }
+
+    /// The focus candidate set `C(x_o)`, sorted ascending (empty when the
+    /// pattern cannot match).
+    pub fn focus_candidates(&self) -> &[NodeId] {
+        self.inner
+            .as_ref()
+            .map(|i| i.candidates.set(i.rp.focus))
+            .unwrap_or(&[])
+    }
+
+    /// Is `v` a focus candidate of this session?
+    pub fn is_focus_candidate(&self, v: NodeId) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| v.index() < i.universe && i.candidates.contains(i.rp.focus, v))
+    }
+
+    /// Decides whether `vx ∈ Π(Q)(x_o, G)`, reusing the session's scratch.
+    pub fn verify(&mut self, graph: &Graph, vx: NodeId, stats: &mut MatchStats) -> bool {
+        let Some(inner) = &mut self.inner else {
+            return false;
+        };
+        let verifier = CandidateVerifier {
+            graph,
+            rp: &inner.rp,
+            order: &inner.order,
+            candidates: &inner.candidates,
+            config: &self.config,
+        };
+        verifier.verify(vx, &mut inner.acc, stats)
+    }
 }
 
 /// Per-focus verification machinery.

@@ -1,0 +1,247 @@
+//! Resumable per-candidate matching sessions.
+//!
+//! [`MatchSession`] packages the whole `QMatch` pipeline — `Π(Q)` candidate
+//! initialization, per-focus verification, and the set-difference handling
+//! of negated edges — behind a *per-candidate* API: build the session once,
+//! then call [`MatchSession::decide`] for each focus candidate of interest,
+//! in any order, from any schedule.
+//!
+//! This is the task API the `qgp-runtime` work-stealing executor runs on.
+//! Because a "task" is just a focus candidate index, a steal victim splits
+//! its remaining candidates for free, and each worker thread keeps exactly
+//! one session per (fragment, pattern) pair — candidate sets, search order
+//! and counter scratch are reused across every task the worker executes
+//! instead of being rebuilt per chunk (tracked by
+//! [`MatchStats::sessions_built`]).
+//!
+//! Batch matching ([`crate::matching::quantified_match_restricted`]) is a
+//! thin loop over this same session, so the sequential and parallel paths
+//! cannot drift apart semantically.
+
+use qgp_graph::{Graph, NodeId};
+
+use super::config::MatchConfig;
+use super::quantified::PositiveSession;
+use super::stats::MatchStats;
+use crate::pattern::Pattern;
+
+/// A reusable matching session for one (pattern, graph) pair, deciding
+/// membership in `Q(x_o, G)` one focus candidate at a time.
+///
+/// The pattern is assumed validated (see [`crate::pattern::Pattern::validate`]);
+/// the public entry points of [`crate::matching`] validate before
+/// constructing sessions.
+pub struct MatchSession<'g> {
+    graph: &'g Graph,
+    config: MatchConfig,
+    positive: PositiveSession,
+    /// `Π(Q^{+e})` for each negated edge `e ∈ E⁻_Q`.
+    negated_patterns: Vec<Pattern>,
+    /// Sessions for the positified patterns, built lazily on the first
+    /// candidate whose negation phase actually runs.  Under `IncQMatch`
+    /// that is the first candidate surviving the positive phase, so a run
+    /// with an empty positive answer never pays for them; the from-scratch
+    /// `QMatchn` strategy builds them on the first decided candidate, since
+    /// recomputing regardless of the positive outcome is its defining cost.
+    negated: Vec<Option<PositiveSession>>,
+    stats: MatchStats,
+}
+
+impl<'g> MatchSession<'g> {
+    /// Builds a session for a validated pattern.
+    pub fn new(graph: &'g Graph, pattern: &Pattern, config: &MatchConfig) -> Self {
+        let mut stats = MatchStats {
+            sessions_built: 1,
+            ..MatchStats::default()
+        };
+        let pi = pattern.pi();
+        let positive = PositiveSession::new(graph, &pi.pattern, config, &mut stats);
+        let negated_patterns: Vec<Pattern> = pattern
+            .negated_edges()
+            .into_iter()
+            .map(|e| pattern.pi_positified(e).pattern)
+            .collect();
+        let negated = (0..negated_patterns.len()).map(|_| None).collect();
+        MatchSession {
+            graph,
+            config: *config,
+            positive,
+            negated_patterns,
+            negated,
+            stats,
+        }
+    }
+
+    /// The focus candidates of `Π(Q)`, sorted ascending — the complete set
+    /// of nodes for which [`MatchSession::decide`] can possibly return
+    /// `true`.
+    pub fn focus_candidates(&self) -> &[NodeId] {
+        self.positive.focus_candidates()
+    }
+
+    /// Is `v` a focus candidate (cheap bitmap probe)?
+    pub fn is_focus_candidate(&self, v: NodeId) -> bool {
+        self.positive.is_focus_candidate(v)
+    }
+
+    /// Decides whether `vx ∈ Q(x_o, G)`: positive verification via the
+    /// quantifier-aware matcher, plus exclusion by each positified pattern
+    /// `Π(Q^{+e})` (the set-difference semantics of negation).
+    ///
+    /// The two negation strategies of the paper keep their distinct costs:
+    ///
+    /// * `IncQMatch` (`incremental_negation = true`) verifies the positified
+    ///   patterns only for candidates that already passed the positive
+    ///   phase — `Π(Q^{+e})(x_o, G) ⊆ Π(Q)(x_o, G)`, so nothing else can be
+    ///   excluded and the work is skipped (counted in `reused_from_cache`).
+    /// * `QMatchn` (`incremental_negation = false`) recomputes each
+    ///   positified pattern from scratch: every focus candidate pays the
+    ///   negation verification whether or not the positive phase accepted
+    ///   it — the extra work Exp-1 measures.
+    pub fn decide(&mut self, vx: NodeId) -> bool {
+        if !self.positive.is_focus_candidate(vx) {
+            return false;
+        }
+        self.stats.focus_candidates += 1;
+        let positive = self.positive.verify(self.graph, vx, &mut self.stats);
+        if positive && self.config.incremental_negation {
+            self.stats.reused_from_cache += self.negated_patterns.len();
+        }
+        if !positive && self.config.incremental_negation {
+            return false;
+        }
+        let mut excluded = false;
+        for k in 0..self.negated_patterns.len() {
+            let graph = self.graph;
+            let pattern = &self.negated_patterns[k];
+            let config = &self.config;
+            let stats = &mut self.stats;
+            let neg = match &mut self.negated[k] {
+                Some(session) => session,
+                slot => {
+                    *slot = Some(PositiveSession::new(graph, pattern, config, stats));
+                    slot.as_mut().expect("just inserted")
+                }
+            };
+            if neg.is_focus_candidate(vx) {
+                stats.focus_candidates += 1;
+                if neg.verify(graph, vx, stats) {
+                    excluded = true;
+                    if self.config.incremental_negation {
+                        // Certainly excluded — the incremental variant
+                        // stops; the from-scratch variant keeps paying for
+                        // the remaining positified patterns, preserving the
+                        // cost profile Exp-1 compares.
+                        break;
+                    }
+                }
+            }
+        }
+        positive && !excluded
+    }
+
+    /// Work counters accumulated so far (including session construction).
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Takes the accumulated counters, resetting them to zero.
+    pub fn take_stats(&mut self) -> MatchStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{quantified_match, quantified_match_with};
+    use crate::pattern::library;
+    use qgp_graph::GraphBuilder;
+
+    /// Graph G1 of Fig. 2.
+    fn g1() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let xs = b.add_nodes("person", 3);
+        let vs = b.add_nodes("person", 5);
+        let redmi = b.add_node("Redmi 2A");
+        b.add_edge(xs[0], vs[0], "follow").unwrap();
+        b.add_edge(xs[1], vs[1], "follow").unwrap();
+        b.add_edge(xs[1], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[3], "follow").unwrap();
+        b.add_edge(xs[2], vs[4], "follow").unwrap();
+        for &v in &vs[..4] {
+            b.add_edge(v, redmi, "recom").unwrap();
+        }
+        b.add_edge(vs[4], redmi, "bad_rating").unwrap();
+        (b.build(), xs)
+    }
+
+    #[test]
+    fn per_candidate_decisions_agree_with_batch_matching() {
+        let (g, _) = g1();
+        for pattern in [
+            library::q2_redmi_universal(),
+            library::q3_redmi_negation(2),
+            library::q3_redmi_negation(3),
+        ] {
+            for config in [
+                MatchConfig::qmatch(),
+                MatchConfig::qmatch_n(),
+                MatchConfig::enumerate(),
+            ] {
+                let batch = quantified_match_with(&g, &pattern, &config).unwrap();
+                let mut session = MatchSession::new(&g, &pattern, &config);
+                let decided: Vec<NodeId> = g
+                    .nodes()
+                    .filter(|&v| session.decide(v))
+                    .collect();
+                assert_eq!(decided, batch.matches, "{config:?} {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_order_independent() {
+        let (g, _) = g1();
+        let pattern = library::q3_redmi_negation(2);
+        let expected = quantified_match(&g, &pattern).unwrap().matches;
+        let mut session = MatchSession::new(&g, &pattern, &MatchConfig::qmatch());
+        // Reverse order, with repeats interleaved.
+        let mut decided: Vec<NodeId> = Vec::new();
+        let all: Vec<NodeId> = g.nodes().collect();
+        for &v in all.iter().rev() {
+            if session.decide(v) {
+                decided.push(v);
+            }
+            // A repeated query must give the same answer.
+            assert_eq!(session.decide(v), decided.contains(&v));
+        }
+        decided.sort_unstable();
+        decided.dedup();
+        assert_eq!(decided, expected);
+    }
+
+    #[test]
+    fn session_counts_one_build_and_reports_stats() {
+        let (g, _) = g1();
+        let pattern = library::q3_redmi_negation(2);
+        let mut session = MatchSession::new(&g, &pattern, &MatchConfig::qmatch());
+        assert_eq!(session.stats().sessions_built, 1);
+        for v in session.focus_candidates().to_vec() {
+            session.decide(v);
+        }
+        let stats = session.take_stats();
+        assert!(stats.focus_candidates > 0);
+        assert_eq!(session.stats(), MatchStats::default());
+    }
+
+    #[test]
+    fn out_of_range_and_non_candidate_nodes_are_rejected_cheaply() {
+        let (g, _) = g1();
+        let pattern = library::q2_redmi_universal();
+        let mut session = MatchSession::new(&g, &pattern, &MatchConfig::qmatch());
+        assert!(!session.decide(NodeId::new(10_000)));
+        assert!(!session.is_focus_candidate(NodeId::new(10_000)));
+    }
+}

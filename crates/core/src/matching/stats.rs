@@ -25,6 +25,12 @@ pub struct MatchStats {
     /// Focus candidates whose verification was skipped because incremental
     /// evaluation reused cached matches (the `IncQMatch` saving).
     pub reused_from_cache: usize,
+    /// Number of matcher sessions constructed (candidate sets, search order
+    /// and counter scratch).  The parallel runtime builds sessions once per
+    /// worker thread and reuses them across stolen tasks, so this counter
+    /// stays bounded by `threads × fragments` instead of growing with the
+    /// number of work chunks.
+    pub sessions_built: usize,
 }
 
 impl MatchStats {
@@ -44,6 +50,7 @@ impl AddAssign for MatchStats {
         self.pruned_by_upper_bound += rhs.pruned_by_upper_bound;
         self.pruned_by_simulation += rhs.pruned_by_simulation;
         self.reused_from_cache += rhs.reused_from_cache;
+        self.sessions_built += rhs.sessions_built;
     }
 }
 
@@ -62,6 +69,7 @@ mod tests {
             pruned_by_upper_bound: 6,
             pruned_by_simulation: 7,
             reused_from_cache: 8,
+            sessions_built: 9,
         };
         a += a;
         assert_eq!(a.initial_candidates, 2);
@@ -72,6 +80,7 @@ mod tests {
         assert_eq!(a.pruned_by_upper_bound, 12);
         assert_eq!(a.pruned_by_simulation, 14);
         assert_eq!(a.reused_from_cache, 16);
+        assert_eq!(a.sessions_built, 18);
         assert_eq!(MatchStats::new(), MatchStats::default());
     }
 }

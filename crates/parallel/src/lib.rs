@@ -6,15 +6,19 @@
 //! * [`partition::dpar`] — `DPar`, the d-hop preserving, balanced graph
 //!   partition built once per graph and reused for every pattern of radius
 //!   ≤ d,
-//! * [`pqmatch::pqmatch`] — `PQMatch`, which evaluates a QGP on all fragments
-//!   in parallel (one worker per fragment, `b` threads inside each worker)
-//!   and unions the partial answers,
+//! * [`pqmatch::pqmatch`] — `PQMatch`, which evaluates a QGP over all
+//!   fragments and unions the partial answers,
 //! * [`pqmatch::ParallelConfig`] — the `PQMatch` / `PQMatchs` / `PQMatchn` /
 //!   `PEnum` variants compared in the paper's evaluation.
 //!
-//! The paper's cluster of `n` machines is simulated with `n` worker threads
-//! in one process; the parallel-scalability *shape* (more workers → less
-//! time) is preserved even though absolute numbers differ.
+//! All parallelism in this crate schedules through the shared
+//! [`qgp_runtime::Runtime`] work-stealing executor (see `docs/RUNTIME.md`):
+//! `PQMatch` submits one task per covered focus candidate and `DPar` one
+//! task per node, so skewed work (hub candidates, hub neighborhoods)
+//! rebalances dynamically instead of serializing the largest static chunk.
+//! The paper's cluster of `n` machines is simulated in one process; the
+//! parallel-scalability *shape* (more workers → less time) is preserved even
+//! though absolute numbers differ.
 //!
 //! ```
 //! use qgp_parallel::{dpar, pqmatch, ParallelConfig, PartitionConfig};
@@ -46,5 +50,5 @@ pub mod partition;
 pub mod pqmatch;
 
 pub use error::ParallelError;
-pub use partition::{dpar, DHopPartition, PartitionConfig, PartitionStats};
-pub use pqmatch::{partition_and_match, pqmatch, ParallelAnswer, ParallelConfig};
+pub use partition::{dpar, dpar_with, DHopPartition, PartitionConfig, PartitionStats};
+pub use pqmatch::{partition_and_match, pqmatch, pqmatch_on, ParallelAnswer, ParallelConfig};

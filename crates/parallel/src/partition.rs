@@ -21,11 +21,12 @@
 //!
 //! All bookkeeping is flat and `NodeId`-indexed: the node → fragment
 //! assignment is a dense vector, each fragment's replicated-node set is a
-//! bitmap, and the per-node neighborhood scans reuse one epoch-marked BFS
-//! scratch per worker thread — no hash maps anywhere on the partitioning
-//! path.
+//! bitmap, and the per-node neighborhood scans run on the shared
+//! [`qgp_runtime::Runtime`] executor with one epoch-marked BFS scratch per
+//! worker thread — no hash maps anywhere on the partitioning path.
 
 use qgp_graph::{d_hop_nodes_with, BfsScratch, DenseBitSet, Fragment, FragmentId, Graph, NodeId};
+use qgp_runtime::Runtime;
 
 /// Configuration of the partitioner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,12 +114,21 @@ impl DHopPartition {
     }
 }
 
-/// Builds a d-hop preserving partition of `graph` (`DPar`).
-///
-/// The per-fragment neighborhood expansion — the dominant cost — is executed
-/// with one thread per fragment, reflecting the parallel scalability claim of
-/// Lemma 8.
+/// Builds a d-hop preserving partition of `graph` (`DPar`) on the global
+/// runtime (`QGP_THREADS`).
 pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
+    dpar_with(graph, config, Runtime::global())
+}
+
+/// Builds a d-hop preserving partition of `graph` (`DPar`) on an explicit
+/// executor.
+///
+/// The per-node neighborhood expansion — the dominant cost — is scheduled as
+/// stealable node-range tasks on the runtime (the parallel scalability claim
+/// of Lemma 8): a worker that finishes its nodes steals from whichever range
+/// still holds expensive hub neighborhoods, and every worker reuses one
+/// [`BfsScratch`] across all nodes it executes.
+pub fn dpar_with(graph: &Graph, config: &PartitionConfig, runtime: &Runtime) -> DHopPartition {
     let n = config.num_fragments.max(1);
     let d = config.d;
     let total_nodes = graph.node_count();
@@ -143,45 +153,40 @@ pub fn dpar(graph: &Graph, config: &PartitionConfig) -> DHopPartition {
     // ---- Step 2: border-node discovery + neighborhood computation ------
     // For each node, determine whether its d-hop neighborhood stays within
     // its base fragment; if not it is a border node and its neighborhood
-    // must be shipped somewhere.  Executed fragment-parallel, each worker
-    // reusing one BFS scratch across all of its nodes.
+    // must be shipped somewhere.  Scheduled as stealable node tasks on the
+    // shared executor (fragment-major, so initial ranges align with
+    // fragments), each worker reusing one BFS scratch across every node it
+    // executes.  Outputs come back in index order, keeping the partition
+    // deterministic for any thread count.
     let mut home_covered: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut border: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
     {
-        // Per fragment: (nodes whose N_d stays home, border nodes with their
-        // full d-hop neighborhoods).
-        type FragmentScan = (Vec<NodeId>, Vec<(NodeId, Vec<NodeId>)>);
-        let results: Vec<FragmentScan> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = base_of_fragment
-                    .iter()
-                    .enumerate()
-                    .map(|(f, base)| {
-                        let fragment_of_node = &fragment_of_node;
-                        scope.spawn(move || {
-                            let mut scratch = BfsScratch::for_graph(graph);
-                            let mut covered = Vec::new();
-                            let mut borders = Vec::new();
-                            for &v in base {
-                                let nd = d_hop_nodes_with(graph, v, d, &mut scratch);
-                                let local = nd
-                                    .iter()
-                                    .all(|w| fragment_of_node[w.index()] == f as u32);
-                                if local {
-                                    covered.push(v);
-                                } else {
-                                    borders.push((v, nd));
-                                }
-                            }
-                            (covered, borders)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-        for (f, (covered, borders)) in results.into_iter().enumerate() {
-            home_covered[f] = covered;
-            border.extend(borders);
+        let flat: Vec<(u32, NodeId)> = base_of_fragment
+            .iter()
+            .enumerate()
+            .flat_map(|(f, base)| base.iter().map(move |&v| (f as u32, v)))
+            .collect();
+        let fragment_of_node = &fragment_of_node;
+        let outcome = runtime.map_with(
+            flat.len(),
+            || BfsScratch::for_graph(graph),
+            |scratch, i| {
+                let (f, v) = flat[i];
+                let nd = d_hop_nodes_with(graph, v, d, scratch);
+                let local = nd.iter().all(|w| fragment_of_node[w.index()] == f);
+                if local {
+                    None
+                } else {
+                    Some(nd)
+                }
+            },
+        );
+        for (i, scan) in outcome.outputs.into_iter().enumerate() {
+            let (f, v) = flat[i];
+            match scan {
+                None => home_covered[f as usize].push(v),
+                Some(nd) => border.push((v, nd)),
+            }
         }
     }
     let border_count = border.len();
@@ -456,6 +461,25 @@ mod tests {
             let ca: Vec<_> = fa.covered_nodes().collect();
             let cb: Vec<_> = fb.covered_nodes().collect();
             assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn partition_is_identical_for_every_thread_count() {
+        // The runtime returns scan results in index order, so the partition
+        // must not depend on how many executor threads ran or what they
+        // stole.
+        let g = ring_graph(50);
+        let reference = dpar_with(&g, &PartitionConfig::new(3, 2), &Runtime::new(1));
+        for threads in [2, 4] {
+            let p = dpar_with(&g, &PartitionConfig::new(3, 2), &Runtime::new(threads));
+            assert_eq!(p.stats().fragment_sizes, reference.stats().fragment_sizes);
+            assert_eq!(p.stats().border_nodes, reference.stats().border_nodes);
+            for (fa, fb) in p.fragments().iter().zip(reference.fragments()) {
+                let ca: Vec<_> = fa.covered_nodes().collect();
+                let cb: Vec<_> = fb.covered_nodes().collect();
+                assert_eq!(ca, cb, "threads = {threads}");
+            }
         }
     }
 

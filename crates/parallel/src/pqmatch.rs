@@ -1,23 +1,32 @@
 //! `PQMatch`: parallel scalable quantified matching (Section 5.2).
 //!
-//! The coordinator posts the pattern to every worker; each worker evaluates
-//! the QGP locally on its fragment, restricted to the focus candidates its
-//! fragment *covers* (whose d-hop neighborhoods are local), using the
-//! multi-threaded procedure `mQMatch`; the coordinator unions the partial
-//! answers.  Because the partition is d-hop preserving and the pattern radius
-//! is ≤ d, the union equals the global answer `Q(x_o, G)` (Lemma 9(1)).
+//! The coordinator posts the pattern to every worker; the QGP is evaluated
+//! on each fragment restricted to the focus candidates the fragment *covers*
+//! (whose d-hop neighborhoods are local), and the coordinator unions the
+//! partial answers.  Because the partition is d-hop preserving and the
+//! pattern radius is ≤ d, the union equals the global answer `Q(x_o, G)`
+//! (Lemma 9(1)).
 //!
-//! The "workers" of the paper's cluster are simulated by threads of one
-//! process (one thread per fragment = inter-fragment parallelism, `b` extra
-//! threads inside each worker = intra-fragment parallelism).  Speedup shapes
-//! with growing `n` are preserved; absolute numbers obviously differ from the
-//! paper's 20-machine deployment.
+//! Scheduling goes through the shared [`qgp_runtime::Runtime`] executor: the
+//! unit of work is **one covered focus candidate**, the task list is the
+//! concatenation of every fragment's covered candidates, and idle executor
+//! threads steal candidate ranges from loaded ones.  This replaces the old
+//! two-level static split (one thread per fragment × fixed chunks inside
+//! each fragment), whose wall clock was bound by the most skewed chunk —
+//! a hub candidate in one chunk serialized the whole run.
+//!
+//! Each worker thread lazily builds one [`MatchSession`] per fragment it
+//! touches and reuses it for every candidate it executes or steals, so
+//! matcher scratch (candidate sets, search order, counter accumulators) is
+//! recycled per worker, not per chunk; [`MatchStats::sessions_built`] stays
+//! bounded by `threads × fragments`.
 
 use std::time::{Duration, Instant};
 
-use qgp_core::matching::{quantified_match_restricted, MatchConfig, MatchStats};
+use qgp_core::matching::{MatchConfig, MatchSession, MatchStats};
 use qgp_core::pattern::Pattern;
-use qgp_graph::{Fragment, Graph, NodeId};
+use qgp_graph::{Graph, NodeId};
+use qgp_runtime::Runtime;
 
 use crate::error::ParallelError;
 use crate::partition::{dpar, DHopPartition, PartitionConfig};
@@ -25,39 +34,40 @@ use crate::partition::{dpar, DHopPartition, PartitionConfig};
 /// Configuration of a parallel matching run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelConfig {
-    /// Number of intra-fragment threads `b` used by `mQMatch` inside each
-    /// worker (the paper uses b = 4).
-    pub threads_per_worker: usize,
-    /// The sequential matcher configuration each worker runs.
+    /// Number of executor threads; `None` uses the process-wide
+    /// [`Runtime::global`] (configured by `QGP_THREADS`).
+    pub threads: Option<usize>,
+    /// The matcher configuration each session runs.
     pub match_config: MatchConfig,
 }
 
 impl ParallelConfig {
-    /// `PQMatch`: incremental negation handling, `b` intra-fragment threads.
-    pub fn pqmatch(threads_per_worker: usize) -> Self {
+    /// `PQMatch`: incremental negation handling on `threads` executor
+    /// threads (the paper's deployment uses 4 threads per worker).
+    pub fn pqmatch(threads: usize) -> Self {
         ParallelConfig {
-            threads_per_worker: threads_per_worker.max(1),
+            threads: Some(threads.max(1)),
             match_config: MatchConfig::qmatch(),
         }
     }
 
-    /// `PQMatchs`: the single-thread-per-worker counterpart of `PQMatch`.
+    /// `PQMatchs`: the single-threaded counterpart of `PQMatch`.
     pub fn pqmatch_s() -> Self {
         Self::pqmatch(1)
     }
 
     /// `PQMatchn`: negated edges recomputed from scratch on every worker.
-    pub fn pqmatch_n(threads_per_worker: usize) -> Self {
+    pub fn pqmatch_n(threads: usize) -> Self {
         ParallelConfig {
-            threads_per_worker: threads_per_worker.max(1),
+            threads: Some(threads.max(1)),
             match_config: MatchConfig::qmatch_n(),
         }
     }
 
     /// `PEnum`: parallel enumerate-then-verify baseline.
-    pub fn penum(threads_per_worker: usize) -> Self {
+    pub fn penum(threads: usize) -> Self {
         ParallelConfig {
-            threads_per_worker: threads_per_worker.max(1),
+            threads: Some(threads.max(1)),
             match_config: MatchConfig::enumerate(),
         }
     }
@@ -65,7 +75,10 @@ impl ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self::pqmatch(4)
+        ParallelConfig {
+            threads: None,
+            match_config: MatchConfig::qmatch(),
+        }
     }
 }
 
@@ -76,10 +89,25 @@ pub struct ParallelAnswer {
     pub matches: Vec<NodeId>,
     /// Aggregated matcher statistics over all workers.
     pub stats: MatchStats,
-    /// Wall-clock time spent by each worker (useful for measuring balance).
+    /// Matching time attributed to each *fragment* (summed across the
+    /// executor threads that ran its candidates) — the balance measure of
+    /// the paper's Exp-2.
     pub worker_times: Vec<Duration>,
+    /// Busy time of each executor thread; the maximum is the critical path,
+    /// i.e. the wall clock of a one-core-per-thread deployment.
+    pub thread_busy: Vec<Duration>,
+    /// Candidate-range steals the executor performed (>0 means static
+    /// chunking would have been imbalanced).
+    pub steals: usize,
     /// Total wall-clock time of the parallel phase.
     pub elapsed: Duration,
+}
+
+/// Per-executor-thread scratch: one lazily built matcher session per
+/// fragment, plus per-fragment busy accounting.
+struct WorkerScratch<'a> {
+    sessions: Vec<Option<MatchSession<'a>>>,
+    fragment_busy: Vec<Duration>,
 }
 
 /// Runs `PQMatch` over an existing d-hop preserving partition.
@@ -91,6 +119,22 @@ pub fn pqmatch(
     pattern: &Pattern,
     partition: &DHopPartition,
     config: &ParallelConfig,
+) -> Result<ParallelAnswer, ParallelError> {
+    let owned_runtime = config.threads.map(Runtime::new);
+    let runtime: &Runtime = match &owned_runtime {
+        Some(rt) => rt,
+        None => Runtime::global(),
+    };
+    pqmatch_on(pattern, partition, config, runtime)
+}
+
+/// [`pqmatch`] on an explicit executor (used by benchmarks to measure
+/// thread-count curves without touching the global runtime).
+pub fn pqmatch_on(
+    pattern: &Pattern,
+    partition: &DHopPartition,
+    config: &ParallelConfig,
+    runtime: &Runtime,
 ) -> Result<ParallelAnswer, ParallelError> {
     pattern
         .validate()
@@ -107,39 +151,78 @@ pub fn pqmatch(
     }
 
     let start = Instant::now();
-    // Inter-fragment parallelism: one worker thread per fragment.
-    let worker_outputs: Vec<(Vec<NodeId>, MatchStats, Duration)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = partition
-                .fragments()
-                .iter()
-                .map(|fragment| {
-                    scope.spawn(move || {
-                        let t0 = Instant::now();
-                        let (matches, stats) = mqmatch(fragment, pattern, config);
-                        (matches, stats, t0.elapsed())
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+    let fragments = partition.fragments();
+    let n = fragments.len();
+
+    // The flat task list: (fragment, covered local candidate), fragment-major
+    // so a worker's initial contiguous range mostly stays within one
+    // fragment (one session) and cross-fragment sessions only appear when
+    // work is stolen.
+    let mut tasks: Vec<(u32, NodeId)> = Vec::new();
+    for (f, fragment) in fragments.iter().enumerate() {
+        for v in fragment.covered_local_nodes() {
+            tasks.push((f as u32, v));
+        }
+    }
+
+    let match_config = config.match_config;
+    let outcome = runtime.map_with(
+        tasks.len(),
+        || WorkerScratch {
+            sessions: (0..n).map(|_| None).collect(),
+            fragment_busy: vec![Duration::ZERO; n],
+        },
+        |scratch, i| {
+            let (f, local) = tasks[i];
+            let f = f as usize;
+            let session = match &mut scratch.sessions[f] {
+                Some(session) => session,
+                slot => {
+                    let t0 = Instant::now();
+                    *slot = Some(MatchSession::new(
+                        fragments[f].graph(),
+                        pattern,
+                        &match_config,
+                    ));
+                    scratch.fragment_busy[f] += t0.elapsed();
+                    slot.as_mut().expect("just inserted")
+                }
+            };
+            // Pruned candidates exit through one bitmap probe with no clock
+            // reads — per-item timing only wraps real verifications, so the
+            // balance accounting does not tax the (common) cheap path.
+            if !session.is_focus_candidate(local) {
+                return None;
+            }
+            let t0 = Instant::now();
+            let matched = session.decide(local);
+            scratch.fragment_busy[f] += t0.elapsed();
+            matched.then(|| fragments[f].to_global(local))
+        },
+    );
 
     // Coordinator: union of the partial answers.
-    let mut matches: Vec<NodeId> = Vec::new();
-    let mut stats = MatchStats::default();
-    let mut worker_times = Vec::with_capacity(worker_outputs.len());
-    for (partial, worker_stats, time) in worker_outputs {
-        matches.extend(partial);
-        stats += worker_stats;
-        worker_times.push(time);
-    }
+    let mut matches: Vec<NodeId> = outcome.outputs.into_iter().flatten().collect();
     matches.sort_unstable();
     matches.dedup();
+
+    let mut stats = MatchStats::default();
+    let mut worker_times = vec![Duration::ZERO; n];
+    for scratch in outcome.states {
+        for session in scratch.sessions.into_iter().flatten() {
+            stats += session.stats();
+        }
+        for (f, busy) in scratch.fragment_busy.iter().enumerate() {
+            worker_times[f] += *busy;
+        }
+    }
 
     Ok(ParallelAnswer {
         matches,
         stats,
         worker_times,
+        thread_busy: outcome.worker_busy,
+        steals: outcome.steals,
         elapsed: start.elapsed(),
     })
 }
@@ -154,61 +237,6 @@ pub fn partition_and_match(
     let partition = dpar(graph, partition_config);
     let answer = pqmatch(pattern, &partition, config)?;
     Ok((partition, answer))
-}
-
-/// `mQMatch`: evaluates the pattern on one fragment, splitting the covered
-/// focus candidates across `b` intra-fragment threads.
-fn mqmatch(
-    fragment: &Fragment,
-    pattern: &Pattern,
-    config: &ParallelConfig,
-) -> (Vec<NodeId>, MatchStats) {
-    let covered_local = fragment.covered_local_nodes();
-    if covered_local.is_empty() {
-        return (Vec::new(), MatchStats::default());
-    }
-    let threads = config.threads_per_worker.max(1).min(covered_local.len());
-    let chunk = covered_local.len().div_ceil(threads);
-    let graph = fragment.graph();
-    let match_config = config.match_config;
-
-    let results: Vec<(Vec<NodeId>, MatchStats)> = if threads == 1 {
-        vec![run_chunk(graph, pattern, &match_config, &covered_local)]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = covered_local
-                .chunks(chunk)
-                .map(|chunk_nodes| {
-                    scope.spawn(move || run_chunk(graph, pattern, &match_config, chunk_nodes))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-    };
-
-    let mut matches = Vec::new();
-    let mut stats = MatchStats::default();
-    for (partial, partial_stats) in results {
-        matches.extend(partial);
-        stats += partial_stats;
-    }
-    // Translate local node ids back to global ids for the coordinator.
-    let mut global: Vec<NodeId> = matches.into_iter().map(|v| fragment.to_global(v)).collect();
-    global.sort_unstable();
-    global.dedup();
-    (global, stats)
-}
-
-/// Evaluates the pattern on a fragment-local graph restricted to one chunk of
-/// focus candidates.
-fn run_chunk(
-    graph: &Graph,
-    pattern: &Pattern,
-    config: &MatchConfig,
-    focus_chunk: &[NodeId],
-) -> (Vec<NodeId>, MatchStats) {
-    let answer = quantified_match_restricted(graph, pattern, config, Some(focus_chunk));
-    (answer.matches, answer.stats)
 }
 
 #[cfg(test)]
@@ -254,7 +282,7 @@ mod tests {
                         &pattern,
                         &partition,
                         &ParallelConfig {
-                            threads_per_worker: threads,
+                            threads: Some(threads),
                             match_config: MatchConfig::qmatch(),
                         },
                     )
@@ -280,10 +308,45 @@ mod tests {
             ParallelConfig::pqmatch_s(),
             ParallelConfig::pqmatch_n(2),
             ParallelConfig::penum(2),
+            ParallelConfig::default(),
         ] {
             let ans = pqmatch(&pattern, &partition, &config).unwrap();
             assert_eq!(ans.matches, expected, "{config:?}");
         }
+    }
+
+    #[test]
+    fn sessions_are_reused_per_worker_not_per_chunk() {
+        // With a grain far below the candidate count the executor claims
+        // many blocks, but sessions must only be built once per
+        // (executor thread, fragment) pair — the satellite regression guard
+        // for the old per-chunk scratch rebuild in `run_chunk`.
+        let g = social_graph(40);
+        let pattern = library::q3_redmi_negation(2);
+        let n = 3;
+        let threads = 2;
+        let partition = dpar(&g, &PartitionConfig::new(n, 2));
+        let runtime = Runtime::new(threads);
+        let answer = pqmatch_on(
+            &pattern,
+            &partition,
+            &ParallelConfig {
+                threads: Some(threads),
+                match_config: MatchConfig::qmatch(),
+            },
+            &runtime,
+        )
+        .unwrap();
+        assert!(
+            answer.stats.sessions_built <= threads * n,
+            "sessions_built = {} > threads × fragments = {}",
+            answer.stats.sessions_built,
+            threads * n
+        );
+        assert!(answer.stats.sessions_built >= 1);
+        // Plenty of candidates ran through those few sessions.
+        assert!(answer.stats.focus_candidates > answer.stats.sessions_built);
+        assert!(!answer.thread_busy.is_empty() && answer.thread_busy.len() <= threads);
     }
 
     #[test]

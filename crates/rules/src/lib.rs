@@ -10,7 +10,9 @@
 //! * **quantified entity identification** (`R(x_o, η, G)`),
 //! * sequential (`garMatch`) and parallel (`dgarMatch`) evaluation
 //!   (Corollary 11), and
-//! * a seed-and-strengthen miner reproducing the Exp-3 procedure.
+//! * a seed-and-strengthen miner reproducing the Exp-3 procedure, with each
+//!   seed pair (evaluation + strengthening ladder) scheduled as one task on
+//!   the shared [`qgp_runtime::Runtime`] work-stealing executor.
 //!
 //! ```
 //! use qgp_core::matching::MatchConfig;
@@ -63,5 +65,7 @@ pub mod rule;
 
 pub use error::RuleError;
 pub use evaluate::{evaluate_rule, evaluate_rule_parallel, identify_entities, RuleEvaluation};
-pub use mining::{mine_qgars, MinedRule, MiningConfig};
+pub use mining::{
+    mine_qgars, mine_qgars_with, mine_qgars_with_report, MinedRule, MiningConfig, MiningReport,
+};
 pub use rule::Qgar;

@@ -8,9 +8,12 @@
 //! substitutes a frequent-feature seed generator built on
 //! [`qgp_graph::GraphStats`] (see DESIGN.md for the substitution rationale).
 
+use std::time::Duration;
+
 use qgp_core::matching::MatchConfig;
 use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
 use qgp_graph::{Graph, GraphStats, LabelId};
+use qgp_runtime::Runtime;
 
 use crate::error::RuleError;
 use crate::evaluate::{evaluate_rule, RuleEvaluation};
@@ -63,7 +66,20 @@ pub struct MinedRule {
     pub strengthened_to: Option<f64>,
 }
 
-/// Mines QGARs from a graph (the Exp-3 procedure).
+/// Scheduling telemetry of one mining run (see
+/// [`mine_qgars_with_report`]).
+#[derive(Debug, Clone, Default)]
+pub struct MiningReport {
+    /// Number of (antecedent, consequent) seed pairs explored.
+    pub pairs_explored: usize,
+    /// Busy time of each executor thread that participated; the maximum is
+    /// the critical path of the run.
+    pub worker_busy: Vec<Duration>,
+    /// Seed-pair range steals the executor performed.
+    pub steals: usize,
+}
+
+/// Mines QGARs from a graph (the Exp-3 procedure) on the global runtime.
 ///
 /// 1. Frequent focus-incident edge features become candidate antecedent and
 ///    consequent building blocks (the "GPAR seeds").
@@ -73,43 +89,73 @@ pub struct MinedRule {
 ///    ratio aggregates in steps of `ratio_step`, keeping the strongest
 ///    quantifier whose confidence is still ≥ η (support is anti-monotonic,
 ///    so it can only drop while strengthening — Lemma 10).
+///
+/// Steps 2 and 3 are scheduled as one task per seed pair on the shared
+/// work-stealing executor: each pair's evaluation *and* its whole
+/// strengthening ladder run as a unit, and since ladders stop at different
+/// rungs the per-pair cost is skewed — exactly the shape stealing absorbs.
+/// The mined output is deterministic: results are reassembled in pair order
+/// before the (stable) confidence sort, so any thread count yields the rules
+/// of the old sequential loop.
 pub fn mine_qgars(graph: &Graph, config: &MiningConfig) -> Result<Vec<MinedRule>, RuleError> {
+    mine_qgars_with(graph, config, Runtime::global())
+}
+
+/// [`mine_qgars`] on an explicit executor.
+pub fn mine_qgars_with(
+    graph: &Graph,
+    config: &MiningConfig,
+    runtime: &Runtime,
+) -> Result<Vec<MinedRule>, RuleError> {
+    mine_qgars_with_report(graph, config, runtime).map(|(rules, _)| rules)
+}
+
+/// [`mine_qgars`] on an explicit executor, also returning scheduling
+/// telemetry (used by the `experiments bench --parallel` speedup harness).
+pub fn mine_qgars_with_report(
+    graph: &Graph,
+    config: &MiningConfig,
+    runtime: &Runtime,
+) -> Result<(Vec<MinedRule>, MiningReport), RuleError> {
     let stats = GraphStats::compute(graph);
     let Some(focus_label_id) = graph.labels().node_label(&config.focus_label) else {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), MiningReport::default()));
     };
 
     let seeds = seed_features(graph, &stats, focus_label_id, config.max_seed_features);
-    let mut mined = Vec::new();
+    let pairs: Vec<(usize, usize)> = (0..seeds.len())
+        .flat_map(|i| (0..seeds.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .collect();
 
-    for (i, antecedent_seed) in seeds.iter().enumerate() {
-        for (j, consequent_seed) in seeds.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            let Some(rule) = seed_rule(config, antecedent_seed, consequent_seed) else {
-                continue;
-            };
-            let Ok(eval) = evaluate_rule(graph, &rule, &config.match_config) else {
-                continue;
-            };
-            if eval.support < config.min_support
-                || eval.confidence < config.confidence_threshold
-            {
-                continue;
-            }
-            // Strengthen the antecedent quantifier while confidence permits.
-            let (best_rule, best_eval, strengthened_to) =
-                strengthen(graph, config, antecedent_seed, consequent_seed, rule, eval);
-            mined.push(MinedRule {
-                rule: best_rule,
-                evaluation: best_eval,
-                strengthened_to,
-            });
+    let outcome = runtime.map(pairs.len(), |k| {
+        let (i, j) = pairs[k];
+        let antecedent_seed = &seeds[i];
+        let consequent_seed = &seeds[j];
+        let rule = seed_rule(config, antecedent_seed, consequent_seed)?;
+        let eval = evaluate_rule(graph, &rule, &config.match_config).ok()?;
+        if eval.support < config.min_support || eval.confidence < config.confidence_threshold {
+            return None;
         }
-    }
+        // Strengthen the antecedent quantifier while confidence permits.
+        let (best_rule, best_eval, strengthened_to) =
+            strengthen(graph, config, antecedent_seed, consequent_seed, rule, eval);
+        Some(MinedRule {
+            rule: best_rule,
+            evaluation: best_eval,
+            strengthened_to,
+        })
+    });
 
-    // Highest-confidence rules first, ties broken by support.
+    let report = MiningReport {
+        pairs_explored: pairs.len(),
+        worker_busy: outcome.worker_busy,
+        steals: outcome.steals,
+    };
+    let mut mined: Vec<MinedRule> = outcome.outputs.into_iter().flatten().collect();
+
+    // Highest-confidence rules first, ties broken by support; the sort is
+    // stable over the pair order, matching the sequential loop exactly.
     mined.sort_by(|a, b| {
         b.evaluation
             .confidence
@@ -118,7 +164,7 @@ pub fn mine_qgars(graph: &Graph, config: &MiningConfig) -> Result<Vec<MinedRule>
             .then(b.evaluation.support.cmp(&a.evaluation.support))
     });
     mined.truncate(config.max_rules);
-    Ok(mined)
+    Ok((mined, report))
 }
 
 /// A frequent edge feature incident to the focus label.
@@ -316,6 +362,30 @@ mod tests {
             ..MiningConfig::default()
         };
         assert!(mine_qgars(&g, &config).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mined_rules_are_identical_for_every_thread_count() {
+        let g = regular_graph(15);
+        let config = MiningConfig {
+            min_support: 2,
+            confidence_threshold: 0.3,
+            ..MiningConfig::default()
+        };
+        let reference = mine_qgars_with(&g, &config, &Runtime::new(1)).unwrap();
+        assert!(!reference.is_empty());
+        for threads in [2, 4] {
+            let (rules, report) =
+                mine_qgars_with_report(&g, &config, &Runtime::new(threads)).unwrap();
+            assert_eq!(rules.len(), reference.len(), "threads = {threads}");
+            for (a, b) in rules.iter().zip(&reference) {
+                assert_eq!(a.rule.name(), b.rule.name());
+                assert_eq!(a.evaluation.support, b.evaluation.support);
+                assert_eq!(a.strengthened_to, b.strengthened_to);
+            }
+            assert!(report.pairs_explored > 0);
+            assert!(!report.worker_busy.is_empty());
+        }
     }
 
     #[test]

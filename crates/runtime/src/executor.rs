@@ -1,0 +1,492 @@
+//! The work-stealing executor.
+//!
+//! See the crate-level docs for the scheduling model.  Everything here is
+//! safe code: the per-worker deque is one atomic `(lo, hi)` range, outputs
+//! are accumulated worker-locally and scattered into index order after the
+//! join, and worker threads are scoped so tasks may borrow the caller's
+//! data.  This module is the only place in the workspace allowed to spawn
+//! threads for data parallelism.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Number of executor threads used when `QGP_THREADS` is not set: the
+/// machine's available parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a `QGP_THREADS`-style override; falls back when absent or invalid.
+fn parse_threads(var: Option<&str>, fallback: usize) -> usize {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(fallback)
+        .max(1)
+}
+
+/// On-CPU time of the calling thread in nanoseconds, from the kernel's
+/// scheduler accounting (`sum_exec_runtime`, the first field of
+/// `/proc/thread-self/schedstat`).  `None` when unavailable (non-Linux or
+/// `/proc` unmounted).
+///
+/// This is what makes the per-worker busy times meaningful on an
+/// oversubscribed host: wall-clock timing of concurrent workers
+/// double-counts the time a preempted worker spends waiting for a core,
+/// while CPU accounting measures the work itself.
+fn thread_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    stat.split_whitespace().next()?.parse().ok()
+}
+
+/// One worker's deque: a `(lo, hi)` index range packed into a single atomic
+/// word.  The owner claims grain-sized blocks from `lo`; thieves split off
+/// the upper half by moving `hi` down with one CAS.  Ranges are disjoint by
+/// construction (they only ever arise from splits of the initial 0..len
+/// space), so every index is executed exactly once.
+struct RangeQueue(AtomicU64);
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl RangeQueue {
+    fn new(lo: u32, hi: u32) -> Self {
+        RangeQueue(AtomicU64::new(pack(lo, hi)))
+    }
+
+    /// Remaining items in the range.
+    fn len(&self) -> u32 {
+        let (lo, hi) = unpack(self.0.load(Ordering::Acquire));
+        hi.saturating_sub(lo)
+    }
+
+    /// Installs a freshly stolen range.  Only ever called by the queue's
+    /// owner, and only while the queue is empty, so no work can be lost.
+    fn install(&self, lo: u32, hi: u32) {
+        self.0.store(pack(lo, hi), Ordering::Release);
+    }
+
+    /// Owner side: claims up to `grain` items from the bottom of the range.
+    fn claim(&self, grain: u32) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let take = grain.min(hi - lo);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(lo + take, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((lo, lo + take)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief side: splits off the upper half of the range, rounded up — a
+    /// single leftover item is stolen whole, so work never serializes
+    /// behind a long task its owner is still executing.
+    fn steal_half(&self) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let mid = lo + (hi - lo) / 2;
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(lo, mid),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((mid, hi)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// What one worker hands back after the join: its `(index, output)` pairs,
+/// its scratch state, and its busy time.
+type WorkerResult<O, S> = (Vec<(u32, O)>, S, Duration);
+
+/// The result of one parallel map: the per-index outputs (in index order,
+/// regardless of which worker produced them), plus the per-worker scratch
+/// states and busy times for aggregation.
+#[derive(Debug)]
+pub struct MapOutcome<O, S> {
+    /// `outputs[i]` is the result of the step function on index `i`.
+    pub outputs: Vec<O>,
+    /// The per-worker scratch states, one per worker that ran (at most
+    /// [`Runtime::threads`]).
+    pub states: Vec<S>,
+    /// Busy time of each worker: its on-CPU time over the run (kernel
+    /// scheduler accounting, so concurrent workers on an oversubscribed
+    /// host are not double-counted), falling back to summed wall time of
+    /// its executed blocks where CPU accounting is unavailable.  The
+    /// maximum is the run's *critical path*: the wall clock a deployment
+    /// with one core per worker would observe.
+    pub worker_busy: Vec<Duration>,
+    /// Number of successful steals — >0 means the initial static split was
+    /// imbalanced and the executor rebalanced it dynamically.
+    pub steals: usize,
+}
+
+impl<O, S> MapOutcome<O, S> {
+    /// Total busy time across workers (the sequential-equivalent work).
+    pub fn total_busy(&self) -> Duration {
+        self.worker_busy.iter().sum()
+    }
+
+    /// The critical path: the largest per-worker busy time.
+    pub fn critical_path(&self) -> Duration {
+        self.worker_busy.iter().max().copied().unwrap_or_default()
+    }
+}
+
+/// A work-stealing executor with a fixed number of worker threads.
+///
+/// `Runtime` is cheap to construct — threads are scoped to each
+/// [`Runtime::map_with`] call (so tasks can borrow caller data without
+/// `'static` bounds), while per-worker scratch state persists across all
+/// blocks a worker executes within a call.  Use [`Runtime::global`] for the
+/// process-wide instance configured by the `QGP_THREADS` environment
+/// variable.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl Runtime {
+    /// An executor with the given number of worker threads (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Runtime {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process-wide executor: `QGP_THREADS` when set to a positive
+    /// integer, otherwise the machine's available parallelism.
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let var = std::env::var("QGP_THREADS").ok();
+            Runtime::new(parse_threads(var.as_deref(), default_threads()))
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel map without per-worker state.
+    pub fn map<O, F>(&self, len: usize, step: F) -> MapOutcome<O, ()>
+    where
+        O: Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        self.map_with(len, || (), |(), i| step(i))
+    }
+
+    /// Parallel map with per-worker scratch state and a default grain.
+    ///
+    /// `init` runs once on each worker thread that participates; `step` runs
+    /// once per index with that worker's state.  Outputs come back in index
+    /// order, so results are deterministic no matter how work was stolen.
+    pub fn map_with<S, O, I, F>(&self, len: usize, init: I, step: F) -> MapOutcome<O, S>
+    where
+        S: Send,
+        O: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> O + Sync,
+    {
+        // Small grain keeps skewed items (hub candidates) stealable without
+        // making block claims measurable overhead.
+        let grain = (len / (self.threads * 16)).clamp(1, 256);
+        self.map_with_grain(len, grain, init, step)
+    }
+
+    /// [`Runtime::map_with`] with an explicit stealing granularity.
+    pub fn map_with_grain<S, O, I, F>(
+        &self,
+        len: usize,
+        grain: usize,
+        init: I,
+        step: F,
+    ) -> MapOutcome<O, S>
+    where
+        S: Send,
+        O: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> O + Sync,
+    {
+        assert!(len <= u32::MAX as usize, "task list exceeds u32 index space");
+        let workers = self.threads.min(len.max(1));
+        if workers <= 1 {
+            // Inline sequential fast path: no threads, no atomics.
+            let mut state = init();
+            let cpu0 = thread_cpu_ns();
+            let t0 = Instant::now();
+            let outputs = (0..len).map(|i| step(&mut state, i)).collect();
+            let busy = match (cpu0, thread_cpu_ns()) {
+                (Some(a), Some(b)) if b >= a => Duration::from_nanos(b - a),
+                _ => t0.elapsed(),
+            };
+            return MapOutcome {
+                outputs,
+                states: vec![state],
+                worker_busy: vec![busy],
+                steals: 0,
+            };
+        }
+
+        // Static contiguous split as the starting point; stealing corrects
+        // whatever imbalance the split hides.
+        let base = len / workers;
+        let rem = len % workers;
+        let mut queues = Vec::with_capacity(workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let take = base + usize::from(w < rem);
+            queues.push(RangeQueue::new(next as u32, (next + take) as u32));
+            next += take;
+        }
+        debug_assert_eq!(next, len);
+        let steals = AtomicUsize::new(0);
+        let grain = grain.clamp(1, u32::MAX as usize) as u32;
+
+        let results: Vec<WorkerResult<O, S>> = std::thread::scope(|scope| {
+            let queues = &queues;
+            let steals = &steals;
+            let init = &init;
+            let step = &step;
+            let handles: Vec<_> = (1..workers)
+                .map(|w| scope.spawn(move || worker_loop(w, queues, grain, init, step, steals)))
+                .collect();
+            // The calling thread is worker 0.
+            let mut all = vec![worker_loop(0, queues, grain, init, step, steals)];
+            all.extend(handles.into_iter().map(|h| h.join().expect("worker panicked")));
+            all
+        });
+
+        // Scatter worker-local outputs back into index order.
+        let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(len).collect();
+        let mut states = Vec::with_capacity(results.len());
+        let mut worker_busy = Vec::with_capacity(results.len());
+        for (pairs, state, busy) in results {
+            for (i, o) in pairs {
+                debug_assert!(slots[i as usize].is_none(), "index {i} executed twice");
+                slots[i as usize] = Some(o);
+            }
+            states.push(state);
+            worker_busy.push(busy);
+        }
+        let outputs = slots
+            .into_iter()
+            .map(|s| s.expect("every index executed exactly once"))
+            .collect();
+        MapOutcome {
+            outputs,
+            states,
+            worker_busy,
+            steals: steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new(default_threads())
+    }
+}
+
+/// One worker: drain the own queue in grain-sized blocks; when it runs dry,
+/// steal the upper half of the richest victim; exit when every queue is
+/// empty.  Claimed-but-unfinished blocks are not in any queue, so the
+/// residual imbalance at exit is bounded by `grain` items per worker.
+fn worker_loop<S, O, I, F>(
+    me: usize,
+    queues: &[RangeQueue],
+    grain: u32,
+    init: &I,
+    step: &F,
+    steals: &AtomicUsize,
+) -> WorkerResult<O, S>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> O + Sync,
+{
+    let mut state = init();
+    let mut out = Vec::new();
+    let cpu_start = thread_cpu_ns();
+    let mut wall_busy = Duration::ZERO;
+    'work: loop {
+        while let Some((a, b)) = queues[me].claim(grain) {
+            let t0 = Instant::now();
+            for i in a..b {
+                out.push((i, step(&mut state, i as usize)));
+            }
+            wall_busy += t0.elapsed();
+        }
+        // Own queue dry: look for the richest victim.
+        loop {
+            let mut best: Option<(usize, u32)> = None;
+            for (v, q) in queues.iter().enumerate() {
+                if v == me {
+                    continue;
+                }
+                let l = q.len();
+                if l >= 1 && best.is_none_or(|(_, bl)| l > bl) {
+                    best = Some((v, l));
+                }
+            }
+            match best {
+                Some((victim, _)) => {
+                    if let Some((lo, hi)) = queues[victim].steal_half() {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        queues[me].install(lo, hi);
+                        continue 'work;
+                    }
+                    // Lost the race; rescan.
+                }
+                // Every queue is empty.  Unexecuted work can only live in
+                // a queue or in the hands of the thief that just CASed it
+                // out (and will execute it itself), so nothing is left for
+                // this worker: exit without spinning.
+                None => break 'work,
+            }
+        }
+    }
+    let busy = match (cpu_start, thread_cpu_ns()) {
+        (Some(a), Some(b)) if b >= a => Duration::from_nanos(b - a),
+        _ => wall_busy,
+    };
+    (out, state, busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn map_matches_sequential_for_every_thread_count() {
+        for threads in [1, 2, 3, 4, 7] {
+            let rt = Runtime::new(threads);
+            for len in [0usize, 1, 2, 5, 64, 257, 1000] {
+                let outcome = rt.map(len, |i| i * 3 + 1);
+                let expected: Vec<usize> = (0..len).map(|i| i * 3 + 1).collect();
+                assert_eq!(outcome.outputs, expected, "threads={threads} len={len}");
+                assert!(outcome.states.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_state_sees_every_index_exactly_once() {
+        let rt = Runtime::new(4);
+        let len = 10_000;
+        let outcome = rt.map_with(len, Vec::new, |seen: &mut Vec<usize>, i| seen.push(i));
+        let mut all: Vec<usize> = outcome.states.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..len).collect();
+        assert_eq!(all, expected);
+        assert_eq!(outcome.outputs.len(), len);
+    }
+
+    #[test]
+    fn skewed_workload_triggers_stealing() {
+        // All the cost sits in the first indices: the static split gives them
+        // to worker 0, so the other workers must steal to stay busy.  With
+        // grain 1 every heavy item is individually stealable.
+        let rt = Runtime::new(4);
+        let len = 64;
+        let outcome = rt.map_with_grain(len, 1, || (), |(), i| {
+            if i < 16 {
+                // A few hundred µs of real work per "hub" item.
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+            }
+            i
+        });
+        assert_eq!(outcome.outputs, (0..len).collect::<Vec<_>>());
+        // On any scheduler interleaving, at least one idle worker finds the
+        // loaded range stealable.
+        assert!(outcome.steals > 0, "expected dynamic rebalancing");
+        assert!(outcome.critical_path() <= outcome.total_busy());
+    }
+
+    #[test]
+    fn single_thread_runtime_runs_inline() {
+        let rt = Runtime::new(1);
+        let on_caller = AtomicBool::new(false);
+        let caller = std::thread::current().id();
+        let outcome = rt.map(8, |i| {
+            if std::thread::current().id() == caller {
+                on_caller.store(true, Ordering::Relaxed);
+            }
+            i
+        });
+        assert!(on_caller.load(Ordering::Relaxed));
+        assert_eq!(outcome.steals, 0);
+        assert_eq!(outcome.states.len(), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Runtime::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn env_override_parsing() {
+        assert_eq!(parse_threads(Some("4"), 2), 4);
+        assert_eq!(parse_threads(Some(" 8 "), 2), 8);
+        assert_eq!(parse_threads(Some("0"), 2), 2);
+        assert_eq!(parse_threads(Some("nope"), 2), 2);
+        assert_eq!(parse_threads(None, 3), 3);
+        assert_eq!(parse_threads(None, 0), 1);
+    }
+
+    #[test]
+    fn range_queue_claim_and_steal_are_disjoint() {
+        let q = RangeQueue::new(0, 100);
+        let (a, b) = q.claim(10).unwrap();
+        assert_eq!((a, b), (0, 10));
+        let (lo, hi) = q.steal_half().unwrap();
+        assert_eq!((lo, hi), (55, 100));
+        assert_eq!(q.len(), 45);
+        // Drain the rest; every index comes out exactly once.
+        let mut seen: Vec<u32> = (a..b).chain(lo..hi).collect();
+        while let Some((x, y)) = q.claim(7) {
+            seen.extend(x..y);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert!(q.steal_half().is_none());
+    }
+
+    #[test]
+    fn states_and_busy_are_reported_per_worker() {
+        let rt = Runtime::new(3);
+        let outcome = rt.map_with(300, || 1usize, |s, _| *s);
+        assert_eq!(outcome.outputs.len(), 300);
+        assert!(!outcome.states.is_empty() && outcome.states.len() <= 3);
+        assert_eq!(outcome.worker_busy.len(), outcome.states.len());
+    }
+}

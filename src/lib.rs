@@ -70,3 +70,4 @@ pub use qgp_datasets as datasets;
 pub use qgp_graph as graph;
 pub use qgp_parallel as parallel;
 pub use qgp_rules as rules;
+pub use qgp_runtime as runtime;
