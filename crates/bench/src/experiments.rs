@@ -7,11 +7,43 @@
 
 use std::time::Instant;
 
-use qgp_core::matching::{quantified_match_with, MatchConfig};
+use qgp_core::engine::{Engine, ExecOptions, Parallelism};
+use qgp_core::matching::{MatchConfig, QueryAnswer};
 use qgp_core::pattern::Pattern;
 use qgp_datasets::PatternSize;
 use qgp_graph::Graph;
-use qgp_parallel::{dpar, dpar_with, pqmatch, DHopPartition, ParallelConfig, PartitionConfig};
+use qgp_parallel::{dpar, dpar_with, DHopPartition, ParallelConfig, PartitionConfig};
+
+/// One sequential engine execution (prepare + run, the unit the sequential
+/// experiment tables time).
+fn sequential_match(graph: &Graph, pattern: &Pattern, config: &MatchConfig) -> QueryAnswer {
+    Engine::new(graph)
+        .prepare(pattern)
+        .expect("experiment patterns validate")
+        .run(ExecOptions::sequential().with_config(*config))
+        .expect("sequential runs succeed")
+}
+
+/// One partitioned engine execution under a `ParallelConfig` (the unit the
+/// parallel experiment tables time).
+fn partitioned_match(
+    graph: &Graph,
+    pattern: &Pattern,
+    partition: &DHopPartition,
+    config: &ParallelConfig,
+) -> QueryAnswer {
+    let opts = ExecOptions::partitioned_with(
+        partition.fragments(),
+        partition.d(),
+        Parallelism::threads_or_global(config.threads),
+    )
+    .with_config(config.match_config);
+    Engine::new(graph)
+        .prepare(pattern)
+        .expect("experiment patterns validate")
+        .run(opts)
+        .expect("pattern radius fits the partition")
+}
 use qgp_rules::{mine_qgars, MiningConfig};
 use qgp_runtime::Runtime;
 
@@ -105,7 +137,7 @@ pub fn exp1_qmatch(scale: &ExperimentScale) -> Table {
         let mut row = vec![name.to_string()];
         let mut matches = 0usize;
         for (_, config) in sequential_configs() {
-            let (ans, elapsed) = time(|| quantified_match_with(graph, &pattern, &config).unwrap());
+            let (ans, elapsed) = time(|| sequential_match(graph, &pattern, &config));
             matches = ans.len();
             row.push(secs(elapsed));
         }
@@ -135,7 +167,7 @@ pub fn exp2_vary_n(dataset: Dataset, scale: &ExperimentScale) -> Table {
         let mut row = vec![n.to_string()];
         let mut matches = 0usize;
         for (_, config) in parallel_configs(n, scale.threads_per_worker) {
-            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            let (ans, elapsed) = time(|| partitioned_match(&graph, &pattern, &partition, &config));
             matches = ans.matches.len();
             row.push(secs(elapsed));
         }
@@ -207,7 +239,7 @@ pub fn exp2_vary_q(dataset: Dataset, scale: &ExperimentScale) -> Table {
         let mut row = vec![format!("({vq},{eq})")];
         let mut matches = 0usize;
         for (_, config) in parallel_configs(n, scale.threads_per_worker) {
-            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            let (ans, elapsed) = time(|| partitioned_match(&graph, &pattern, &partition, &config));
             matches = ans.matches.len();
             row.push(secs(elapsed));
         }
@@ -247,7 +279,7 @@ pub fn exp2_vary_negated(dataset: Dataset, scale: &ExperimentScale) -> Table {
         let mut row = vec![neg.to_string()];
         let mut matches = 0usize;
         for (_, config) in parallel_configs(n, scale.threads_per_worker) {
-            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            let (ans, elapsed) = time(|| partitioned_match(&graph, &pattern, &partition, &config));
             matches = ans.matches.len();
             row.push(secs(elapsed));
         }
@@ -291,7 +323,7 @@ pub fn exp2_vary_ratio(dataset: Dataset, scale: &ExperimentScale) -> Table {
         let mut row = vec![format!("{pa}%")];
         let mut matches = 0usize;
         for (_, config) in parallel_configs(n, scale.threads_per_worker) {
-            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            let (ans, elapsed) = time(|| partitioned_match(&graph, &pattern, &partition, &config));
             matches = ans.matches.len();
             row.push(secs(elapsed));
         }
@@ -318,7 +350,7 @@ pub fn exp2_vary_graph_size(scale: &ExperimentScale) -> Table {
         let mut row = vec![format!("({}, {})", graph.node_count(), graph.edge_count())];
         let mut matches = 0usize;
         for (_, config) in parallel_configs(n, scale.threads_per_worker) {
-            let (ans, elapsed) = time(|| pqmatch(&pattern, &partition, &config).unwrap());
+            let (ans, elapsed) = time(|| partitioned_match(&graph, &pattern, &partition, &config));
             matches = ans.matches.len();
             row.push(secs(elapsed));
         }
@@ -378,7 +410,7 @@ pub fn smoke_parallel(scale: &ExperimentScale) -> (DHopPartition, usize) {
     );
     let d = pattern.radius().max(2);
     let partition = dpar(&graph, &PartitionConfig::new(2, d));
-    let answer = pqmatch(&pattern, &partition, &ParallelConfig::pqmatch(2)).unwrap();
+    let answer = partitioned_match(&graph, &pattern, &partition, &ParallelConfig::pqmatch(2));
     (partition, answer.matches.len())
 }
 

@@ -76,6 +76,27 @@ pub struct ParallelMeasurement {
     pub matches: usize,
 }
 
+/// One timed prepared-query-engine workload (`experiments bench --engine`).
+///
+/// `mode` distinguishes the three paths the engine section compares:
+/// `one-shot` (the legacy free-function surface: prepare + execute per
+/// call), `prepared` (prepare once, execute per call — the serving
+/// pattern), and `limit10` (prepared, stop after the first 10 answers).
+#[derive(Debug, Clone)]
+pub struct EngineMeasurement {
+    /// Workload name (e.g. `pokec-like/Q3(p=2)`).
+    pub workload: String,
+    /// `one-shot`, `prepared`, or `limit10`.
+    pub mode: String,
+    /// Best-of-N wall-clock time per execution.
+    pub seconds: f64,
+    /// Answers returned (10 under `limit10` when the full answer is larger).
+    pub matches: usize,
+    /// Focus candidates decided during the execution — the work counter
+    /// that proves `limit10` genuinely stops early.
+    pub candidates_decided: usize,
+}
+
 /// One labeled measurement run (e.g. `baseline` or `current`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchRun {
@@ -92,6 +113,9 @@ pub struct BenchRun {
     /// Parallel speedup section (empty unless the harness ran with
     /// `--parallel`).
     pub parallel: Vec<ParallelMeasurement>,
+    /// Prepared-query engine section (empty unless the harness ran with
+    /// `--engine`).
+    pub engine: Vec<EngineMeasurement>,
 }
 
 /// A whole `BENCH_*.json` document.
@@ -162,7 +186,28 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
         );
         out.push_str(if i + 1 < run.parallel.len() { ",\n" } else { "\n" });
     }
-    out.push_str("      ]\n");
+    // The engine section is omitted entirely when empty so documents from
+    // pre-engine harness versions and engine-less runs render identically.
+    if run.engine.is_empty() {
+        out.push_str("      ]\n");
+    } else {
+        out.push_str("      ],\n");
+        out.push_str("      \"engine\": [\n");
+        for (i, m) in run.engine.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"workload\": \"{}\", \"mode\": \"{}\", \"seconds\": {:.6}, \
+                 \"matches\": {}, \"candidates_decided\": {}}}",
+                escape(&m.workload),
+                escape(&m.mode),
+                m.seconds,
+                m.matches,
+                m.candidates_decided
+            );
+            out.push_str(if i + 1 < run.engine.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+    }
     out.push_str(if last { "    }\n" } else { "    },\n" });
 }
 
@@ -262,6 +307,13 @@ mod tests {
                     busy_seconds: 0.39,
                     critical_path_seconds: 0.11,
                     matches: 42,
+                }],
+                engine: vec![EngineMeasurement {
+                    workload: "pokec-like/Q3(p=2)".into(),
+                    mode: "limit10".into(),
+                    seconds: 0.001,
+                    matches: 10,
+                    candidates_decided: 17,
                 }],
             }],
         };

@@ -35,7 +35,7 @@ pub mod perf;
 pub mod report;
 pub mod workloads;
 
-pub use json::{BenchReport, BenchRun, ParallelMeasurement};
-pub use perf::{run_bench, run_parallel_section, BenchScale};
+pub use json::{BenchReport, BenchRun, EngineMeasurement, ParallelMeasurement};
+pub use perf::{run_bench, run_engine_section, run_parallel_section, BenchScale};
 pub use report::Table;
 pub use workloads::{Dataset, ExperimentScale};

@@ -14,16 +14,18 @@
 //!   exp3       Exp-3       QGAR discovery
 //!   all        everything above
 //!
-//! experiments bench [--smoke] [--parallel] [--label NAME] [--commit SHA]
-//!                   [--out PATH] [--append]
+//! experiments bench [--smoke] [--parallel] [--engine] [--label NAME]
+//!                   [--commit SHA] [--out PATH] [--append]
 //!
 //!   Runs the fixed-seed perf harness (graph construction + sequential
 //!   QMatch workloads) and writes a BENCH_*.json document with one run.
 //!   --smoke shrinks the workloads to CI size.  --parallel adds the
 //!   speedup section (PQMatch and QGAR mining at 1/2/4 executor threads,
 //!   with wall/busy/critical-path accounting and identical-match checks).
-//!   --append splices the run into an existing --out document instead of
-//!   overwriting it.
+//!   --engine adds the prepared-query section (one-shot vs prepared vs
+//!   limit(10) on the sequential matching workloads, with prefix and
+//!   identical-answer checks).  --append splices the run into an existing
+//!   --out document instead of overwriting it.
 //! ```
 
 use std::env;
@@ -34,7 +36,8 @@ use qgp_bench::experiments::{
     exp2_vary_q, exp2_vary_ratio, exp3_qgar,
 };
 use qgp_bench::{
-    run_bench, run_parallel_section, BenchReport, BenchScale, Dataset, ExperimentScale,
+    run_bench, run_engine_section, run_parallel_section, BenchReport, BenchScale, Dataset,
+    ExperimentScale,
 };
 
 fn bench_main(args: &[String]) -> ExitCode {
@@ -43,12 +46,14 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut commit = "worktree".to_string();
     let mut out: Option<String> = None;
     let mut parallel = false;
+    let mut engine = false;
     let mut append = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => scale = BenchScale::smoke(),
             "--parallel" => parallel = true,
+            "--engine" => engine = true,
             "--append" => append = true,
             "--label" => {
                 i += 1;
@@ -78,6 +83,9 @@ fn bench_main(args: &[String]) -> ExitCode {
     if parallel {
         run_parallel_section(&mut run, &scale);
     }
+    if engine {
+        run_engine_section(&mut run, &scale);
+    }
     for m in &run.graph_construction {
         println!(
             "construct {:<28} {:>9} nodes {:>9} edges  {:.3}s",
@@ -100,6 +108,12 @@ fn bench_main(args: &[String]) -> ExitCode {
             m.busy_seconds,
             m.critical_path_seconds,
             m.matches
+        );
+    }
+    for m in &run.engine {
+        println!(
+            "engine    {:<28} {:<9} {:.3}s  ({} matches, {} candidates decided)",
+            m.workload, m.mode, m.seconds, m.matches, m.candidates_decided
         );
     }
     let document = match &out {

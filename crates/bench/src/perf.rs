@@ -8,18 +8,30 @@
 //! from the PR — are directly comparable.  The matching section mirrors the
 //! `bench_qmatch` criterion bench (Fig. 8(a)'s sequential comparison).
 
-use qgp_core::matching::{quantified_match_with, MatchConfig};
+use qgp_core::engine::{Engine, ExecOptions};
+use qgp_core::matching::{MatchConfig, QueryAnswer};
 use qgp_core::pattern::{library, Pattern};
 use qgp_datasets::{pokec_like, yago_like, KnowledgeConfig, SocialConfig};
 use qgp_graph::Graph;
-use qgp_parallel::{dpar_with, pqmatch_on, ParallelConfig, PartitionConfig};
+use qgp_parallel::{dpar_with, PartitionConfig};
 use qgp_rules::{mine_qgars_with_report, MiningConfig};
 use qgp_runtime::Runtime;
 
 use crate::json::{
-    time_best_of, BenchRun, ConstructionMeasurement, ParallelMeasurement, QmatchMeasurement,
+    time_best_of, BenchRun, ConstructionMeasurement, EngineMeasurement, ParallelMeasurement,
+    QmatchMeasurement,
 };
 use crate::workloads::synthetic_graph;
+
+/// One sequential engine execution, prepare included (the historical
+/// per-call cost every pre-engine measurement paid).
+fn one_shot_match(graph: &Graph, pattern: &Pattern, config: &MatchConfig) -> QueryAnswer {
+    Engine::new(graph)
+        .prepare(pattern)
+        .expect("library patterns validate")
+        .run(ExecOptions::sequential().with_config(*config))
+        .expect("sequential runs succeed")
+}
 
 /// Workload sizes for one harness invocation.
 #[derive(Debug, Clone, Copy)]
@@ -87,9 +99,7 @@ fn qmatch_case(
         ("QMatchn", MatchConfig::qmatch_n()),
         ("Enum", MatchConfig::enumerate()),
     ] {
-        let (ans, elapsed) = time_best_of(iters, || {
-            quantified_match_with(graph, pattern, &config).expect("library patterns validate")
-        });
+        let (ans, elapsed) = time_best_of(iters, || one_shot_match(graph, pattern, &config));
         runs.push(QmatchMeasurement {
             workload: workload.to_string(),
             algorithm: name.to_string(),
@@ -133,8 +143,7 @@ fn parallel_qmatch_case(
     iters: usize,
 ) {
     let (seq, seq_elapsed) = best_of(iters, || {
-        quantified_match_with(graph, pattern, &MatchConfig::qmatch())
-            .expect("library patterns validate")
+        one_shot_match(graph, pattern, &MatchConfig::qmatch())
     });
     let seq_seconds = seq_elapsed.as_secs_f64();
     runs.push(ParallelMeasurement {
@@ -149,17 +158,25 @@ fn parallel_qmatch_case(
 
     let d = pattern.radius().max(2);
     let partition = dpar_with(graph, &PartitionConfig::new(4, d), &Runtime::new(4));
-    let config = ParallelConfig {
-        threads: None,
-        match_config: MatchConfig::qmatch(),
-    };
+    let mut prepared = Engine::new(graph)
+        .prepare(pattern)
+        .expect("library patterns validate");
     for &threads in PARALLEL_THREADS {
         let runtime = Runtime::new(threads);
         let (ans, elapsed) = best_of(iters, || {
-            pqmatch_on(pattern, &partition, &config, &runtime).expect("radius fits partition")
+            let matches = prepared
+                .execute(ExecOptions::partitioned_on(
+                    partition.fragments(),
+                    partition.d(),
+                    &runtime,
+                ))
+                .expect("radius fits partition");
+            let telemetry = matches.telemetry().cloned().expect("partitioned telemetry");
+            (matches.into_answer(), telemetry)
         });
+        let (answer, telemetry) = ans;
         assert_eq!(
-            ans.matches, seq.matches,
+            answer.matches, seq.matches,
             "PQMatch({threads} threads) disagrees with sequential QMatch on {workload}"
         );
         runs.push(ParallelMeasurement {
@@ -167,13 +184,17 @@ fn parallel_qmatch_case(
             mode: "PQMatch".to_string(),
             threads,
             wall_seconds: elapsed.as_secs_f64(),
-            busy_seconds: ans.thread_busy.iter().map(std::time::Duration::as_secs_f64).sum(),
-            critical_path_seconds: ans
+            busy_seconds: telemetry
+                .thread_busy
+                .iter()
+                .map(std::time::Duration::as_secs_f64)
+                .sum(),
+            critical_path_seconds: telemetry
                 .thread_busy
                 .iter()
                 .map(std::time::Duration::as_secs_f64)
                 .fold(0.0, f64::max),
-            matches: ans.matches.len(),
+            matches: answer.matches.len(),
         });
     }
 }
@@ -251,6 +272,93 @@ pub fn run_parallel_section(run: &mut BenchRun, scale: &BenchScale) {
         "pokec-like/exp3-mining",
         &pokec,
         &mining,
+        scale.iters,
+    );
+}
+
+/// One workload of the engine section: the legacy one-shot surface
+/// (prepare + execute per call), the prepared path (prepare once, execute
+/// per call), and top-10 serving (`limit(10)`), all on the same pattern.
+fn engine_case(
+    runs: &mut Vec<EngineMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    pattern: &Pattern,
+    iters: usize,
+) {
+    let push = |runs: &mut Vec<EngineMeasurement>, mode: &str, ans: &QueryAnswer, secs: f64| {
+        runs.push(EngineMeasurement {
+            workload: workload.to_string(),
+            mode: mode.to_string(),
+            seconds: secs,
+            matches: ans.matches.len(),
+            candidates_decided: ans.stats.focus_candidates,
+        });
+    };
+
+    // The one-shot path: what every caller of the old free functions pays.
+    let (ans, elapsed) = best_of(iters, || {
+        one_shot_match(graph, pattern, &MatchConfig::qmatch())
+    });
+    push(runs, "one-shot", &ans, elapsed.as_secs_f64());
+    let full = ans;
+
+    // The prepared path: compilation and candidate analysis amortized away.
+    let mut prepared = Engine::new(graph)
+        .prepare(pattern)
+        .expect("library patterns validate");
+    prepared
+        .run(ExecOptions::sequential())
+        .expect("warm-up run succeeds");
+    let (ans, elapsed) = best_of(iters, || {
+        prepared
+            .run(ExecOptions::sequential())
+            .expect("sequential runs succeed")
+    });
+    assert_eq!(
+        ans.matches, full.matches,
+        "prepared execution disagrees with one-shot on {workload}"
+    );
+    push(runs, "prepared", &ans, elapsed.as_secs_f64());
+
+    // Top-10 serving: verification stops at the 10th accepted answer.
+    let (ans, elapsed) = best_of(iters, || {
+        prepared
+            .run(ExecOptions::sequential().limit(10))
+            .expect("sequential runs succeed")
+    });
+    assert_eq!(
+        ans.matches,
+        full.matches[..full.matches.len().min(10)],
+        "limit(10) must yield a prefix of the full answer on {workload}"
+    );
+    push(runs, "limit10", &ans, elapsed.as_secs_f64());
+}
+
+/// The prepared-query engine section (`--engine`): the sequential matching
+/// workloads measured one-shot vs prepared vs limit(10).
+pub fn run_engine_section(run: &mut BenchRun, scale: &BenchScale) {
+    let pokec = pokec_like(&SocialConfig::with_persons(scale.matching_persons));
+    let yago = yago_like(&KnowledgeConfig::with_persons(scale.matching_persons));
+    engine_case(
+        &mut run.engine,
+        "pokec-like/Q3(p=2)",
+        &pokec,
+        &library::q3_redmi_negation(2),
+        scale.iters,
+    );
+    engine_case(
+        &mut run.engine,
+        "pokec-like/Q1(80%)",
+        &pokec,
+        &library::q1_music_club(),
+        scale.iters,
+    );
+    engine_case(
+        &mut run.engine,
+        "yago2-like/Q4(p=2)",
+        &yago,
+        &library::q4_uk_professors(2),
         scale.iters,
     );
 }
@@ -339,6 +447,40 @@ mod tests {
         // algorithm (correctness fingerprint).
         for chunk in run.qmatch.chunks(3) {
             assert!(chunk.iter().all(|m| m.matches == chunk[0].matches));
+        }
+    }
+
+    #[test]
+    fn smoke_engine_section_compares_the_three_paths() {
+        let scale = BenchScale {
+            construction_persons: 300,
+            construction_synthetic_nodes: 500,
+            matching_persons: 300,
+            iters: 1,
+        };
+        let mut run = BenchRun::default();
+        run_engine_section(&mut run, &scale);
+        // 3 workloads × 3 modes.
+        assert_eq!(run.engine.len(), 9);
+        for chunk in run.engine.chunks(3) {
+            let (one_shot, prepared, limit10) = (&chunk[0], &chunk[1], &chunk[2]);
+            assert_eq!(one_shot.mode, "one-shot");
+            assert_eq!(prepared.mode, "prepared");
+            assert_eq!(limit10.mode, "limit10");
+            // Identical full answers; the limited run returns a prefix.
+            assert_eq!(one_shot.matches, prepared.matches, "{}", chunk[0].workload);
+            assert!(limit10.matches <= one_shot.matches.min(10));
+            // Early termination is visible in the work counter whenever the
+            // full answer exceeds the limit.
+            if one_shot.matches > 10 {
+                assert!(
+                    limit10.candidates_decided < prepared.candidates_decided,
+                    "{}: limit10 decided {} vs full {}",
+                    chunk[0].workload,
+                    limit10.candidates_decided,
+                    prepared.candidates_decided
+                );
+            }
         }
     }
 

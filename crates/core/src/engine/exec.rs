@@ -1,0 +1,526 @@
+//! Execution of prepared queries: the streaming sequential path, the
+//! whole-graph parallel path, and the partitioned (`PQMatch`-style) path,
+//! all driving the same [`MatchSession::decide_cancellable`] semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qgp_graph::{Fragment, NodeId};
+use qgp_runtime::{CancelToken, Runtime};
+
+use super::options::{ExecMode, ExecOptions, Parallelism};
+use super::PreparedQuery;
+use crate::error::MatchError;
+use crate::matching::{MatchSession, MatchStats, QueryAnswer};
+
+/// Scheduling telemetry of a parallel or partitioned execution, preserved
+/// so `ParallelAnswer`-style reporting keeps working through the engine.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelTelemetry {
+    /// Matching time attributed to each *fragment* (partitioned mode only;
+    /// empty for whole-graph parallel runs) — the balance measure of the
+    /// paper's Exp-2.
+    pub worker_times: Vec<Duration>,
+    /// Busy time of each executor thread; the maximum is the critical path.
+    pub thread_busy: Vec<Duration>,
+    /// Candidate-range steals the executor performed.
+    pub steals: usize,
+    /// Wall-clock time of the parallel phase.
+    pub elapsed: Duration,
+}
+
+/// Shared controls of one execution: the user's cancellation token, the
+/// internal stop flag the runtime polls (set on user cancellation *or* when
+/// the answer limit is reached), and the accepted-answer counter.
+struct ExecControl {
+    user: Option<CancelToken>,
+    stop: CancelToken,
+    limit: Option<usize>,
+    accepted: AtomicUsize,
+}
+
+impl ExecControl {
+    fn new(limit: Option<usize>, user: Option<CancelToken>) -> Self {
+        ExecControl {
+            user,
+            stop: CancelToken::new(),
+            limit,
+            accepted: AtomicUsize::new(0),
+        }
+    }
+
+    /// The token the work-stealing runtime polls between tasks.
+    fn runtime_token(&self) -> &CancelToken {
+        &self.stop
+    }
+
+    /// The user's token, polled inside [`MatchSession::decide_cancellable`].
+    fn user_token(&self) -> Option<&CancelToken> {
+        self.user.as_ref()
+    }
+
+    /// Should this execution stop scheduling new candidates?  Propagates a
+    /// fired user token into the runtime stop flag.
+    fn should_stop(&self) -> bool {
+        if self.user.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.stop.cancel();
+            return true;
+        }
+        self.stop.is_cancelled()
+    }
+
+    /// Claims one accepted-answer slot.  With a limit of `k`, exactly the
+    /// first `k` claims succeed (the `fetch_add` arbitrates races) and the
+    /// `k`-th claim raises the stop flag so no further candidate is
+    /// verified.
+    fn try_accept(&self) -> bool {
+        match self.limit {
+            None => true,
+            Some(k) => {
+                let prev = self.accepted.fetch_add(1, Ordering::AcqRel);
+                if prev + 1 >= k {
+                    self.stop.cancel();
+                }
+                prev < k
+            }
+        }
+    }
+
+    /// Tokens are latched, so observing the user token directly is exact.
+    fn was_cancelled(&self) -> bool {
+        self.user.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+}
+
+/// The lazy answer stream of one [`PreparedQuery::execute`] call.
+///
+/// Under [`ExecMode::Sequential`] each call to [`Iterator::next`] verifies
+/// focus candidates until the next accepted one — the first answers arrive
+/// before later candidates are even looked at, and dropping the iterator
+/// early (or setting [`ExecOptions::limit`]) genuinely skips their
+/// verification.  Parallel and partitioned executions run when `execute`
+/// is called (their answers come back through a barrier) and iterate a
+/// buffered, sorted result.
+///
+/// [`Matches::into_answer`] drains whatever is still pending and returns
+/// the complete [`QueryAnswer`] of the execution, including the matches
+/// already yielded.
+pub struct Matches<'q, 'g> {
+    inner: Inner<'q, 'g>,
+}
+
+impl std::fmt::Debug for Matches<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Streaming {
+                candidates, pos, ..
+            } => f
+                .debug_struct("Matches")
+                .field("mode", &"streaming")
+                .field("candidates", &candidates.len())
+                .field("decided", pos)
+                .finish_non_exhaustive(),
+            Inner::Buffered { results, pos, .. } => f
+                .debug_struct("Matches")
+                .field("mode", &"buffered")
+                .field("results", &results.len())
+                .field("yielded", pos)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+enum Inner<'q, 'g> {
+    Streaming {
+        session: &'q mut MatchSession<'g>,
+        /// Session counters at execution start; reported stats are the
+        /// delta, so a reused prepared query reports per-execution work.
+        baseline: MatchStats,
+        candidates: Vec<NodeId>,
+        pos: usize,
+        emitted: Vec<NodeId>,
+        limit: Option<usize>,
+        cancel: Option<CancelToken>,
+        cancelled: bool,
+        done: bool,
+    },
+    Buffered {
+        results: Vec<NodeId>,
+        pos: usize,
+        stats: MatchStats,
+        telemetry: ParallelTelemetry,
+        cancelled: bool,
+    },
+}
+
+impl<'q, 'g> Iterator for Matches<'q, 'g> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match &mut self.inner {
+            Inner::Streaming {
+                session,
+                candidates,
+                pos,
+                emitted,
+                limit,
+                cancel,
+                cancelled,
+                done,
+                ..
+            } => {
+                if *done || limit.is_some_and(|k| emitted.len() >= k) {
+                    return None;
+                }
+                while *pos < candidates.len() {
+                    let vx = candidates[*pos];
+                    *pos += 1;
+                    match session.decide_cancellable(vx, cancel.as_ref()) {
+                        None => {
+                            *cancelled = true;
+                            *done = true;
+                            return None;
+                        }
+                        Some(true) => {
+                            emitted.push(vx);
+                            if limit.is_some_and(|k| emitted.len() >= k) {
+                                *done = true;
+                            }
+                            return Some(vx);
+                        }
+                        Some(false) => {}
+                    }
+                }
+                *done = true;
+                None
+            }
+            Inner::Buffered { results, pos, .. } => {
+                let v = results.get(*pos).copied();
+                *pos += 1;
+                v
+            }
+        }
+    }
+}
+
+impl<'q, 'g> Matches<'q, 'g> {
+    /// Work counters of this execution so far (final once the iterator is
+    /// exhausted; parallel and partitioned executions are complete as soon
+    /// as `execute` returns).
+    pub fn stats(&self) -> MatchStats {
+        match &self.inner {
+            Inner::Streaming {
+                session, baseline, ..
+            } => session.stats() - *baseline,
+            Inner::Buffered { stats, .. } => *stats,
+        }
+    }
+
+    /// Scheduling telemetry (parallel and partitioned executions only).
+    pub fn telemetry(&self) -> Option<&ParallelTelemetry> {
+        match &self.inner {
+            Inner::Streaming { .. } => None,
+            Inner::Buffered { telemetry, .. } => Some(telemetry),
+        }
+    }
+
+    /// Was (or will) the execution be stopped by its cancellation token,
+    /// rather than by exhausting the candidates or reaching the limit?  A
+    /// cancelled execution's answer is a *partial* answer.
+    pub fn cancelled(&self) -> bool {
+        match &self.inner {
+            Inner::Streaming {
+                cancelled,
+                done,
+                cancel,
+                ..
+            } => {
+                // A fired token counts even before iteration observes it —
+                // unless the stream already finished on its own.
+                *cancelled || (!done && cancel.as_ref().is_some_and(CancelToken::is_cancelled))
+            }
+            Inner::Buffered { cancelled, .. } => *cancelled,
+        }
+    }
+
+    /// Runs the execution to completion (respecting limit and cancellation)
+    /// and returns the full answer — matches already yielded included.
+    pub fn into_answer(mut self) -> QueryAnswer {
+        while self.next().is_some() {}
+        let stats = self.stats();
+        match self.inner {
+            Inner::Streaming { emitted, .. } => QueryAnswer {
+                matches: emitted,
+                stats,
+            },
+            Inner::Buffered { results, .. } => QueryAnswer {
+                matches: results,
+                stats,
+            },
+        }
+    }
+}
+
+/// The deterministic candidate list of one execution: the session's sorted
+/// focus candidates, optionally intersected with a restriction set.
+fn candidate_list(session: &MatchSession<'_>, restrict: Option<&[NodeId]>) -> Vec<NodeId> {
+    match restrict {
+        None => session.focus_candidates().to_vec(),
+        Some(r) => {
+            let mut v: Vec<NodeId> = r
+                .iter()
+                .copied()
+                .filter(|&vx| session.is_focus_candidate(vx))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    }
+}
+
+/// Dispatches one execution.
+pub(super) fn execute<'q, 'g>(
+    pq: &'q mut PreparedQuery<'g>,
+    opts: ExecOptions<'q>,
+) -> Result<Matches<'q, 'g>, MatchError> {
+    match opts.mode {
+        ExecMode::Sequential => Ok(execute_sequential(pq, &opts)),
+        ExecMode::Parallel(parallelism) => Ok(execute_parallel(pq, &opts, parallelism)),
+        ExecMode::Partitioned {
+            fragments,
+            d,
+            parallelism,
+        } => execute_partitioned(pq, &opts, fragments, d, parallelism),
+    }
+}
+
+fn execute_sequential<'q, 'g>(
+    pq: &'q mut PreparedQuery<'g>,
+    opts: &ExecOptions<'_>,
+) -> Matches<'q, 'g> {
+    let (session, baseline) = pq.session_for(&opts.config);
+    let candidates = candidate_list(session, opts.restrict);
+    Matches {
+        inner: Inner::Streaming {
+            session,
+            baseline,
+            candidates,
+            pos: 0,
+            emitted: Vec::new(),
+            limit: opts.limit,
+            cancel: opts.cancel.clone(),
+            cancelled: false,
+            done: false,
+        },
+    }
+}
+
+/// Resolves a [`Parallelism`] into a usable executor (owning a dedicated
+/// one when asked for explicit thread counts).
+fn resolve_runtime<'a>(parallelism: Parallelism<'a>, owned: &'a mut Option<Runtime>) -> &'a Runtime {
+    match parallelism {
+        Parallelism::Global => Runtime::global(),
+        Parallelism::On(rt) => rt,
+        Parallelism::Threads(n) => owned.insert(Runtime::new(n)),
+    }
+}
+
+fn execute_parallel<'q, 'g>(
+    pq: &'q mut PreparedQuery<'g>,
+    opts: &ExecOptions<'_>,
+    parallelism: Parallelism<'_>,
+) -> Matches<'q, 'g> {
+    let graph = pq.graph;
+    let compiled = Arc::clone(&pq.compiled);
+    let config = opts.config;
+    // The cached session provides the (deterministic, sorted) candidate
+    // list; its build cost — if this execution triggered it — lands in this
+    // execution's stats.
+    let (session, baseline) = pq.session_for(&config);
+    let candidates = candidate_list(session, opts.restrict);
+    let planning = session.stats() - baseline;
+
+    let mut owned = None;
+    let runtime = resolve_runtime(parallelism, &mut owned);
+    let ctl = ExecControl::new(opts.limit, opts.cancel.clone());
+    let start = Instant::now();
+    let outcome = runtime.map_with_cancel(
+        candidates.len(),
+        ctl.runtime_token(),
+        || MatchSession::from_compiled(graph, Arc::clone(&compiled), &config),
+        |session, i| {
+            if ctl.should_stop() {
+                return None;
+            }
+            match session.decide_cancellable(candidates[i], ctl.user_token()) {
+                Some(true) if ctl.try_accept() => Some(candidates[i]),
+                _ => None,
+            }
+        },
+    );
+
+    let mut matches: Vec<NodeId> = outcome.outputs.into_iter().flatten().flatten().collect();
+    matches.sort_unstable();
+    let mut stats = planning;
+    for worker in outcome.states {
+        stats += worker.stats();
+    }
+    let telemetry = ParallelTelemetry {
+        worker_times: Vec::new(),
+        thread_busy: outcome.worker_busy,
+        steals: outcome.steals,
+        elapsed: start.elapsed(),
+    };
+    Matches {
+        inner: Inner::Buffered {
+            results: matches,
+            pos: 0,
+            stats,
+            telemetry,
+            cancelled: ctl.was_cancelled(),
+        },
+    }
+}
+
+/// Per-executor-thread scratch of a partitioned execution: one lazily built
+/// matcher session per fragment (all sharing the compiled pattern), plus
+/// per-fragment busy accounting.
+struct FragmentScratch<'p> {
+    sessions: Vec<Option<MatchSession<'p>>>,
+    fragment_busy: Vec<Duration>,
+}
+
+fn execute_partitioned<'q, 'g>(
+    pq: &'q mut PreparedQuery<'g>,
+    opts: &ExecOptions<'_>,
+    fragments: &'q [Fragment],
+    d: usize,
+    parallelism: Parallelism<'_>,
+) -> Result<Matches<'q, 'g>, MatchError> {
+    if fragments.is_empty() {
+        return Err(MatchError::EmptyPartition);
+    }
+    let radius = pq.compiled.radius;
+    if radius > d {
+        return Err(MatchError::RadiusExceedsPartition {
+            radius,
+            partition_d: d,
+        });
+    }
+    let compiled = Arc::clone(&pq.compiled);
+    let config = opts.config;
+    let n = fragments.len();
+
+    // Restriction is in global node ids; normalize once for binary search.
+    let restrict: Option<Vec<NodeId>> = opts.restrict.map(|r| {
+        let mut v = r.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    });
+
+    // The flat task list: (fragment, covered local candidate),
+    // fragment-major so a worker's initial contiguous range mostly stays
+    // within one fragment (one session) and cross-fragment sessions only
+    // appear when work is stolen.  A node covered by several fragments
+    // (legal for hand-built fragments; DPar coverage is disjoint) is
+    // scheduled exactly once — otherwise each duplicate accept would
+    // consume a `limit` slot that dedup later takes back, shorting the
+    // answer below min(k, |answer|).
+    let mut tasks: Vec<(u32, NodeId)> = Vec::new();
+    let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for (f, fragment) in fragments.iter().enumerate() {
+        for global in fragment.covered_nodes() {
+            if restrict
+                .as_ref()
+                .is_some_and(|r| r.binary_search(&global).is_err())
+            {
+                continue;
+            }
+            if let Some(local) = fragment.to_local(global) {
+                if seen.insert(global) {
+                    tasks.push((f as u32, local));
+                }
+            }
+        }
+    }
+
+    let mut owned = None;
+    let runtime = resolve_runtime(parallelism, &mut owned);
+    let ctl = ExecControl::new(opts.limit, opts.cancel.clone());
+    let start = Instant::now();
+    let outcome = runtime.map_with_cancel(
+        tasks.len(),
+        ctl.runtime_token(),
+        || FragmentScratch {
+            sessions: (0..n).map(|_| None).collect(),
+            fragment_busy: vec![Duration::ZERO; n],
+        },
+        |scratch, i| {
+            if ctl.should_stop() {
+                return None;
+            }
+            let (f, local) = tasks[i];
+            let f = f as usize;
+            let session = match &mut scratch.sessions[f] {
+                Some(session) => session,
+                slot => {
+                    let t0 = Instant::now();
+                    *slot = Some(MatchSession::from_compiled(
+                        fragments[f].graph(),
+                        Arc::clone(&compiled),
+                        &config,
+                    ));
+                    scratch.fragment_busy[f] += t0.elapsed();
+                    slot.as_mut().expect("just inserted")
+                }
+            };
+            // Pruned candidates exit through one bitmap probe with no clock
+            // reads — per-item timing only wraps real verifications, so the
+            // balance accounting does not tax the (common) cheap path.
+            if !session.is_focus_candidate(local) {
+                return None;
+            }
+            let t0 = Instant::now();
+            let decision = session.decide_cancellable(local, ctl.user_token());
+            scratch.fragment_busy[f] += t0.elapsed();
+            match decision {
+                Some(true) if ctl.try_accept() => Some(fragments[f].to_global(local)),
+                _ => None,
+            }
+        },
+    );
+
+    // Coordinator: union of the partial answers.
+    let mut matches: Vec<NodeId> = outcome.outputs.into_iter().flatten().flatten().collect();
+    matches.sort_unstable();
+    matches.dedup();
+
+    let mut stats = MatchStats::default();
+    let mut worker_times = vec![Duration::ZERO; n];
+    for scratch in outcome.states {
+        for session in scratch.sessions.into_iter().flatten() {
+            stats += session.stats();
+        }
+        for (f, busy) in scratch.fragment_busy.iter().enumerate() {
+            worker_times[f] += *busy;
+        }
+    }
+    let telemetry = ParallelTelemetry {
+        worker_times,
+        thread_busy: outcome.worker_busy,
+        steals: outcome.steals,
+        elapsed: start.elapsed(),
+    };
+    Ok(Matches {
+        inner: Inner::Buffered {
+            results: matches,
+            pos: 0,
+            stats,
+            telemetry,
+            cancelled: ctl.was_cancelled(),
+        },
+    })
+}

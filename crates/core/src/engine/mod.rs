@@ -1,0 +1,184 @@
+//! The prepared-query engine: compile a pattern once, execute it many
+//! times, stream the answers.
+//!
+//! This module is the **one execution surface** of the QGP stack.  The
+//! historical free functions (`quantified_match*`, `pqmatch*`) survive as
+//! deprecated thin wrappers, so sequential, parallel and partitioned
+//! matching provably share the implementation that lives here.
+//!
+//! The flow mirrors a database client:
+//!
+//! 1. [`Engine::new`] binds a data graph,
+//! 2. [`Engine::prepare`] validates and compiles a [`Pattern`] into a
+//!    [`PreparedQuery`] — the resolved positive projection, the positified
+//!    negation patterns and the pattern radius are derived exactly once,
+//!    and per-[`MatchConfig`] matcher sessions (candidate analysis, search
+//!    order, counter scratch) are cached across executions,
+//! 3. [`PreparedQuery::execute`] runs it under [`ExecOptions`]: sequential
+//!    streaming, whole-graph parallel, or partitioned (`PQMatch`-style)
+//!    execution, with an answer limit, a focus-candidate restriction and a
+//!    cooperative [`CancelToken`] all available in every mode.
+//!
+//! ```
+//! use qgp_core::engine::{Engine, ExecOptions};
+//! use qgp_core::pattern::{CountingQuantifier, PatternBuilder};
+//! use qgp_graph::GraphBuilder;
+//!
+//! let mut g = GraphBuilder::new();
+//! let ann = g.add_node("person");
+//! let bob = g.add_node("person");
+//! let cat = g.add_node("person");
+//! let phone = g.add_node("Redmi 2A");
+//! g.add_edge(ann, bob, "follow").unwrap();
+//! g.add_edge(ann, cat, "follow").unwrap();
+//! g.add_edge(bob, phone, "recom").unwrap();
+//! g.add_edge(cat, phone, "recom").unwrap();
+//! let graph = g.build();
+//!
+//! // "people, all of whose followees recommend Redmi 2A"
+//! let mut b = PatternBuilder::new();
+//! let xo = b.node("person");
+//! let z = b.node("person");
+//! let y = b.node("Redmi 2A");
+//! b.quantified_edge(xo, z, "follow", CountingQuantifier::universal());
+//! b.edge(z, y, "recom");
+//! b.focus(xo);
+//! let pattern = b.build().unwrap();
+//!
+//! let engine = Engine::new(&graph);
+//! let mut prepared = engine.prepare(&pattern).unwrap();
+//! // Stream the answers; `prepared` is reusable for the next execution.
+//! let matches: Vec<_> = prepared.execute(ExecOptions::sequential()).unwrap().collect();
+//! assert_eq!(matches, vec![ann]);
+//! ```
+
+mod exec;
+mod options;
+
+pub use exec::{Matches, ParallelTelemetry};
+pub use options::{ExecMode, ExecOptions, Parallelism};
+pub use qgp_runtime::CancelToken;
+
+use std::sync::Arc;
+
+use qgp_graph::Graph;
+
+use crate::error::MatchError;
+use crate::matching::compiled::CompiledPattern;
+use crate::matching::{MatchConfig, MatchSession, MatchStats, QueryAnswer};
+use crate::pattern::Pattern;
+
+/// The per-graph entry point of the prepared-query engine.
+///
+/// An engine is a lightweight handle on one data graph; it exists so that
+/// everything derived from the graph (today: the per-config matcher
+/// sessions cached inside each [`PreparedQuery`]; next: shared candidate
+/// caches and incremental-maintenance state) has one owner to hang off.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> Engine<'g> {
+    /// Binds the engine to a graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        Engine { graph }
+    }
+
+    /// The graph this engine executes against.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Validates `pattern` and compiles it into a reusable
+    /// [`PreparedQuery`].
+    ///
+    /// Compilation derives everything graph-independent once — the positive
+    /// projection `Π(Q)`, the positified patterns `Π(Q^{+e})` for every
+    /// negated edge, the radius — and the prepared query lazily caches one
+    /// matcher session per [`MatchConfig`] it is executed with, so
+    /// executing the same prepared query repeatedly re-uses candidate
+    /// analysis and counter scratch instead of rebuilding them per call.
+    pub fn prepare(&self, pattern: &Pattern) -> Result<PreparedQuery<'g>, MatchError> {
+        pattern.validate().map_err(MatchError::InvalidPattern)?;
+        Ok(self.prepare_unvalidated(pattern))
+    }
+
+    /// [`Engine::prepare`] without the validation step, for callers that
+    /// already validated (or deliberately run unchecked patterns).
+    pub(crate) fn prepare_unvalidated(&self, pattern: &Pattern) -> PreparedQuery<'g> {
+        PreparedQuery {
+            graph: self.graph,
+            compiled: Arc::new(CompiledPattern::compile(pattern)),
+            sessions: Vec::new(),
+        }
+    }
+}
+
+/// A pattern compiled against an [`Engine`]'s graph, reusable across any
+/// number of executions.
+///
+/// Executions go through [`PreparedQuery::execute`] (streaming
+/// [`Matches`]) or the [`PreparedQuery::run`] convenience (collected
+/// [`QueryAnswer`]).  The first execution with a given [`MatchConfig`]
+/// builds that config's matcher session (visible as
+/// [`MatchStats::sessions_built`] in that execution's stats); later
+/// executions reuse it, which is the engine's compile-once payoff for
+/// serving one pattern thousands of times.
+pub struct PreparedQuery<'g> {
+    graph: &'g Graph,
+    compiled: Arc<CompiledPattern>,
+    /// Lazily built matcher sessions, one per distinct config executed.
+    sessions: Vec<(MatchConfig, MatchSession<'g>)>,
+}
+
+impl<'g> PreparedQuery<'g> {
+    /// The pattern this query was prepared from.
+    pub fn pattern(&self) -> &Pattern {
+        &self.compiled.pattern
+    }
+
+    /// The pattern radius (a partition must preserve at least this many
+    /// hops for [`ExecMode::Partitioned`] to be exact).
+    pub fn radius(&self) -> usize {
+        self.compiled.radius
+    }
+
+    /// Executes the prepared query under the given options, returning the
+    /// lazy [`Matches`] stream.
+    ///
+    /// Errors are limited to partitioned-mode misconfiguration
+    /// ([`MatchError::RadiusExceedsPartition`],
+    /// [`MatchError::EmptyPartition`]); sequential and whole-graph parallel
+    /// executions always succeed.
+    pub fn execute<'q>(
+        &'q mut self,
+        opts: ExecOptions<'q>,
+    ) -> Result<Matches<'q, 'g>, MatchError> {
+        exec::execute(self, opts)
+    }
+
+    /// [`PreparedQuery::execute`] run to completion: the collected
+    /// [`QueryAnswer`] (matches plus this execution's work counters).
+    pub fn run(&mut self, opts: ExecOptions<'_>) -> Result<QueryAnswer, MatchError> {
+        Ok(self.execute(opts)?.into_answer())
+    }
+
+    /// The cached session for `config`, building it on first use, plus the
+    /// stats baseline from before any build (so callers can report the
+    /// delta attributable to the current execution).
+    pub(crate) fn session_for(
+        &mut self,
+        config: &MatchConfig,
+    ) -> (&mut MatchSession<'g>, MatchStats) {
+        if let Some(idx) = self.sessions.iter().position(|(c, _)| c == config) {
+            let baseline = self.sessions[idx].1.stats();
+            (&mut self.sessions[idx].1, baseline)
+        } else {
+            let session = MatchSession::from_compiled(self.graph, Arc::clone(&self.compiled), config);
+            self.sessions.push((*config, session));
+            let entry = self.sessions.last_mut().expect("just pushed");
+            (&mut entry.1, MatchStats::default())
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Execution options: the one description of *how* a prepared query runs.
+//!
+//! [`ExecOptions`] unifies what used to be three disjoint entry styles —
+//! sequential free functions, `pqmatch`-style partitioned calls, and
+//! explicit-runtime variants — into a single value handed to
+//! [`PreparedQuery::execute`](super::PreparedQuery::execute): the execution
+//! [mode](ExecMode), the [`MatchConfig`], an optional answer
+//! [limit](ExecOptions::limit), an optional focus-candidate
+//! [restriction](ExecOptions::restrict_to), and an optional
+//! [cancellation token](ExecOptions::cancel_with).
+
+use qgp_graph::{Fragment, NodeId};
+use qgp_runtime::{CancelToken, Runtime};
+
+use crate::matching::MatchConfig;
+
+/// Where the parallel work of an execution runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Parallelism<'a> {
+    /// The process-wide [`Runtime::global`] executor (honors `QGP_THREADS`).
+    #[default]
+    Global,
+    /// A dedicated executor with this many worker threads, created for the
+    /// execution and dropped afterwards.
+    Threads(usize),
+    /// An explicit executor owned by the caller (the way benchmarks sweep
+    /// thread counts without touching the global runtime).
+    On(&'a Runtime),
+}
+
+impl Parallelism<'_> {
+    /// `Threads(n)` for `Some(n)`, the global runtime for `None` — the
+    /// conversion every `ParallelConfig`-style `threads: Option<usize>`
+    /// knob needs.
+    pub fn threads_or_global(threads: Option<usize>) -> Self {
+        match threads {
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::Global,
+        }
+    }
+}
+
+/// How a prepared query executes.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum ExecMode<'a> {
+    /// One thread, streaming: [`Matches`](super::Matches) yields each
+    /// accepted focus candidate as soon as it is decided.
+    #[default]
+    Sequential,
+    /// Whole-graph data parallelism: one task per focus candidate on a
+    /// work-stealing executor, each worker holding one session built from
+    /// the shared compiled pattern.
+    Parallel(Parallelism<'a>),
+    /// `PQMatch`-style execution over a d-hop preserving partition: one
+    /// task per covered focus candidate per fragment, answers reported in
+    /// global node ids.
+    ///
+    /// Matching runs entirely against the fragments' subgraphs; the
+    /// engine's own graph is **not** consulted in this mode (and must not
+    /// be, so wrappers without access to the global graph can drive it).
+    /// The fragments are the caller's assertion that they form a d-hop
+    /// preserving partition of the queried graph.
+    Partitioned {
+        /// The partition's fragments (e.g. `DHopPartition::fragments()`).
+        fragments: &'a [Fragment],
+        /// The `d` the partition preserves; must be ≥ the pattern radius.
+        d: usize,
+        /// Executor placement for the fragment tasks.
+        parallelism: Parallelism<'a>,
+    },
+}
+
+/// Options for one execution of a [`PreparedQuery`](super::PreparedQuery).
+///
+/// Constructed with the mode shortcuts ([`ExecOptions::sequential`],
+/// [`ExecOptions::parallel`], [`ExecOptions::partitioned`], …) and refined
+/// with the builder methods.  The default is a sequential run with
+/// [`MatchConfig::qmatch`], no limit, no restriction and no cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions<'a> {
+    /// Execution mode.
+    pub mode: ExecMode<'a>,
+    /// Matcher configuration (`QMatch` / `QMatchn` / `Enum` switches).
+    pub config: MatchConfig,
+    /// Stop after this many accepted answers (genuine early termination:
+    /// remaining candidates are never verified).
+    pub limit: Option<usize>,
+    /// Restrict the focus candidates to this node set (global ids under
+    /// [`ExecMode::Partitioned`]).  Subsumes the old
+    /// `quantified_match_restricted`.
+    pub restrict: Option<&'a [NodeId]>,
+    /// Cooperative cancellation/deadline token, polled between candidates
+    /// and between verification phases.
+    pub cancel: Option<CancelToken>,
+}
+
+impl<'a> ExecOptions<'a> {
+    /// A sequential, streaming execution (the default).
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// A whole-graph parallel execution on the global runtime.
+    pub fn parallel() -> Self {
+        ExecOptions {
+            mode: ExecMode::Parallel(Parallelism::Global),
+            ..Self::default()
+        }
+    }
+
+    /// A whole-graph parallel execution on `threads` dedicated workers.
+    pub fn parallel_threads(threads: usize) -> Self {
+        ExecOptions {
+            mode: ExecMode::Parallel(Parallelism::Threads(threads)),
+            ..Self::default()
+        }
+    }
+
+    /// A whole-graph parallel execution on an explicit executor.
+    pub fn parallel_on(runtime: &'a Runtime) -> Self {
+        ExecOptions {
+            mode: ExecMode::Parallel(Parallelism::On(runtime)),
+            ..Self::default()
+        }
+    }
+
+    /// A partitioned (`PQMatch`-style) execution on the global runtime.
+    pub fn partitioned(fragments: &'a [Fragment], d: usize) -> Self {
+        ExecOptions {
+            mode: ExecMode::Partitioned {
+                fragments,
+                d,
+                parallelism: Parallelism::Global,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// A partitioned execution on an explicit executor.
+    pub fn partitioned_on(fragments: &'a [Fragment], d: usize, runtime: &'a Runtime) -> Self {
+        ExecOptions {
+            mode: ExecMode::Partitioned {
+                fragments,
+                d,
+                parallelism: Parallelism::On(runtime),
+            },
+            ..Self::default()
+        }
+    }
+
+    /// A partitioned execution on `threads` dedicated workers.
+    pub fn partitioned_threads(fragments: &'a [Fragment], d: usize, threads: usize) -> Self {
+        Self::partitioned_with(fragments, d, Parallelism::Threads(threads))
+    }
+
+    /// A partitioned execution with an explicit [`Parallelism`].
+    pub fn partitioned_with(
+        fragments: &'a [Fragment],
+        d: usize,
+        parallelism: Parallelism<'a>,
+    ) -> Self {
+        ExecOptions {
+            mode: ExecMode::Partitioned {
+                fragments,
+                d,
+                parallelism,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Sets the matcher configuration.
+    pub fn with_config(mut self, config: MatchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Stops the execution after `k` accepted answers.  Sequentially the
+    /// result is the k smallest members of the full answer; in parallel
+    /// modes it is *some* k members (whichever candidates were verified
+    /// first), returned in sorted order.
+    pub fn limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
+    /// Restricts the focus candidates to `nodes` (need not be sorted;
+    /// duplicates are ignored).
+    pub fn restrict_to(mut self, nodes: &'a [NodeId]) -> Self {
+        self.restrict = Some(nodes);
+        self
+    }
+
+    /// Attaches a cancellation/deadline token.
+    pub fn cancel_with(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_the_documented_fields() {
+        let o = ExecOptions::sequential().limit(5);
+        assert!(matches!(o.mode, ExecMode::Sequential));
+        assert_eq!(o.limit, Some(5));
+        assert!(o.restrict.is_none() && o.cancel.is_none());
+        assert_eq!(o.config, MatchConfig::qmatch());
+
+        let o = ExecOptions::parallel_threads(3).with_config(MatchConfig::enumerate());
+        assert!(matches!(
+            o.mode,
+            ExecMode::Parallel(Parallelism::Threads(3))
+        ));
+        assert_eq!(o.config, MatchConfig::enumerate());
+
+        let rt = Runtime::new(2);
+        let o = ExecOptions::parallel_on(&rt);
+        assert!(matches!(o.mode, ExecMode::Parallel(Parallelism::On(_))));
+
+        let nodes = [NodeId::new(1)];
+        let o = ExecOptions::sequential()
+            .restrict_to(&nodes)
+            .cancel_with(CancelToken::new());
+        assert_eq!(o.restrict, Some(&nodes[..]));
+        assert!(o.cancel.is_some());
+    }
+}

@@ -64,17 +64,36 @@ impl fmt::Display for PatternError {
 
 impl std::error::Error for PatternError {}
 
-/// Errors raised by the matching algorithms.
+/// Errors raised by the matching algorithms and the prepared-query engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MatchError {
     /// The pattern failed validation.
     InvalidPattern(PatternError),
+    /// A partitioned execution was requested over a d-hop partition whose
+    /// `d` is smaller than the pattern radius, so fragment-local evaluation
+    /// could miss matches.
+    RadiusExceedsPartition {
+        /// The pattern radius.
+        radius: usize,
+        /// The `d` the partition preserves.
+        partition_d: usize,
+    },
+    /// A partitioned execution was requested over an empty fragment list.
+    EmptyPartition,
 }
 
 impl fmt::Display for MatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatchError::InvalidPattern(e) => write!(f, "invalid pattern: {e}"),
+            MatchError::RadiusExceedsPartition { radius, partition_d } => write!(
+                f,
+                "pattern radius {radius} exceeds the d-hop partition (d = {partition_d}); \
+                 re-partition with a larger d"
+            ),
+            MatchError::EmptyPartition => {
+                write!(f, "partitioned execution requires at least one fragment")
+            }
         }
     }
 }

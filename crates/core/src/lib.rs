@@ -15,7 +15,7 @@
 //!
 //! ```
 //! use qgp_core::pattern::{PatternBuilder, CountingQuantifier};
-//! use qgp_core::matching::quantified_match;
+//! use qgp_core::engine::{Engine, ExecOptions};
 //! use qgp_graph::GraphBuilder;
 //!
 //! // A tiny social graph: ann follows bob and cat, both recommend a phone.
@@ -40,20 +40,27 @@
 //! b.focus(xo);
 //! let pattern = b.build().unwrap();
 //!
-//! let answer = quantified_match(&graph, &pattern).unwrap();
+//! // Prepare once, execute as often as needed.
+//! let engine = Engine::new(&graph);
+//! let mut prepared = engine.prepare(&pattern).unwrap();
+//! let answer = prepared.run(ExecOptions::sequential()).unwrap();
 //! assert_eq!(answer.matches, vec![ann]);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod matching;
 pub mod pattern;
 
-pub use error::{MatchError, PatternError};
-pub use matching::{
-    conventional_match, quantified_match, quantified_match_restricted, quantified_match_with,
-    MatchConfig, MatchStats, QueryAnswer,
+pub use engine::{
+    CancelToken, Engine, ExecMode, ExecOptions, Matches, ParallelTelemetry, Parallelism,
+    PreparedQuery,
 };
+pub use error::{MatchError, PatternError};
+pub use matching::{conventional_match, MatchConfig, MatchStats, QueryAnswer};
+#[allow(deprecated)]
+pub use matching::{quantified_match, quantified_match_restricted, quantified_match_with};
 pub use pattern::{CountingQuantifier, Pattern, PatternBuilder, PatternEdgeId, PatternNodeId};

@@ -1,0 +1,76 @@
+//! The compile-once pattern artifact behind prepared queries.
+//!
+//! Everything about a QGP that does not depend on the data graph is derived
+//! here exactly once: the positive projection `Π(Q)`, the positified
+//! patterns `Π(Q^{+e})` for every negated edge, and the pattern radius.
+//! [`MatchSession`](super::MatchSession)s share one [`CompiledPattern`]
+//! through an `Arc`, so the thousands of sessions a parallel or repeated
+//! execution builds (one per worker per fragment) stop re-deriving the same
+//! projections per session — the "compile once" half of the prepared-query
+//! engine ([`crate::engine`]).
+
+use crate::pattern::Pattern;
+
+/// Graph-independent compilation of one QGP: the pattern itself plus every
+/// derived pattern the matching pipeline needs.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledPattern {
+    /// The original pattern, as handed to [`CompiledPattern::compile`].
+    pub(crate) pattern: Pattern,
+    /// The positive projection `Π(Q)` (negated edges removed).
+    pub(crate) pi: Pattern,
+    /// `Π(Q^{+e})` for each negated edge `e ∈ E⁻_Q`, in
+    /// [`Pattern::negated_edges`] order — the patterns whose matches the
+    /// set-difference semantics of negation subtracts.
+    pub(crate) positified: Vec<Pattern>,
+    /// The pattern radius (longest shortest path from the focus), the
+    /// quantity a d-hop partition must dominate.
+    pub(crate) radius: usize,
+}
+
+impl CompiledPattern {
+    /// Derives every graph-independent artifact of `pattern`.
+    ///
+    /// The pattern is *not* validated here; entry points that accept
+    /// unvalidated patterns decide for themselves whether to call
+    /// [`Pattern::validate`] first.
+    pub(crate) fn compile(pattern: &Pattern) -> Self {
+        let pi = pattern.pi().pattern;
+        let positified = pattern
+            .negated_edges()
+            .into_iter()
+            .map(|e| pattern.pi_positified(e).pattern)
+            .collect();
+        CompiledPattern {
+            pattern: pattern.clone(),
+            pi,
+            positified,
+            radius: pattern.radius(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::library;
+
+    #[test]
+    fn compile_derives_projection_positified_and_radius() {
+        let q3 = library::q3_redmi_negation(2);
+        let c = CompiledPattern::compile(&q3);
+        assert!(c.pi.is_positive());
+        assert_eq!(c.positified.len(), q3.negated_edges().len());
+        assert_eq!(c.radius, q3.radius());
+        for p in &c.positified {
+            assert!(p.is_positive());
+        }
+    }
+
+    #[test]
+    fn positive_patterns_compile_with_no_positified_set() {
+        let q2 = library::q2_redmi_universal();
+        let c = CompiledPattern::compile(&q2);
+        assert!(c.positified.is_empty());
+    }
+}

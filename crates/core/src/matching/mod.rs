@@ -11,6 +11,7 @@
 //!   testing.
 
 mod candidates;
+pub(crate) mod compiled;
 mod config;
 mod generic;
 mod qmatch;
@@ -22,9 +23,10 @@ mod simulation;
 mod stats;
 
 pub use config::MatchConfig;
-pub use qmatch::{
-    conventional_match, quantified_match, quantified_match_restricted, quantified_match_with,
-    QueryAnswer,
-};
+pub use qmatch::{conventional_match, QueryAnswer};
+// The deprecated one-shot entry points stay re-exported for compatibility;
+// new code goes through `crate::engine`.
+#[allow(deprecated)]
+pub use qmatch::{quantified_match, quantified_match_restricted, quantified_match_with};
 pub use session::MatchSession;
 pub use stats::MatchStats;

@@ -8,13 +8,18 @@
 //!    incrementally, reusing the cached matches of step 1 (`IncQMatch`), or
 //!    from scratch (`QMatchn`),
 //! 3. return `Q(x_o, G) = Π(Q)(x_o, G) \ ⋃_e Π(Q^{+e})(x_o, G)`.
+//!
+//! The free functions here are the stack's *historical* entry points; they
+//! are deprecated thin wrappers over the prepared-query engine
+//! ([`crate::engine::Engine`]), kept so one implementation provably serves
+//! both the old one-shot calls and the new prepare-once/execute-many flow.
 
 use qgp_graph::{Graph, NodeId};
 
 use super::config::MatchConfig;
 use super::quantified::match_positive;
-use super::session::MatchSession;
 use super::stats::MatchStats;
+use crate::engine::{Engine, ExecOptions};
 use crate::error::MatchError;
 use crate::pattern::Pattern;
 
@@ -46,58 +51,59 @@ impl QueryAnswer {
 }
 
 /// Quantified matching with the default (`QMatch`) configuration.
+#[deprecated(
+    note = "prepare the pattern once with `Engine::prepare` and stream answers \
+            from `PreparedQuery::execute` (see `qgp_core::engine`)"
+)]
 pub fn quantified_match(graph: &Graph, pattern: &Pattern) -> Result<QueryAnswer, MatchError> {
-    quantified_match_with(graph, pattern, &MatchConfig::qmatch())
+    quantified_match_impl(graph, pattern, &MatchConfig::qmatch())
 }
 
 /// Quantified matching with an explicit configuration.
+#[deprecated(
+    note = "prepare the pattern once with `Engine::prepare` and execute with \
+            `ExecOptions::sequential().with_config(..)` (see `qgp_core::engine`)"
+)]
 pub fn quantified_match_with(
     graph: &Graph,
     pattern: &Pattern,
     config: &MatchConfig,
 ) -> Result<QueryAnswer, MatchError> {
-    pattern.validate().map_err(MatchError::InvalidPattern)?;
-    Ok(quantified_match_restricted(graph, pattern, config, None))
+    quantified_match_impl(graph, pattern, config)
+}
+
+/// The shared wrapper body: one sequential engine execution.
+fn quantified_match_impl(
+    graph: &Graph,
+    pattern: &Pattern,
+    config: &MatchConfig,
+) -> Result<QueryAnswer, MatchError> {
+    Engine::new(graph)
+        .prepare(pattern)?
+        .run(ExecOptions::sequential().with_config(*config))
 }
 
 /// Quantified matching with the focus candidates restricted to a given node
-/// set (used by the parallel workers, which only report matches for the nodes
-/// their fragment covers).  The pattern is assumed validated.
-///
-/// This is a thin loop over [`MatchSession::decide`] — the same per-candidate
-/// session the parallel runtime schedules, so the sequential and parallel
-/// paths share one implementation of the semantics.
+/// set.  The pattern is assumed valid; an invalid pattern yields an empty
+/// answer.
+#[deprecated(
+    note = "use `ExecOptions::restrict_to` on a prepared query \
+            (see `qgp_core::engine::ExecOptions`)"
+)]
 pub fn quantified_match_restricted(
     graph: &Graph,
     pattern: &Pattern,
     config: &MatchConfig,
     focus_restriction: Option<&[NodeId]>,
 ) -> QueryAnswer {
-    let mut session = MatchSession::new(graph, pattern, config);
-    let mut matches: Vec<NodeId> = Vec::new();
-    match focus_restriction {
-        Some(restriction) => {
-            for &vx in restriction {
-                if session.decide(vx) {
-                    matches.push(vx);
-                }
-            }
-            matches.sort_unstable();
-            matches.dedup();
-        }
-        None => {
-            // Focus candidates are sorted, so the answer comes out sorted.
-            for vx in session.focus_candidates().to_vec() {
-                if session.decide(vx) {
-                    matches.push(vx);
-                }
-            }
-        }
+    let mut prepared = Engine::new(graph).prepare_unvalidated(pattern);
+    let mut opts = ExecOptions::sequential().with_config(*config);
+    if let Some(restriction) = focus_restriction {
+        opts = opts.restrict_to(restriction);
     }
-    QueryAnswer {
-        matches,
-        stats: session.stats(),
-    }
+    prepared
+        .run(opts)
+        .expect("sequential executions cannot fail")
 }
 
 /// Conventional graph pattern matching: the pattern is interpreted as a
@@ -117,6 +123,10 @@ pub fn conventional_match(graph: &Graph, pattern: &Pattern) -> Result<QueryAnswe
 }
 
 #[cfg(test)]
+// Intentional call sites: these tests pin the behavior of the deprecated
+// wrappers themselves (which must keep matching the engine they delegate
+// to).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::pattern::{library, CountingQuantifier, PatternBuilder};

@@ -175,7 +175,8 @@ fn edges_consistent(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::matching::{quantified_match, quantified_match_with, MatchConfig};
+    use crate::engine::{Engine, ExecOptions};
+    use crate::matching::MatchConfig;
     use crate::pattern::{library, CountingQuantifier, PatternBuilder};
     use qgp_graph::GraphBuilder;
 
@@ -226,7 +227,11 @@ mod tests {
                 MatchConfig::qmatch_n(),
                 MatchConfig::enumerate(),
             ] {
-                let got = quantified_match_with(&g, &pattern, &config).unwrap();
+                let got = Engine::new(&g)
+                    .prepare(&pattern)
+                    .unwrap()
+                    .run(ExecOptions::sequential().with_config(config))
+                    .unwrap();
                 assert_eq!(got.matches, expected, "{config:?} on {pattern}");
             }
         }
@@ -242,6 +247,11 @@ mod tests {
         b.focus(xo);
         let p = b.build().unwrap();
         assert!(evaluate_reference(&g, &p).is_empty());
-        assert!(quantified_match(&g, &p).unwrap().matches.is_empty());
+        let ans = Engine::new(&g)
+            .prepare(&p)
+            .unwrap()
+            .run(ExecOptions::sequential())
+            .unwrap();
+        assert!(ans.matches.is_empty());
     }
 }

@@ -18,8 +18,12 @@
 //! thin loop over this same session, so the sequential and parallel paths
 //! cannot drift apart semantically.
 
-use qgp_graph::{Graph, NodeId};
+use std::sync::Arc;
 
+use qgp_graph::{Graph, NodeId};
+use qgp_runtime::CancelToken;
+
+use super::compiled::CompiledPattern;
 use super::config::MatchConfig;
 use super::quantified::PositiveSession;
 use super::stats::MatchStats;
@@ -29,14 +33,15 @@ use crate::pattern::Pattern;
 /// membership in `Q(x_o, G)` one focus candidate at a time.
 ///
 /// The pattern is assumed validated (see [`crate::pattern::Pattern::validate`]);
-/// the public entry points of [`crate::matching`] validate before
-/// constructing sessions.
+/// the public entry points of [`crate::matching`] and [`crate::engine`]
+/// validate before constructing sessions.
 pub struct MatchSession<'g> {
     graph: &'g Graph,
     config: MatchConfig,
+    /// The graph-independent compilation (projection, positified patterns,
+    /// radius), shared across every session of one prepared query.
+    compiled: Arc<CompiledPattern>,
     positive: PositiveSession,
-    /// `Π(Q^{+e})` for each negated edge `e ∈ E⁻_Q`.
-    negated_patterns: Vec<Pattern>,
     /// Sessions for the positified patterns, built lazily on the first
     /// candidate whose negation phase actually runs.  Under `IncQMatch`
     /// that is the first candidate surviving the positive phase, so a run
@@ -48,25 +53,36 @@ pub struct MatchSession<'g> {
 }
 
 impl<'g> MatchSession<'g> {
-    /// Builds a session for a validated pattern.
+    /// Builds a session for a validated pattern, compiling it on the spot.
+    ///
+    /// Callers that execute one pattern repeatedly (or across fragments and
+    /// worker threads) should compile once through
+    /// [`crate::engine::Engine::prepare`] instead, which shares the
+    /// compilation across every session it builds.
     pub fn new(graph: &'g Graph, pattern: &Pattern, config: &MatchConfig) -> Self {
+        Self::from_compiled(graph, Arc::new(CompiledPattern::compile(pattern)), config)
+    }
+
+    /// Builds a session from an already-compiled pattern (the engine path:
+    /// the projection and positified patterns are shared, only the
+    /// graph-dependent state — candidate sets, search order, counter
+    /// scratch — is constructed here).
+    pub(crate) fn from_compiled(
+        graph: &'g Graph,
+        compiled: Arc<CompiledPattern>,
+        config: &MatchConfig,
+    ) -> Self {
         let mut stats = MatchStats {
             sessions_built: 1,
             ..MatchStats::default()
         };
-        let pi = pattern.pi();
-        let positive = PositiveSession::new(graph, &pi.pattern, config, &mut stats);
-        let negated_patterns: Vec<Pattern> = pattern
-            .negated_edges()
-            .into_iter()
-            .map(|e| pattern.pi_positified(e).pattern)
-            .collect();
-        let negated = (0..negated_patterns.len()).map(|_| None).collect();
+        let positive = PositiveSession::new(graph, &compiled.pi, config, &mut stats);
+        let negated = (0..compiled.positified.len()).map(|_| None).collect();
         MatchSession {
             graph,
             config: *config,
+            compiled,
             positive,
-            negated_patterns,
             negated,
             stats,
         }
@@ -99,21 +115,38 @@ impl<'g> MatchSession<'g> {
     ///   negation verification whether or not the positive phase accepted
     ///   it — the extra work Exp-1 measures.
     pub fn decide(&mut self, vx: NodeId) -> bool {
+        self.decide_cancellable(vx, None).unwrap_or(false)
+    }
+
+    /// [`MatchSession::decide`] with cooperative cancellation: the token is
+    /// polled on entry and between verification phases (once per positified
+    /// pattern), and `None` is returned as soon as it fires — the decision
+    /// for `vx` is then unknown and no counter for it has been committed
+    /// beyond the phases that actually ran.  The session itself stays fully
+    /// usable; a later call with the same candidate re-verifies it from the
+    /// session's (immutable) candidate state.
+    pub fn decide_cancellable(&mut self, vx: NodeId, cancel: Option<&CancelToken>) -> Option<bool> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
         if !self.positive.is_focus_candidate(vx) {
-            return false;
+            return Some(false);
         }
         self.stats.focus_candidates += 1;
         let positive = self.positive.verify(self.graph, vx, &mut self.stats);
         if positive && self.config.incremental_negation {
-            self.stats.reused_from_cache += self.negated_patterns.len();
+            self.stats.reused_from_cache += self.compiled.positified.len();
         }
         if !positive && self.config.incremental_negation {
-            return false;
+            return Some(false);
         }
         let mut excluded = false;
-        for k in 0..self.negated_patterns.len() {
+        for k in 0..self.compiled.positified.len() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return None;
+            }
             let graph = self.graph;
-            let pattern = &self.negated_patterns[k];
+            let pattern = &self.compiled.positified[k];
             let config = &self.config;
             let stats = &mut self.stats;
             let neg = match &mut self.negated[k] {
@@ -137,7 +170,7 @@ impl<'g> MatchSession<'g> {
                 }
             }
         }
-        positive && !excluded
+        Some(positive && !excluded)
     }
 
     /// Work counters accumulated so far (including session construction).
@@ -152,6 +185,9 @@ impl<'g> MatchSession<'g> {
 }
 
 #[cfg(test)]
+// Intentional call sites: the deprecated batch wrappers serve as the
+// reference the per-candidate session is compared against.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::matching::{quantified_match, quantified_match_with};

@@ -1,6 +1,6 @@
 //! Instrumentation counters reported by every matcher.
 
-use std::ops::AddAssign;
+use std::ops::{AddAssign, Sub};
 
 /// Counters describing how much work a matching run performed.  The paper
 /// measures algorithm quality by the number of verifications (candidate
@@ -54,9 +54,53 @@ impl AddAssign for MatchStats {
     }
 }
 
+impl Sub for MatchStats {
+    type Output = MatchStats;
+
+    /// Field-wise difference, saturating at zero.  Counters are monotone
+    /// within one session, so `later - earlier` is the work performed
+    /// between the two snapshots — how the prepared-query engine reports
+    /// per-execution statistics from a long-lived session.
+    fn sub(self, rhs: Self) -> MatchStats {
+        MatchStats {
+            initial_candidates: self.initial_candidates.saturating_sub(rhs.initial_candidates),
+            focus_candidates: self.focus_candidates.saturating_sub(rhs.focus_candidates),
+            focus_verified: self.focus_verified.saturating_sub(rhs.focus_verified),
+            verifications: self.verifications.saturating_sub(rhs.verifications),
+            isomorphisms_found: self.isomorphisms_found.saturating_sub(rhs.isomorphisms_found),
+            pruned_by_upper_bound: self
+                .pruned_by_upper_bound
+                .saturating_sub(rhs.pruned_by_upper_bound),
+            pruned_by_simulation: self
+                .pruned_by_simulation
+                .saturating_sub(rhs.pruned_by_simulation),
+            reused_from_cache: self.reused_from_cache.saturating_sub(rhs.reused_from_cache),
+            sessions_built: self.sessions_built.saturating_sub(rhs.sessions_built),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sub_is_field_wise_and_saturating() {
+        let a = MatchStats {
+            initial_candidates: 5,
+            focus_candidates: 4,
+            ..MatchStats::default()
+        };
+        let b = MatchStats {
+            initial_candidates: 2,
+            focus_candidates: 9,
+            ..MatchStats::default()
+        };
+        let d = a - b;
+        assert_eq!(d.initial_candidates, 3);
+        assert_eq!(d.focus_candidates, 0);
+        assert_eq!(a - MatchStats::default(), a);
+    }
 
     #[test]
     fn add_assign_accumulates_every_field() {

@@ -8,7 +8,8 @@
 //! negation), `QMatchn` (negation from scratch) and `Enum`
 //! (enumerate-then-verify) — must return the same, correct answers.
 
-use qgp_core::matching::{conventional_match, quantified_match_with, MatchConfig};
+use qgp_core::engine::{Engine, ExecOptions};
+use qgp_core::matching::{conventional_match, MatchConfig, QueryAnswer};
 use qgp_core::pattern::{library, Pattern};
 use qgp_graph::{Graph, GraphBuilder, NodeId};
 
@@ -63,9 +64,17 @@ fn g2() -> (Graph, Vec<NodeId>) {
     (b.build(), xs)
 }
 
+fn engine_match(graph: &Graph, pattern: &Pattern, config: &MatchConfig) -> QueryAnswer {
+    Engine::new(graph)
+        .prepare(pattern)
+        .expect("library patterns validate")
+        .run(ExecOptions::sequential().with_config(*config))
+        .expect("sequential runs succeed")
+}
+
 fn assert_answer(graph: &Graph, pattern: &Pattern, expected: &[NodeId], what: &str) {
     for (name, config) in configs() {
-        let ans = quantified_match_with(graph, pattern, &config).unwrap();
+        let ans = engine_match(graph, pattern, &config);
         assert_eq!(ans.matches, expected, "{what} under {name}");
     }
 }
@@ -142,8 +151,8 @@ fn fig2_graphs_built_batch_and_incrementally_agree() {
     g.add_edge(vs2[4], redmi, bad).unwrap();
 
     for (name, config) in configs() {
-        let a = quantified_match_with(&batch, &library::q3_redmi_negation(2), &config).unwrap();
-        let b = quantified_match_with(&g, &library::q3_redmi_negation(2), &config).unwrap();
+        let a = engine_match(&batch, &library::q3_redmi_negation(2), &config);
+        let b = engine_match(&g, &library::q3_redmi_negation(2), &config);
         assert_eq!(a.matches, b.matches, "{name}");
         assert_eq!(a.matches, vec![xs[1]]);
     }

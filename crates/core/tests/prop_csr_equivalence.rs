@@ -9,7 +9,8 @@
 
 use proptest::prelude::*;
 
-use qgp_core::matching::{quantified_match_with, MatchConfig};
+use qgp_core::engine::{Engine, ExecOptions};
+use qgp_core::matching::MatchConfig;
 use qgp_core::pattern::{CountingQuantifier, PatternBuilder};
 use qgp_graph::{Graph, GraphBuilder, NodeId};
 
@@ -180,8 +181,15 @@ proptest! {
                 MatchConfig::qmatch_n(),
                 MatchConfig::enumerate(),
             ] {
-                let a = quantified_match_with(&batch, &pattern, &config).unwrap();
-                let b = quantified_match_with(&incremental, &pattern, &config).unwrap();
+                let run = |g| {
+                    Engine::new(g)
+                        .prepare(&pattern)
+                        .unwrap()
+                        .run(ExecOptions::sequential().with_config(config))
+                        .unwrap()
+                };
+                let a = run(&batch);
+                let b = run(&incremental);
                 prop_assert_eq!(
                     &a.matches, &b.matches,
                     "pattern {} config {:?}", pattern, config

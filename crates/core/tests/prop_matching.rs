@@ -7,12 +7,20 @@
 
 use proptest::prelude::*;
 
+use qgp_core::engine::{Engine, ExecOptions};
 use qgp_core::matching::reference::evaluate_reference;
-use qgp_core::matching::{
-    conventional_match, quantified_match_with, MatchConfig,
-};
+use qgp_core::matching::{conventional_match, MatchConfig, QueryAnswer};
 use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
 use qgp_graph::{Graph, GraphBuilder, NodeId};
+
+/// One sequential engine execution (the ported `quantified_match_with`).
+fn engine_match(graph: &Graph, pattern: &Pattern, config: &MatchConfig) -> QueryAnswer {
+    Engine::new(graph)
+        .prepare(pattern)
+        .expect("generated patterns validate")
+        .run(ExecOptions::sequential().with_config(*config))
+        .expect("sequential runs succeed")
+}
 
 const NODE_LABELS: &[&str] = &["A", "B", "C"];
 const EDGE_LABELS: &[&str] = &["r", "s"];
@@ -132,7 +140,7 @@ proptest! {
         let Some(pattern) = build_pattern(&pspec) else { return Ok(()); };
         let expected = evaluate_reference(&graph, &pattern);
         for config in [MatchConfig::qmatch(), MatchConfig::qmatch_n(), MatchConfig::enumerate()] {
-            let got = quantified_match_with(&graph, &pattern, &config).unwrap();
+            let got = engine_match(&graph, &pattern, &config);
             prop_assert_eq!(&got.matches, &expected, "config {:?}\npattern {}", config, pattern);
         }
     }
@@ -149,7 +157,7 @@ proptest! {
         let Some(pattern) = build_pattern(&pspec) else { return Ok(()); };
         let stratified = pattern.stratified();
         let conventional = conventional_match(&graph, &stratified).unwrap();
-        let quantified = quantified_match_with(&graph, &stratified, &MatchConfig::qmatch()).unwrap();
+        let quantified = engine_match(&graph, &stratified, &MatchConfig::qmatch());
         prop_assert_eq!(conventional.matches, quantified.matches);
     }
 
@@ -166,8 +174,8 @@ proptest! {
             b.focus(xo);
             b.build().unwrap()
         };
-        let small = quantified_match_with(&graph, &make(p), &MatchConfig::qmatch()).unwrap();
-        let large = quantified_match_with(&graph, &make(p + 1), &MatchConfig::qmatch()).unwrap();
+        let small = engine_match(&graph, &make(p), &MatchConfig::qmatch());
+        let large = engine_match(&graph, &make(p + 1), &MatchConfig::qmatch());
         for v in &large.matches {
             prop_assert!(small.matches.contains(v));
         }
@@ -180,9 +188,9 @@ proptest! {
         let (graph, _) = build_graph(&gspec);
         let Some(pattern) = build_pattern(&pspec) else { return Ok(()); };
         if pattern.is_positive() { return Ok(()); }
-        let full = quantified_match_with(&graph, &pattern, &MatchConfig::qmatch()).unwrap();
+        let full = engine_match(&graph, &pattern, &MatchConfig::qmatch());
         let pi = pattern.pi();
-        let positive_only = quantified_match_with(&graph, &pi.pattern, &MatchConfig::qmatch()).unwrap();
+        let positive_only = engine_match(&graph, &pi.pattern, &MatchConfig::qmatch());
         for v in &full.matches {
             prop_assert!(positive_only.matches.contains(v));
         }

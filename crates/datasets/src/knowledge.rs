@@ -193,10 +193,14 @@ mod tests {
 
     #[test]
     fn q4_has_matches_on_the_knowledge_graph() {
-        use qgp_core::matching::quantified_match;
+        use qgp_core::engine::{Engine, ExecOptions};
         use qgp_core::pattern::library;
         let g = yago_like(&KnowledgeConfig::with_persons(800));
-        let ans = quantified_match(&g, &library::q4_uk_professors(2)).unwrap();
+        let ans = Engine::new(&g)
+            .prepare(&library::q4_uk_professors(2))
+            .unwrap()
+            .run(ExecOptions::sequential())
+            .unwrap();
         assert!(
             !ans.is_empty(),
             "UK professors with ≥2 students and no PhD should exist"

@@ -394,8 +394,9 @@ mod tests {
 
     #[test]
     fn generated_patterns_usually_have_matches() {
-        use qgp_core::matching::quantified_match;
+        use qgp_core::engine::{Engine, ExecOptions};
         let g = pokec_like(&SocialConfig::with_persons(500));
+        let engine = Engine::new(&g);
         let mut matched = 0;
         // Enough seeds that the assertion reflects the generator's hit rate
         // rather than the luck of individual RNG streams.
@@ -407,7 +408,11 @@ mod tests {
                 ..PatternGenConfig::with_size(PatternSize::new(4, 5, 30.0, 0))
             };
             if let Some(p) = generate_pattern(&g, &config) {
-                let ans = quantified_match(&g, &p).unwrap();
+                let ans = engine
+                    .prepare(&p)
+                    .unwrap()
+                    .run(ExecOptions::sequential())
+                    .unwrap();
                 if !ans.is_empty() {
                     matched += 1;
                 }

@@ -235,14 +235,22 @@ mod tests {
 
     #[test]
     fn paper_example_patterns_have_matches() {
-        use qgp_core::matching::quantified_match;
+        use qgp_core::engine::{Engine, ExecOptions};
         use qgp_core::pattern::library;
         let g = pokec_like(&SocialConfig::with_persons(800));
+        let engine = Engine::new(&g);
+        let run = |pattern| {
+            engine
+                .prepare(&pattern)
+                .unwrap()
+                .run(ExecOptions::sequential())
+                .unwrap()
+        };
         // Q2 (universal) and Q3 (numeric + negation) should both have answers
         // on a community-structured graph.
-        let q2 = quantified_match(&g, &library::q2_redmi_universal()).unwrap();
+        let q2 = run(library::q2_redmi_universal());
         assert!(!q2.is_empty(), "Q2 should match somewhere");
-        let q3 = quantified_match(&g, &library::q3_redmi_negation(2)).unwrap();
+        let q3 = run(library::q3_redmi_negation(2));
         assert!(!q3.is_empty(), "Q3 should match somewhere");
     }
 }

@@ -21,7 +21,8 @@
 //! though absolute numbers differ.
 //!
 //! ```
-//! use qgp_parallel::{dpar, pqmatch, ParallelConfig, PartitionConfig};
+//! use qgp_parallel::{dpar, PartitionConfig};
+//! use qgp_core::engine::{Engine, ExecOptions};
 //! use qgp_core::pattern::library;
 //! use qgp_graph::GraphBuilder;
 //!
@@ -33,12 +34,17 @@
 //! b.add_edge(bob, phone, "recom").unwrap();
 //! let graph = b.build();
 //!
+//! // Partition once, then execute a prepared query in partitioned mode.
 //! let partition = dpar(&graph, &PartitionConfig::new(2, 2));
-//! let answer = pqmatch(
-//!     &library::q2_redmi_universal(),
-//!     &partition,
-//!     &ParallelConfig::pqmatch(2),
-//! ).unwrap();
+//! let answer = Engine::new(&graph)
+//!     .prepare(&library::q2_redmi_universal())
+//!     .unwrap()
+//!     .run(ExecOptions::partitioned_threads(
+//!         partition.fragments(),
+//!         partition.d(),
+//!         2,
+//!     ))
+//!     .unwrap();
 //! assert_eq!(answer.matches, vec![ann]);
 //! ```
 
@@ -51,4 +57,8 @@ pub mod pqmatch;
 
 pub use error::ParallelError;
 pub use partition::{dpar, dpar_with, DHopPartition, PartitionConfig, PartitionStats};
-pub use pqmatch::{partition_and_match, pqmatch, pqmatch_on, ParallelAnswer, ParallelConfig};
+pub use pqmatch::{partition_and_match, ParallelAnswer, ParallelConfig};
+// The deprecated one-shot entry points stay re-exported for compatibility;
+// new code goes through `qgp_core::engine` with `ExecOptions::partitioned`.
+#[allow(deprecated)]
+pub use pqmatch::{pqmatch, pqmatch_on};

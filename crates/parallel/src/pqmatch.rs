@@ -7,24 +7,20 @@
 //! pattern radius is ≤ d, the union equals the global answer `Q(x_o, G)`
 //! (Lemma 9(1)).
 //!
-//! Scheduling goes through the shared [`qgp_runtime::Runtime`] executor: the
-//! unit of work is **one covered focus candidate**, the task list is the
-//! concatenation of every fragment's covered candidates, and idle executor
-//! threads steal candidate ranges from loaded ones.  This replaces the old
-//! two-level static split (one thread per fragment × fixed chunks inside
-//! each fragment), whose wall clock was bound by the most skewed chunk —
-//! a hub candidate in one chunk serialized the whole run.
-//!
-//! Each worker thread lazily builds one [`MatchSession`] per fragment it
-//! touches and reuses it for every candidate it executes or steals, so
-//! matcher scratch (candidate sets, search order, counter accumulators) is
-//! recycled per worker, not per chunk; [`MatchStats::sessions_built`] stays
-//! bounded by `threads × fragments`.
+//! The implementation lives in the prepared-query engine's partitioned
+//! mode ([`qgp_core::engine::ExecMode::Partitioned`]): one task per covered
+//! focus candidate on the shared work-stealing [`qgp_runtime::Runtime`],
+//! each worker thread lazily holding one matcher session per fragment, all
+//! sessions sharing one compiled pattern.  The [`pqmatch`] / [`pqmatch_on`]
+//! free functions survive as deprecated thin wrappers over that mode, so
+//! the parallel path provably shares the engine's semantics.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use qgp_core::matching::{MatchConfig, MatchSession, MatchStats};
+use qgp_core::engine::{Engine, ExecOptions, Parallelism};
+use qgp_core::matching::{MatchConfig, MatchStats};
 use qgp_core::pattern::Pattern;
+use qgp_core::MatchError;
 use qgp_graph::{Graph, NodeId};
 use qgp_runtime::Runtime;
 
@@ -103,39 +99,26 @@ pub struct ParallelAnswer {
     pub elapsed: Duration,
 }
 
-/// Per-executor-thread scratch: one lazily built matcher session per
-/// fragment, plus per-fragment busy accounting.
-struct WorkerScratch<'a> {
-    sessions: Vec<Option<MatchSession<'a>>>,
-    fragment_busy: Vec<Duration>,
+/// Translates engine errors into this crate's error vocabulary.
+fn to_parallel_error(e: MatchError) -> ParallelError {
+    match e {
+        MatchError::InvalidPattern(p) => ParallelError::InvalidPattern(p.to_string()),
+        MatchError::RadiusExceedsPartition { radius, partition_d } => {
+            ParallelError::RadiusExceedsPartition { radius, partition_d }
+        }
+        MatchError::EmptyPartition => ParallelError::NoWorkers,
+    }
 }
 
-/// Runs `PQMatch` over an existing d-hop preserving partition.
-///
-/// Returns an error when the pattern radius exceeds the partition's `d` —
-/// the covering guarantee would no longer imply that local evaluation is
-/// complete.
-pub fn pqmatch(
+/// The shared wrapper body: one partitioned engine execution.
+fn pqmatch_impl(
     pattern: &Pattern,
     partition: &DHopPartition,
     config: &ParallelConfig,
+    parallelism: Parallelism<'_>,
 ) -> Result<ParallelAnswer, ParallelError> {
-    let owned_runtime = config.threads.map(Runtime::new);
-    let runtime: &Runtime = match &owned_runtime {
-        Some(rt) => rt,
-        None => Runtime::global(),
-    };
-    pqmatch_on(pattern, partition, config, runtime)
-}
-
-/// [`pqmatch`] on an explicit executor (used by benchmarks to measure
-/// thread-count curves without touching the global runtime).
-pub fn pqmatch_on(
-    pattern: &Pattern,
-    partition: &DHopPartition,
-    config: &ParallelConfig,
-    runtime: &Runtime,
-) -> Result<ParallelAnswer, ParallelError> {
+    // Preserve the historical error precedence of these wrappers:
+    // validation first, then the radius check, then worker availability.
     pattern
         .validate()
         .map_err(|e| ParallelError::InvalidPattern(e.to_string()))?;
@@ -146,88 +129,72 @@ pub fn pqmatch_on(
             partition_d: partition.d(),
         });
     }
-    if partition.is_empty() {
+    let fragments = partition.fragments();
+    if fragments.is_empty() {
         return Err(ParallelError::NoWorkers);
     }
-
-    let start = Instant::now();
-    let fragments = partition.fragments();
-    let n = fragments.len();
-
-    // The flat task list: (fragment, covered local candidate), fragment-major
-    // so a worker's initial contiguous range mostly stays within one
-    // fragment (one session) and cross-fragment sessions only appear when
-    // work is stolen.
-    let mut tasks: Vec<(u32, NodeId)> = Vec::new();
-    for (f, fragment) in fragments.iter().enumerate() {
-        for v in fragment.covered_local_nodes() {
-            tasks.push((f as u32, v));
-        }
-    }
-
-    let match_config = config.match_config;
-    let outcome = runtime.map_with(
-        tasks.len(),
-        || WorkerScratch {
-            sessions: (0..n).map(|_| None).collect(),
-            fragment_busy: vec![Duration::ZERO; n],
-        },
-        |scratch, i| {
-            let (f, local) = tasks[i];
-            let f = f as usize;
-            let session = match &mut scratch.sessions[f] {
-                Some(session) => session,
-                slot => {
-                    let t0 = Instant::now();
-                    *slot = Some(MatchSession::new(
-                        fragments[f].graph(),
-                        pattern,
-                        &match_config,
-                    ));
-                    scratch.fragment_busy[f] += t0.elapsed();
-                    slot.as_mut().expect("just inserted")
-                }
-            };
-            // Pruned candidates exit through one bitmap probe with no clock
-            // reads — per-item timing only wraps real verifications, so the
-            // balance accounting does not tax the (common) cheap path.
-            if !session.is_focus_candidate(local) {
-                return None;
-            }
-            let t0 = Instant::now();
-            let matched = session.decide(local);
-            scratch.fragment_busy[f] += t0.elapsed();
-            matched.then(|| fragments[f].to_global(local))
-        },
-    );
-
-    // Coordinator: union of the partial answers.
-    let mut matches: Vec<NodeId> = outcome.outputs.into_iter().flatten().collect();
-    matches.sort_unstable();
-    matches.dedup();
-
-    let mut stats = MatchStats::default();
-    let mut worker_times = vec![Duration::ZERO; n];
-    for scratch in outcome.states {
-        for session in scratch.sessions.into_iter().flatten() {
-            stats += session.stats();
-        }
-        for (f, busy) in scratch.fragment_busy.iter().enumerate() {
-            worker_times[f] += *busy;
-        }
-    }
-
+    // The engine graph is not consulted in partitioned mode (sessions run
+    // on the fragment subgraphs); bind it to the first fragment's.
+    let engine = Engine::new(fragments[0].graph());
+    let mut prepared = engine.prepare(pattern).map_err(to_parallel_error)?;
+    let opts = ExecOptions::partitioned_with(fragments, partition.d(), parallelism)
+        .with_config(config.match_config);
+    let matches = prepared.execute(opts).map_err(to_parallel_error)?;
+    let stats = matches.stats();
+    let telemetry = matches
+        .telemetry()
+        .cloned()
+        .expect("partitioned executions report telemetry");
+    let answer = matches.into_answer();
     Ok(ParallelAnswer {
-        matches,
+        matches: answer.matches,
         stats,
-        worker_times,
-        thread_busy: outcome.worker_busy,
-        steals: outcome.steals,
-        elapsed: start.elapsed(),
+        worker_times: telemetry.worker_times,
+        thread_busy: telemetry.thread_busy,
+        steals: telemetry.steals,
+        elapsed: telemetry.elapsed,
     })
 }
 
-/// Partitions the graph with `DPar` and runs `PQMatch` on the result.
+/// Runs `PQMatch` over an existing d-hop preserving partition.
+///
+/// Returns an error when the pattern radius exceeds the partition's `d` —
+/// the covering guarantee would no longer imply that local evaluation is
+/// complete.
+#[deprecated(
+    note = "prepare the pattern once with `Engine::prepare` and execute with \
+            `ExecOptions::partitioned` (see `qgp_core::engine`)"
+)]
+pub fn pqmatch(
+    pattern: &Pattern,
+    partition: &DHopPartition,
+    config: &ParallelConfig,
+) -> Result<ParallelAnswer, ParallelError> {
+    pqmatch_impl(
+        pattern,
+        partition,
+        config,
+        Parallelism::threads_or_global(config.threads),
+    )
+}
+
+/// [`pqmatch`] on an explicit executor (used by benchmarks to measure
+/// thread-count curves without touching the global runtime).
+#[deprecated(
+    note = "prepare the pattern once with `Engine::prepare` and execute with \
+            `ExecOptions::partitioned_on` (see `qgp_core::engine`)"
+)]
+pub fn pqmatch_on(
+    pattern: &Pattern,
+    partition: &DHopPartition,
+    config: &ParallelConfig,
+    runtime: &Runtime,
+) -> Result<ParallelAnswer, ParallelError> {
+    pqmatch_impl(pattern, partition, config, Parallelism::On(runtime))
+}
+
+/// Partitions the graph with `DPar` and runs a partitioned engine execution
+/// on the result.
 pub fn partition_and_match(
     graph: &Graph,
     pattern: &Pattern,
@@ -235,11 +202,21 @@ pub fn partition_and_match(
     config: &ParallelConfig,
 ) -> Result<(DHopPartition, ParallelAnswer), ParallelError> {
     let partition = dpar(graph, partition_config);
-    let answer = pqmatch(pattern, &partition, config)?;
+    let answer = pqmatch_impl(
+        pattern,
+        &partition,
+        config,
+        Parallelism::threads_or_global(config.threads),
+    )?;
     Ok((partition, answer))
 }
 
 #[cfg(test)]
+// Intentional call sites: these tests pin the behavior of the deprecated
+// `pqmatch`/`pqmatch_on` wrappers (and compare them against the equally
+// deprecated sequential wrapper), guarding the wrapper layer itself.  New
+// code — and the equivalence proptests — go through the engine.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use qgp_core::matching::quantified_match;

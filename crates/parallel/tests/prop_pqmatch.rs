@@ -1,16 +1,32 @@
 //! Property-based parity tests for the runtime-scheduled parallel path:
 //! on random graphs — including pathologically skewed ones where a single
-//! hub owns most edges — `PQMatch` over a `DPar` partition must compute
-//! exactly the sequential `quantified_match` answer for every partition
-//! size, executor thread count, and matcher configuration.
+//! hub owns most edges — the engine's partitioned mode over a `DPar`
+//! partition must compute exactly the sequential answer for every partition
+//! size, executor thread count, and matcher configuration, and the
+//! deprecated `pqmatch_on` wrapper must agree with it verbatim.
 
 use proptest::prelude::*;
 
-use qgp_core::matching::{quantified_match_with, MatchConfig};
+use qgp_core::engine::{Engine, ExecOptions};
+use qgp_core::matching::MatchConfig;
 use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
-use qgp_graph::{Graph, GraphBuilder};
-use qgp_parallel::{dpar_with, pqmatch_on, ParallelConfig, PartitionConfig};
+use qgp_graph::{Graph, GraphBuilder, NodeId};
+use qgp_parallel::{dpar_with, DHopPartition, ParallelConfig, PartitionConfig};
 use qgp_runtime::Runtime;
+
+/// The legacy wrapper, called deliberately: the proptests pin
+/// engine ≡ `pqmatch_on` equivalence.
+#[allow(deprecated)]
+fn legacy_pqmatch(
+    pattern: &Pattern,
+    partition: &DHopPartition,
+    config: &ParallelConfig,
+    runtime: &Runtime,
+) -> Vec<NodeId> {
+    qgp_parallel::pqmatch_on(pattern, partition, config, runtime)
+        .unwrap()
+        .matches
+}
 
 const NODE_LABELS: &[&str] = &["A", "B", "C"];
 const EDGE_LABELS: &[&str] = &["r", "s"];
@@ -124,12 +140,16 @@ proptest! {
     ) {
         let graph = build_graph(&gspec);
         let pattern = pattern(kind);
+        let engine = Engine::new(&graph);
+        let mut prepared = engine.prepare(&pattern).unwrap();
         for match_config in [
             MatchConfig::qmatch(),
             MatchConfig::qmatch_n(),
             MatchConfig::enumerate(),
         ] {
-            let sequential = quantified_match_with(&graph, &pattern, &match_config).unwrap();
+            let sequential = prepared
+                .run(ExecOptions::sequential().with_config(match_config))
+                .unwrap();
             for n in [1usize, 2, 4] {
                 let partition = dpar_with(
                     &graph,
@@ -138,12 +158,16 @@ proptest! {
                 );
                 for threads in [1usize, 2, 4] {
                     let runtime = Runtime::new(threads);
-                    let config = ParallelConfig {
-                        threads: None,
-                        match_config,
-                    };
-                    let parallel =
-                        pqmatch_on(&pattern, &partition, &config, &runtime).unwrap();
+                    let parallel = prepared
+                        .run(
+                            ExecOptions::partitioned_on(
+                                partition.fragments(),
+                                partition.d(),
+                                &runtime,
+                            )
+                            .with_config(match_config),
+                        )
+                        .unwrap();
                     prop_assert_eq!(
                         &parallel.matches,
                         &sequential.matches,
@@ -154,6 +178,14 @@ proptest! {
                         gspec.hub,
                         pattern
                     );
+                    // The deprecated wrapper is a thin adapter over the same
+                    // execution: identical answers, verbatim.
+                    let config = ParallelConfig {
+                        threads: None,
+                        match_config,
+                    };
+                    let legacy = legacy_pqmatch(&pattern, &partition, &config, &runtime);
+                    prop_assert_eq!(&legacy, &parallel.matches);
                 }
             }
         }
@@ -171,16 +203,18 @@ proptest! {
         let graph = build_graph(&spec);
         for kind in 0u8..6 {
             let pattern = pattern(kind);
-            let sequential =
-                quantified_match_with(&graph, &pattern, &MatchConfig::qmatch()).unwrap();
+            let engine = Engine::new(&graph);
+            let mut prepared = engine.prepare(&pattern).unwrap();
+            let sequential = prepared.run(ExecOptions::sequential()).unwrap();
             let partition = dpar_with(&graph, &PartitionConfig::new(4, 2), &Runtime::new(4));
-            let parallel = pqmatch_on(
-                &pattern,
-                &partition,
-                &ParallelConfig::default(),
-                &Runtime::new(4),
-            )
-            .unwrap();
+            let runtime = Runtime::new(4);
+            let parallel = prepared
+                .run(ExecOptions::partitioned_on(
+                    partition.fragments(),
+                    partition.d(),
+                    &runtime,
+                ))
+                .unwrap();
             prop_assert_eq!(&parallel.matches, &sequential.matches, "kind={}", kind);
         }
     }

@@ -1,13 +1,20 @@
 //! Evaluation of QGARs: support, confidence under the local closed-world
 //! assumption, and quantified entity identification (Section 6 and
 //! Appendix C of the paper).
+//!
+//! Both patterns of a rule are evaluated through the prepared-query engine
+//! ([`qgp_core::engine::Engine`]); the miner additionally evaluates each
+//! consequent once and reuses its answer (and LCWA candidate set) across a
+//! whole quantifier-strengthening ladder (the crate-internal
+//! `ConsequentEval`).
 
 use std::collections::HashSet;
 
-use qgp_core::matching::{quantified_match_with, MatchConfig, MatchStats};
+use qgp_core::engine::{Engine, ExecOptions, Parallelism};
+use qgp_core::matching::{MatchConfig, MatchStats, QueryAnswer};
 use qgp_core::pattern::Pattern;
 use qgp_graph::{Graph, NodeId};
-use qgp_parallel::{pqmatch, DHopPartition, ParallelConfig};
+use qgp_parallel::{DHopPartition, ParallelConfig};
 
 use crate::error::RuleError;
 use crate::rule::Qgar;
@@ -32,25 +39,94 @@ pub struct RuleEvaluation {
     pub stats: MatchStats,
 }
 
+/// Runs one pattern sequentially through the engine.
+fn run_sequential(
+    graph: &Graph,
+    pattern: &Pattern,
+    config: &MatchConfig,
+) -> Result<QueryAnswer, RuleError> {
+    Engine::new(graph)
+        .prepare(pattern)
+        .and_then(|mut prepared| prepared.run(ExecOptions::sequential().with_config(*config)))
+        .map_err(|e| RuleError::InvalidPattern(e.to_string()))
+}
+
+/// Runs one pattern over a d-hop partition through the engine.
+fn run_partitioned(
+    pattern: &Pattern,
+    partition: &DHopPartition,
+    config: &ParallelConfig,
+) -> Result<QueryAnswer, RuleError> {
+    let fragments = partition.fragments();
+    let engine = Engine::new(
+        fragments
+            .first()
+            .ok_or_else(|| RuleError::Parallel("empty partition".to_owned()))?
+            .graph(),
+    );
+    let opts = ExecOptions::partitioned_with(
+        fragments,
+        partition.d(),
+        Parallelism::threads_or_global(config.threads),
+    )
+    .with_config(config.match_config);
+    engine
+        .prepare(pattern)
+        .and_then(|mut prepared| prepared.run(opts))
+        .map_err(|e| RuleError::Parallel(e.to_string()))
+}
+
+/// The consequent side of a rule, evaluated once and reusable: its matches
+/// and the LCWA candidate set `X_o`.  The miner's strengthening ladder
+/// varies only the antecedent quantifier, so one [`ConsequentEval`] serves
+/// every rung of a ladder — work the old per-rule evaluation repeated.
+#[derive(Debug, Clone)]
+pub(crate) struct ConsequentEval {
+    pub(crate) answer: QueryAnswer,
+    pub(crate) lcwa: HashSet<NodeId>,
+}
+
+/// Evaluates a consequent pattern once (engine-backed), capturing
+/// everything rule evaluation needs from it.
+pub(crate) fn evaluate_consequent(
+    graph: &Graph,
+    consequent: &Pattern,
+    config: &MatchConfig,
+) -> Result<ConsequentEval, RuleError> {
+    let answer = run_sequential(graph, consequent, config)?;
+    Ok(ConsequentEval {
+        lcwa: lcwa_candidates(graph, consequent),
+        answer,
+    })
+}
+
+/// Evaluates a rule against an already-evaluated consequent: only the
+/// antecedent is matched.
+pub(crate) fn evaluate_with_consequent(
+    graph: &Graph,
+    rule: &Qgar,
+    consequent: &ConsequentEval,
+    config: &MatchConfig,
+) -> Result<RuleEvaluation, RuleError> {
+    let q1 = run_sequential(graph, rule.antecedent(), config)?;
+    let mut stats = q1.stats;
+    stats += consequent.answer.stats;
+    Ok(combine(
+        q1.matches,
+        consequent.answer.matches.clone(),
+        &consequent.lcwa,
+        stats,
+    ))
+}
+
 /// `garMatch`: sequential evaluation of a QGAR (Corollary 11(1)).
 pub fn evaluate_rule(
     graph: &Graph,
     rule: &Qgar,
     config: &MatchConfig,
 ) -> Result<RuleEvaluation, RuleError> {
-    let q1 = quantified_match_with(graph, rule.antecedent(), config)
-        .map_err(|e| RuleError::InvalidPattern(e.to_string()))?;
-    let q2 = quantified_match_with(graph, rule.consequent(), config)
-        .map_err(|e| RuleError::InvalidPattern(e.to_string()))?;
-    let mut stats = q1.stats;
-    stats += q2.stats;
-    Ok(combine(
-        graph,
-        rule,
-        q1.matches,
-        q2.matches,
-        stats,
-    ))
+    let consequent = evaluate_consequent(graph, rule.consequent(), config)?;
+    evaluate_with_consequent(graph, rule, &consequent, config)
 }
 
 /// `dgarMatch`: parallel evaluation of a QGAR over a d-hop preserving
@@ -62,13 +138,12 @@ pub fn evaluate_rule_parallel(
     partition: &DHopPartition,
     config: &ParallelConfig,
 ) -> Result<RuleEvaluation, RuleError> {
-    let q1 = pqmatch(rule.antecedent(), partition, config)
-        .map_err(|e| RuleError::Parallel(e.to_string()))?;
-    let q2 = pqmatch(rule.consequent(), partition, config)
-        .map_err(|e| RuleError::Parallel(e.to_string()))?;
+    let q1 = run_partitioned(rule.antecedent(), partition, config)?;
+    let q2 = run_partitioned(rule.consequent(), partition, config)?;
     let mut stats = q1.stats;
     stats += q2.stats;
-    Ok(combine(graph, rule, q1.matches, q2.matches, stats))
+    let lcwa = lcwa_candidates(graph, rule.consequent());
+    Ok(combine(q1.matches, q2.matches, &lcwa, stats))
 }
 
 /// Quantified entity identification (QEI): the entities identified by `R`
@@ -91,12 +166,12 @@ pub fn identify_entities(
     }
 }
 
-/// Computes `R(x_o, G)`, support and LCWA confidence from the two answers.
+/// Computes `R(x_o, G)`, support and LCWA confidence from the two answers
+/// and the (precomputed) LCWA candidate set `X_o` of the consequent.
 fn combine(
-    graph: &Graph,
-    rule: &Qgar,
     q1_matches: Vec<NodeId>,
     q2_matches: Vec<NodeId>,
+    xo: &HashSet<NodeId>,
     stats: MatchStats,
 ) -> RuleEvaluation {
     let q2_set: HashSet<NodeId> = q2_matches.iter().copied().collect();
@@ -111,7 +186,6 @@ fn combine(
     // required type for every focus-incident edge of the consequent, i.e.
     // nodes about which the graph actually records the relationship the rule
     // predicts (Appendix C).
-    let xo = lcwa_candidates(graph, rule.consequent());
     let lcwa_candidates = q1_matches.iter().filter(|v| xo.contains(v)).count();
     let confidence = if lcwa_candidates == 0 {
         0.0

@@ -16,7 +16,9 @@ use qgp_graph::{Graph, GraphStats, LabelId};
 use qgp_runtime::Runtime;
 
 use crate::error::RuleError;
-use crate::evaluate::{evaluate_rule, RuleEvaluation};
+use crate::evaluate::{
+    evaluate_consequent, evaluate_with_consequent, ConsequentEval, RuleEvaluation,
+};
 use crate::rule::Qgar;
 
 /// Configuration of the miner.
@@ -128,18 +130,38 @@ pub fn mine_qgars_with_report(
         .filter(|&(i, j)| i != j)
         .collect();
 
+    // A consequent depends only on its seed feature, not on the pair: each
+    // is evaluated once through the engine here and its matches + LCWA set
+    // reused by every pair (and every rung of every strengthening ladder)
+    // that predicts it — O(seeds) consequent matching instead of O(pairs).
+    let consequents: Vec<Option<ConsequentEval>> = seeds
+        .iter()
+        .map(|seed| {
+            let pattern = consequent_pattern(config, seed)?;
+            evaluate_consequent(graph, &pattern, &config.match_config).ok()
+        })
+        .collect();
+
     let outcome = runtime.map(pairs.len(), |k| {
         let (i, j) = pairs[k];
         let antecedent_seed = &seeds[i];
         let consequent_seed = &seeds[j];
         let rule = seed_rule(config, antecedent_seed, consequent_seed)?;
-        let eval = evaluate_rule(graph, &rule, &config.match_config).ok()?;
+        let consequent = consequents[j].as_ref()?;
+        let eval = evaluate_with_consequent(graph, &rule, consequent, &config.match_config).ok()?;
         if eval.support < config.min_support || eval.confidence < config.confidence_threshold {
             return None;
         }
         // Strengthen the antecedent quantifier while confidence permits.
-        let (best_rule, best_eval, strengthened_to) =
-            strengthen(graph, config, antecedent_seed, consequent_seed, rule, eval);
+        let (best_rule, best_eval, strengthened_to) = strengthen(
+            graph,
+            config,
+            antecedent_seed,
+            consequent_seed,
+            consequent,
+            rule,
+            eval,
+        );
         Some(MinedRule {
             rule: best_rule,
             evaluation: best_eval,
@@ -247,12 +269,15 @@ fn seed_rule(
 }
 
 /// Strengthens the antecedent quantifier in `ratio_step` increments, keeping
-/// the strongest version whose support and confidence stay acceptable.
+/// the strongest version whose support and confidence stay acceptable.  The
+/// consequent's evaluation is shared across every rung — only the varying
+/// antecedent is re-matched.
 fn strengthen(
     graph: &Graph,
     config: &MiningConfig,
     antecedent_seed: &SeedFeature,
     consequent_seed: &SeedFeature,
+    consequent: &ConsequentEval,
     seed_rule: Qgar,
     seed_eval: RuleEvaluation,
 ) -> (Qgar, RuleEvaluation, Option<f64>) {
@@ -263,7 +288,7 @@ fn strengthen(
         let Some(antecedent) = antecedent_pattern(config, antecedent_seed, quantifier) else {
             break;
         };
-        let Some(consequent) = consequent_pattern(config, consequent_seed) else {
+        let Some(consequent_p) = consequent_pattern(config, consequent_seed) else {
             break;
         };
         let name = format!(
@@ -273,10 +298,11 @@ fn strengthen(
             consequent_seed.edge_label,
             consequent_seed.target_label
         );
-        let Ok(rule) = Qgar::new(name, antecedent, consequent) else {
+        let Ok(rule) = Qgar::new(name, antecedent, consequent_p) else {
             break;
         };
-        let Ok(eval) = evaluate_rule(graph, &rule, &config.match_config) else {
+        let Ok(eval) = evaluate_with_consequent(graph, &rule, consequent, &config.match_config)
+        else {
             break;
         };
         if eval.support < config.min_support || eval.confidence < config.confidence_threshold {

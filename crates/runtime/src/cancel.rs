@@ -1,0 +1,106 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is the stack-wide stop signal: the prepared-query
+//! engine hands one to every execution, the executor polls it between tasks,
+//! and matcher sessions poll it between verification phases.  Cancellation
+//! is *cooperative* — in-flight work finishes its current unit — so no
+//! shared state is ever left half-updated and every runtime, session and
+//! prepared query remains reusable after a cancelled run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheaply cloneable cancellation/deadline token.
+///
+/// Clones share one flag: cancelling any clone cancels them all.  A token
+/// may carry a deadline, after which it reports itself cancelled without
+/// anyone calling [`CancelToken::cancel`] (the deadline is latched into the
+/// flag on first observation, so later polls are a single atomic load).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that is only cancelled explicitly.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that also reports cancelled once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token with a deadline `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation.  Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested (or the deadline passed)?
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The deadline, when one was set at construction.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_reports_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        // Latched: still cancelled on re-poll.
+        assert!(t.is_cancelled());
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn future_deadline_is_not_cancelled_yet() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+}

@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
+
 /// Number of executor threads used when `QGP_THREADS` is not set: the
 /// machine's available parallelism.
 fn default_threads() -> usize {
@@ -39,6 +41,20 @@ fn parse_threads(var: Option<&str>, fallback: usize) -> usize {
 fn thread_cpu_ns() -> Option<u64> {
     let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
     stat.split_whitespace().next()?.parse().ok()
+}
+
+/// Runs `f`, measuring its busy time as on-CPU time (kernel scheduler
+/// accounting) with a wall-clock fallback — the one definition every
+/// sequential execution path shares.
+fn run_measured<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let cpu0 = thread_cpu_ns();
+    let t0 = Instant::now();
+    let result = f();
+    let busy = match (cpu0, thread_cpu_ns()) {
+        (Some(a), Some(b)) if b >= a => Duration::from_nanos(b - a),
+        _ => t0.elapsed(),
+    };
+    (result, busy)
 }
 
 /// One worker's deque: a `(lo, hi)` index range packed into a single atomic
@@ -233,18 +249,88 @@ impl Runtime {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> O + Sync,
     {
+        // Inline sequential fast path: no threads, no atomics, and no
+        // Option wrapping around the outputs (the threaded path scatters
+        // into Option slots anyway, so only this path would pay for it).
+        if self.threads.min(len.max(1)) <= 1 {
+            let mut state = init();
+            let (outputs, busy) = run_measured(|| (0..len).map(|i| step(&mut state, i)).collect());
+            return MapOutcome {
+                outputs,
+                states: vec![state],
+                worker_busy: vec![busy],
+                steals: 0,
+            };
+        }
+        let outcome = self.map_impl(len, grain, None, init, step);
+        MapOutcome {
+            outputs: outcome
+                .outputs
+                .into_iter()
+                .map(|o| o.expect("uncancelled maps execute every index"))
+                .collect(),
+            states: outcome.states,
+            worker_busy: outcome.worker_busy,
+            steals: outcome.steals,
+        }
+    }
+
+    /// Cancellation-aware parallel map: like [`Runtime::map_with`], but
+    /// workers poll `cancel` between tasks and stop claiming (and stealing)
+    /// work once it fires.  Skipped indices come back as `None`; executed
+    /// ones as `Some(output)`.
+    ///
+    /// Cancellation is cooperative — a task that already started runs to
+    /// completion — so per-worker states are always returned intact and the
+    /// runtime is immediately reusable for the next map.
+    pub fn map_with_cancel<S, O, I, F>(
+        &self,
+        len: usize,
+        cancel: &CancelToken,
+        init: I,
+        step: F,
+    ) -> MapOutcome<Option<O>, S>
+    where
+        S: Send,
+        O: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> O + Sync,
+    {
+        let grain = (len / (self.threads * 16)).clamp(1, 256);
+        self.map_impl(len, grain, Some(cancel), init, step)
+    }
+
+    /// Shared implementation: `None` for `cancel` means "never cancelled".
+    fn map_impl<S, O, I, F>(
+        &self,
+        len: usize,
+        grain: usize,
+        cancel: Option<&CancelToken>,
+        init: I,
+        step: F,
+    ) -> MapOutcome<Option<O>, S>
+    where
+        S: Send,
+        O: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> O + Sync,
+    {
         assert!(len <= u32::MAX as usize, "task list exceeds u32 index space");
         let workers = self.threads.min(len.max(1));
         if workers <= 1 {
             // Inline sequential fast path: no threads, no atomics.
             let mut state = init();
-            let cpu0 = thread_cpu_ns();
-            let t0 = Instant::now();
-            let outputs = (0..len).map(|i| step(&mut state, i)).collect();
-            let busy = match (cpu0, thread_cpu_ns()) {
-                (Some(a), Some(b)) if b >= a => Duration::from_nanos(b - a),
-                _ => t0.elapsed(),
-            };
+            let (outputs, busy) = run_measured(|| {
+                let mut outputs: Vec<Option<O>> = Vec::with_capacity(len);
+                for i in 0..len {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        break;
+                    }
+                    outputs.push(Some(step(&mut state, i)));
+                }
+                outputs.resize_with(len, || None);
+                outputs
+            });
             return MapOutcome {
                 outputs,
                 states: vec![state],
@@ -274,15 +360,19 @@ impl Runtime {
             let init = &init;
             let step = &step;
             let handles: Vec<_> = (1..workers)
-                .map(|w| scope.spawn(move || worker_loop(w, queues, grain, init, step, steals)))
+                .map(|w| {
+                    scope.spawn(move || worker_loop(w, queues, grain, cancel, init, step, steals))
+                })
                 .collect();
             // The calling thread is worker 0.
-            let mut all = vec![worker_loop(0, queues, grain, init, step, steals)];
+            let mut all = vec![worker_loop(0, queues, grain, cancel, init, step, steals)];
             all.extend(handles.into_iter().map(|h| h.join().expect("worker panicked")));
             all
         });
 
-        // Scatter worker-local outputs back into index order.
+        // Scatter worker-local outputs back into index order.  Under
+        // cancellation some indices were never executed; their slots stay
+        // `None`.
         let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(len).collect();
         let mut states = Vec::with_capacity(results.len());
         let mut worker_busy = Vec::with_capacity(results.len());
@@ -294,12 +384,8 @@ impl Runtime {
             states.push(state);
             worker_busy.push(busy);
         }
-        let outputs = slots
-            .into_iter()
-            .map(|s| s.expect("every index executed exactly once"))
-            .collect();
         MapOutcome {
-            outputs,
+            outputs: slots,
             states,
             worker_busy,
             steals: steals.load(Ordering::Relaxed),
@@ -317,10 +403,13 @@ impl Default for Runtime {
 /// steal the upper half of the richest victim; exit when every queue is
 /// empty.  Claimed-but-unfinished blocks are not in any queue, so the
 /// residual imbalance at exit is bounded by `grain` items per worker.
+/// When a cancel token is present it is polled between tasks; once it fires
+/// the worker abandons its remaining range and exits.
 fn worker_loop<S, O, I, F>(
     me: usize,
     queues: &[RangeQueue],
     grain: u32,
+    cancel: Option<&CancelToken>,
     init: &I,
     step: &F,
     steals: &AtomicUsize,
@@ -337,9 +426,16 @@ where
         while let Some((a, b)) = queues[me].claim(grain) {
             let t0 = Instant::now();
             for i in a..b {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    wall_busy += t0.elapsed();
+                    break 'work;
+                }
                 out.push((i, step(&mut state, i as usize)));
             }
             wall_busy += t0.elapsed();
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            break 'work;
         }
         // Own queue dry: look for the richest victim.
         loop {
@@ -479,6 +575,50 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (0..100).collect::<Vec<_>>());
         assert!(q.steal_half().is_none());
+    }
+
+    #[test]
+    fn cancelled_map_skips_remaining_work_and_stays_reusable() {
+        for threads in [1, 4] {
+            let rt = Runtime::new(threads);
+            let token = CancelToken::new();
+            let executed = AtomicUsize::new(0);
+            let outcome = rt.map_with_cancel(10_000, &token, || (), |(), i| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    token.cancel();
+                }
+                i
+            });
+            let done = outcome.outputs.iter().flatten().count();
+            assert!(done >= 1, "threads={threads}: some work ran before cancel");
+            assert!(
+                done < 10_000,
+                "threads={threads}: cancellation must skip work"
+            );
+            assert_eq!(done, executed.load(Ordering::Relaxed));
+            // Executed outputs sit at their own index.
+            for (i, o) in outcome.outputs.iter().enumerate() {
+                if let Some(v) = o {
+                    assert_eq!(*v, i);
+                }
+            }
+            // The runtime is not poisoned: a fresh map on the same instance
+            // completes fully.
+            let again = rt.map_with_cancel(100, &CancelToken::new(), || (), |(), i| i);
+            assert_eq!(again.outputs.iter().flatten().count(), 100);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_map_returns_all_none() {
+        let rt = Runtime::new(3);
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = rt.map_with_cancel(64, &token, || (), |(), i| i);
+        assert_eq!(outcome.outputs.len(), 64);
+        assert!(outcome.outputs.iter().all(Option::is_none));
+        assert!(!outcome.states.is_empty());
     }
 
     #[test]

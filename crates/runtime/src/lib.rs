@@ -43,6 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod executor;
 
+pub use cancel::CancelToken;
 pub use executor::{MapOutcome, Runtime};

@@ -5,10 +5,10 @@
 //! cargo run --release --example knowledge_discovery
 //! ```
 
-use quantified_graph_patterns::core::matching::quantified_match;
 use quantified_graph_patterns::core::pattern::library;
 use quantified_graph_patterns::datasets::{yago_like, KnowledgeConfig};
 use quantified_graph_patterns::graph::GraphStats;
+use quantified_graph_patterns::{Engine, ExecOptions};
 
 fn main() {
     let graph = yago_like(&KnowledgeConfig::with_persons(5_000));
@@ -17,12 +17,17 @@ fn main() {
         "knowledge graph: {} nodes, {} edges (avg out-degree {:.1})",
         stats.node_count, stats.edge_count, stats.avg_out_degree
     );
+    let engine = Engine::new(&graph);
 
     // Q4: UK professors without a PhD who advised at least p students who are
     // professors in the UK (negation + numeric aggregate).
     for p in [1, 2, 3, 4] {
         let q4 = library::q4_uk_professors(p);
-        let answer = quantified_match(&graph, &q4).unwrap();
+        let answer = engine
+            .prepare(&q4)
+            .unwrap()
+            .run(ExecOptions::sequential())
+            .unwrap();
         println!(
             "Q4 (≥{p} students): {:4} professors   (verified {}, pruned by upper bounds {})",
             answer.len(),
@@ -32,22 +37,31 @@ fn main() {
     }
 
     // Raising the threshold can only shrink the answer (anti-monotonicity).
-    let loose = quantified_match(&graph, &library::q4_uk_professors(1)).unwrap();
-    let strict = quantified_match(&graph, &library::q4_uk_professors(3)).unwrap();
+    let run = |pattern| {
+        engine
+            .prepare(&pattern)
+            .unwrap()
+            .run(ExecOptions::sequential())
+            .unwrap()
+    };
+    let loose = run(library::q4_uk_professors(1));
+    let strict = run(library::q4_uk_professors(3));
     assert!(strict.len() <= loose.len());
 
     // Q5: non-UK professors who supervised students who are professors but
     // have no PhD (two negated edges).
-    let q5 = library::q5_non_uk_professors();
-    let answer = quantified_match(&graph, &q5).unwrap();
+    let answer = run(library::q5_non_uk_professors());
     println!(
         "Q5 (non-UK professors, students without PhD): {} matches",
         answer.len()
     );
 
-    // Show a few example entities for Q4 with p = 2.
-    let q4 = library::q4_uk_professors(2);
-    let answer = quantified_match(&graph, &q4).unwrap();
-    let preview: Vec<_> = answer.matches.iter().take(5).collect();
+    // Stream a few example entities for Q4 with p = 2: `limit(5)` stops
+    // verifying candidates as soon as 5 answers are found.
+    let mut q4 = engine.prepare(&library::q4_uk_professors(2)).unwrap();
+    let preview: Vec<_> = q4
+        .execute(ExecOptions::sequential().limit(5))
+        .unwrap()
+        .collect();
     println!("example Q4 matches (node ids): {preview:?}");
 }

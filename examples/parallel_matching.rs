@@ -8,26 +8,27 @@
 
 use std::time::Instant;
 
-use quantified_graph_patterns::core::matching::quantified_match;
 use quantified_graph_patterns::core::pattern::library;
 use quantified_graph_patterns::datasets::{pokec_like, SocialConfig};
-use quantified_graph_patterns::parallel::{
-    dpar, pqmatch, ParallelConfig, PartitionConfig,
-};
+use quantified_graph_patterns::parallel::{dpar, PartitionConfig};
+use quantified_graph_patterns::{Engine, ExecOptions};
 
 fn main() {
     let graph = pokec_like(&SocialConfig::with_persons(6_000));
-    let pattern = library::q3_redmi_negation(2);
+    let engine = Engine::new(&graph);
+    let mut prepared = engine
+        .prepare(&library::q3_redmi_negation(2))
+        .expect("library patterns validate");
     println!(
         "graph: {} nodes, {} edges; pattern radius {}",
         graph.node_count(),
         graph.edge_count(),
-        pattern.radius()
+        prepared.radius()
     );
 
-    // Sequential reference answer.
+    // Sequential reference answer (the same prepared query runs every mode).
     let start = Instant::now();
-    let sequential = quantified_match(&graph, &pattern).unwrap();
+    let sequential = prepared.run(ExecOptions::sequential()).unwrap();
     println!(
         "sequential QMatch: {} matches in {:.1} ms",
         sequential.len(),
@@ -42,7 +43,15 @@ fn main() {
         let partition_time = start.elapsed();
 
         let start = Instant::now();
-        let answer = pqmatch(&pattern, &partition, &ParallelConfig::pqmatch(2)).unwrap();
+        let matches = prepared
+            .execute(ExecOptions::partitioned_threads(
+                partition.fragments(),
+                partition.d(),
+                2,
+            ))
+            .expect("pattern radius fits the partition");
+        let telemetry = matches.telemetry().cloned().expect("partitioned telemetry");
+        let answer = matches.into_answer();
         let match_time = start.elapsed();
 
         assert_eq!(answer.matches, sequential.matches);
@@ -52,7 +61,7 @@ fn main() {
             partition.stats().skew,
             match_time.as_secs_f64() * 1e3,
             answer.matches.len(),
-            answer
+            telemetry
                 .worker_times
                 .iter()
                 .map(|d| (d.as_secs_f64() * 1e3).round() as u64)

@@ -1,7 +1,7 @@
 //! End-to-end parallel quickstart on the social dataset: build a Pokec-like
-//! graph, partition it with `DPar`, evaluate a QGP with `PQMatch`, and mine
-//! QGARs — every parallel phase scheduled through the shared work-stealing
-//! runtime (`qgp-runtime`).
+//! graph, partition it with `DPar`, evaluate a prepared QGP in the engine's
+//! partitioned (`PQMatch`) mode, and mine QGARs — every parallel phase
+//! scheduled through the shared work-stealing runtime (`qgp-runtime`).
 //!
 //! ```text
 //! cargo run --release --example parallel_quickstart
@@ -10,14 +10,11 @@
 
 use std::time::Instant;
 
-use quantified_graph_patterns::core::matching::quantified_match;
 use quantified_graph_patterns::core::pattern::library;
 use quantified_graph_patterns::datasets::{pokec_like, SocialConfig};
-use quantified_graph_patterns::parallel::{
-    dpar_with, pqmatch_on, ParallelConfig, PartitionConfig,
-};
+use quantified_graph_patterns::parallel::{dpar_with, PartitionConfig};
 use quantified_graph_patterns::rules::{mine_qgars_with_report, MiningConfig};
-use quantified_graph_patterns::runtime::Runtime;
+use quantified_graph_patterns::{Engine, ExecOptions, Runtime};
 
 fn main() {
     // One executor for every parallel phase below.  `Runtime::global()`
@@ -45,23 +42,50 @@ fn main() {
         t.elapsed().as_secs_f64() * 1e3
     );
 
-    // ---- 3. PQMatch: parallel quantified matching ----------------------
-    // One task per covered focus candidate; idle threads steal candidate
-    // ranges, and each thread reuses one matcher session per fragment.
-    let pattern = library::q3_redmi_negation(2);
+    // ---- 3. Partitioned engine execution (PQMatch) ---------------------
+    // Prepare the pattern once; the partitioned mode schedules one task per
+    // covered focus candidate, idle threads steal candidate ranges, and
+    // each thread lazily keeps one matcher session per fragment — all
+    // sessions sharing the one compiled pattern.
+    let engine = Engine::new(&graph);
+    let mut prepared = engine
+        .prepare(&library::q3_redmi_negation(2))
+        .expect("library patterns validate");
     let t = Instant::now();
-    let answer = pqmatch_on(&pattern, &partition, &ParallelConfig::default(), &runtime)
+    let matches = prepared
+        .execute(ExecOptions::partitioned_on(
+            partition.fragments(),
+            partition.d(),
+            &runtime,
+        ))
         .expect("pattern radius fits the partition");
+    let telemetry = matches.telemetry().cloned().expect("partitioned telemetry");
+    let stats = matches.stats();
+    let answer = matches.into_answer();
     println!(
         "PQMatch Q3(p=2): {} matches in {:.1} ms ({} range steals, {} sessions built)",
         answer.matches.len(),
         t.elapsed().as_secs_f64() * 1e3,
-        answer.steals,
-        answer.stats.sessions_built
+        telemetry.steals,
+        stats.sessions_built
     );
-    let sequential = quantified_match(&graph, &pattern).unwrap();
+    // The same prepared query executes sequentially (the engine guarantees
+    // one semantics across modes).
+    let sequential = prepared.run(ExecOptions::sequential()).unwrap();
     assert_eq!(answer.matches, sequential.matches);
-    println!("  ≡ sequential QMatch ({} matches)\n", sequential.len());
+    println!("  ≡ sequential QMatch ({} matches)", sequential.len());
+
+    // Top-10 serving: limit(10) stops verifying once 10 answers are found.
+    let t = Instant::now();
+    let top10 = prepared
+        .run(ExecOptions::sequential().limit(10))
+        .unwrap();
+    println!(
+        "  first 10 answers in {:.2} ms ({} candidates verified instead of {})\n",
+        t.elapsed().as_secs_f64() * 1e3,
+        top10.stats.focus_candidates,
+        sequential.stats.focus_candidates,
+    );
 
     // ---- 4. QGAR mining ------------------------------------------------
     // Each (antecedent, consequent) seed pair — including its whole

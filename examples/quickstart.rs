@@ -1,13 +1,14 @@
 //! Quickstart: build a small social graph, write a quantified graph pattern
-//! with the builder DSL, and run quantified matching.
+//! with the builder DSL, prepare it once with the engine, and stream the
+//! matches.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use quantified_graph_patterns::core::matching::quantified_match;
-use quantified_graph_patterns::core::pattern::{CountingQuantifier, PatternBuilder};
-use quantified_graph_patterns::graph::GraphBuilder;
+use quantified_graph_patterns::{
+    CountingQuantifier, Engine, ExecOptions, GraphBuilder, PatternBuilder,
+};
 
 fn main() {
     // A small social graph: four users, their follow relationships, and who
@@ -62,18 +63,33 @@ fn main() {
 
     println!("\npattern:\n{pattern}");
 
-    let answer = quantified_match(&graph, &pattern).expect("matching succeeds");
-    println!("matches of the query focus: {:?}", answer.matches);
+    // Prepare once: the pattern is validated and compiled (projection,
+    // positified negation patterns, radius) exactly here.
+    let engine = Engine::new(&graph);
+    let mut prepared = engine.prepare(&pattern).expect("pattern validates");
+
+    // Execute, streaming the matches as they are decided.
+    let matches = prepared.execute(ExecOptions::sequential()).unwrap();
+    let found: Vec<_> = matches.collect();
+    println!("matches of the query focus: {found:?}");
+
+    // The prepared query is reusable; a second execution reuses the cached
+    // candidate analysis (watch sessions_built drop to 0).
+    let answer = prepared.run(ExecOptions::sequential()).unwrap();
+    let stats = answer.stats;
+    assert_eq!(answer.matches, found);
     println!(
-        "stats: {} focus candidates, {} verified, {} isomorphisms, {} pruned by upper bounds",
-        answer.stats.focus_candidates,
-        answer.stats.focus_verified,
-        answer.stats.isomorphisms_found,
-        answer.stats.pruned_by_upper_bound
+        "stats (2nd run): {} focus candidates, {} verified, {} isomorphisms, \
+         {} pruned by upper bounds, {} sessions built",
+        stats.focus_candidates,
+        stats.focus_verified,
+        stats.isomorphisms_found,
+        stats.pruned_by_upper_bound,
+        stats.sessions_built
     );
 
     // ann qualifies (2 recommenders, no bad rating in her followees);
     // bob fails the numeric aggregate; cai fails the negation.
-    assert_eq!(answer.matches, vec![ann]);
+    assert_eq!(found, vec![ann]);
     println!("\n=> only the first user satisfies the quantified pattern, as expected");
 }

@@ -7,9 +7,9 @@
 
 use std::time::Instant;
 
-use quantified_graph_patterns::core::matching::{quantified_match_with, MatchConfig};
 use quantified_graph_patterns::core::pattern::library;
 use quantified_graph_patterns::datasets::{pokec_like, SocialConfig};
+use quantified_graph_patterns::{Engine, ExecOptions, MatchConfig};
 
 fn main() {
     // A community-structured social graph in the shape of Pokec (people,
@@ -38,15 +38,21 @@ fn main() {
         ),
     ];
 
+    let engine = Engine::new(&graph);
     for (description, pattern) in patterns {
         println!("\n--- {description}");
+        // One prepared query per pattern; the three algorithm variants are
+        // executions of it with different configs.
+        let mut prepared = engine.prepare(&pattern).expect("library patterns validate");
         for (name, config) in [
             ("QMatch", MatchConfig::qmatch()),
             ("QMatchn", MatchConfig::qmatch_n()),
             ("Enum", MatchConfig::enumerate()),
         ] {
             let start = Instant::now();
-            let answer = quantified_match_with(&graph, &pattern, &config).unwrap();
+            let answer = prepared
+                .run(ExecOptions::sequential().with_config(config))
+                .unwrap();
             println!(
                 "  {name:8} {:5} potential customers   {:>8.1} ms   ({} candidates verified, {} isomorphisms)",
                 answer.len(),
@@ -58,9 +64,13 @@ fn main() {
     }
 
     // The three algorithms must agree; QMatch just gets there with less work.
-    let q3 = library::q3_redmi_negation(2);
-    let a = quantified_match_with(&graph, &q3, &MatchConfig::qmatch()).unwrap();
-    let b = quantified_match_with(&graph, &q3, &MatchConfig::enumerate()).unwrap();
+    let mut q3 = engine.prepare(&library::q3_redmi_negation(2)).unwrap();
+    let a = q3
+        .run(ExecOptions::sequential().with_config(MatchConfig::qmatch()))
+        .unwrap();
+    let b = q3
+        .run(ExecOptions::sequential().with_config(MatchConfig::enumerate()))
+        .unwrap();
     assert_eq!(a.matches, b.matches);
     println!("\nall algorithms agree on the answer set ({} matches for Q3)", a.len());
 }

@@ -1,20 +1,24 @@
 //! # quantified-graph-patterns
 //!
-//! Facade crate re-exporting the whole QGP stack: graph substrate, quantified
-//! pattern language and matching, parallel matching, association rules and
-//! dataset generators.  See the individual crates for details.
+//! Facade crate for the whole QGP stack: graph substrate, quantified
+//! pattern language, the prepared-query engine, parallel matching,
+//! association rules and dataset generators.  See the individual crates
+//! for details.
+//!
+//! The root re-exports everything the common flow needs — build a graph
+//! ([`GraphBuilder`]), express a quantified pattern ([`PatternBuilder`],
+//! [`CountingQuantifier`]), and run it through the prepared-query engine
+//! ([`Engine`], [`ExecOptions`]) — so the quickstart is a single `use`.
 //!
 //! ## Quickstart
 //!
-//! The core flow — build a graph, express a quantified pattern with the
-//! builder DSL, run quantified matching — in one page (the same flow as
-//! `cargo run --example quickstart`, on pattern Q3 of the paper's running
-//! example):
+//! The core flow — the same as `cargo run --example quickstart`, on
+//! pattern Q3 of the paper's running example:
 //!
 //! ```
-//! use quantified_graph_patterns::core::matching::quantified_match;
-//! use quantified_graph_patterns::core::pattern::{CountingQuantifier, PatternBuilder};
-//! use quantified_graph_patterns::graph::GraphBuilder;
+//! use quantified_graph_patterns::{
+//!     CountingQuantifier, Engine, ExecOptions, GraphBuilder, PatternBuilder,
+//! };
 //!
 //! // A small social graph: users, follow edges, and who recommends (or
 //! // pans) the "Redmi 2A" phone.
@@ -58,11 +62,21 @@
 //! b.focus(xo);
 //! let pattern = b.build().expect("pattern is well-formed");
 //!
-//! let answer = quantified_match(&graph, &pattern).expect("matching succeeds");
+//! // Compile once; execute as often as needed (streaming the answers).
+//! let engine = Engine::new(&graph);
+//! let mut prepared = engine.prepare(&pattern).expect("pattern validates");
+//! let answer = prepared.run(ExecOptions::sequential()).unwrap();
 //!
 //! // ann qualifies (2 recommenders, no bad rating among her followees);
 //! // bob fails the numeric aggregate; cai fails the negation.
 //! assert_eq!(answer.matches, vec![ann]);
+//!
+//! // The prepared query is reusable — e.g. stream just the first answer.
+//! let first = prepared
+//!     .execute(ExecOptions::sequential().limit(1))
+//!     .unwrap()
+//!     .next();
+//! assert_eq!(first, Some(ann));
 //! ```
 
 pub use qgp_core as core;
@@ -71,3 +85,14 @@ pub use qgp_graph as graph;
 pub use qgp_parallel as parallel;
 pub use qgp_rules as rules;
 pub use qgp_runtime as runtime;
+
+// The one execution surface, flattened to the root so the quickstart needs
+// a single `use` line.
+pub use qgp_core::engine::{
+    CancelToken, Engine, ExecMode, ExecOptions, Matches, ParallelTelemetry, Parallelism,
+    PreparedQuery,
+};
+pub use qgp_core::matching::{MatchConfig, MatchStats, QueryAnswer};
+pub use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
+pub use qgp_graph::{Graph, GraphBuilder, NodeId};
+pub use qgp_runtime::Runtime;

@@ -2,16 +2,25 @@
 //! parallel matching → association rules, exercised together the way the
 //! examples and the experiment harness use them.
 
-use quantified_graph_patterns::core::matching::{
-    quantified_match, quantified_match_with, MatchConfig,
-};
 use quantified_graph_patterns::core::pattern::{library, CountingQuantifier, PatternBuilder};
 use quantified_graph_patterns::datasets::{
     generate_pattern, pokec_like, yago_like, KnowledgeConfig, PatternGenConfig, PatternSize,
     SocialConfig,
 };
-use quantified_graph_patterns::parallel::{dpar, pqmatch, ParallelConfig, PartitionConfig};
+use quantified_graph_patterns::parallel::{dpar, PartitionConfig};
 use quantified_graph_patterns::rules::{evaluate_rule, mine_qgars, MiningConfig, Qgar};
+use quantified_graph_patterns::{
+    Engine, ExecOptions, Graph, MatchConfig, Pattern, QueryAnswer,
+};
+
+/// One sequential engine execution with an explicit config.
+fn engine_match(graph: &Graph, pattern: &Pattern, config: MatchConfig) -> QueryAnswer {
+    Engine::new(graph)
+        .prepare(pattern)
+        .expect("pattern validates")
+        .run(ExecOptions::sequential().with_config(config))
+        .expect("sequential runs succeed")
+}
 
 #[test]
 fn all_sequential_algorithms_agree_on_generated_social_graphs() {
@@ -21,15 +30,13 @@ fn all_sequential_algorithms_agree_on_generated_social_graphs() {
         library::q2_redmi_universal(),
         library::q3_redmi_negation(2),
     ] {
-        let reference = quantified_match_with(&graph, &pattern, &MatchConfig::enumerate())
-            .unwrap()
-            .matches;
+        let reference = engine_match(&graph, &pattern, MatchConfig::enumerate()).matches;
         for config in [
             MatchConfig::qmatch(),
             MatchConfig::qmatch_n(),
             MatchConfig::qmatch_with_simulation(),
         ] {
-            let got = quantified_match_with(&graph, &pattern, &config).unwrap();
+            let got = engine_match(&graph, &pattern, config);
             assert_eq!(got.matches, reference, "{config:?} on {pattern}");
         }
     }
@@ -39,10 +46,18 @@ fn all_sequential_algorithms_agree_on_generated_social_graphs() {
 fn parallel_matching_agrees_with_sequential_on_generated_graphs() {
     let graph = pokec_like(&SocialConfig::with_persons(700));
     let pattern = library::q3_redmi_negation(2);
-    let sequential = quantified_match(&graph, &pattern).unwrap();
+    let engine = Engine::new(&graph);
+    let mut prepared = engine.prepare(&pattern).unwrap();
+    let sequential = prepared.run(ExecOptions::sequential()).unwrap();
     for n in [2usize, 3, 5] {
-        let partition = dpar(&graph, &PartitionConfig::new(n, pattern.radius()));
-        let parallel = pqmatch(&pattern, &partition, &ParallelConfig::pqmatch(2)).unwrap();
+        let partition = dpar(&graph, &PartitionConfig::new(n, prepared.radius()));
+        let parallel = prepared
+            .run(ExecOptions::partitioned_threads(
+                partition.fragments(),
+                partition.d(),
+                2,
+            ))
+            .unwrap();
         assert_eq!(parallel.matches, sequential.matches, "n = {n}");
     }
 }
@@ -51,16 +66,24 @@ fn parallel_matching_agrees_with_sequential_on_generated_graphs() {
 fn knowledge_graph_pipeline_q4() {
     let graph = yago_like(&KnowledgeConfig::with_persons(900));
     let q4 = library::q4_uk_professors(2);
-    let sequential = quantified_match(&graph, &q4).unwrap();
+    let sequential = engine_match(&graph, &q4, MatchConfig::qmatch());
     // Raising p shrinks the answer.
-    let stricter = quantified_match(&graph, &library::q4_uk_professors(3)).unwrap();
+    let stricter = engine_match(&graph, &library::q4_uk_professors(3), MatchConfig::qmatch());
     assert!(stricter.len() <= sequential.len());
     for v in &stricter.matches {
         assert!(sequential.contains(*v));
     }
     // Parallel evaluation agrees.
     let partition = dpar(&graph, &PartitionConfig::new(3, q4.radius().max(2)));
-    let parallel = pqmatch(&q4, &partition, &ParallelConfig::pqmatch(2)).unwrap();
+    let parallel = Engine::new(&graph)
+        .prepare(&q4)
+        .unwrap()
+        .run(ExecOptions::partitioned_threads(
+            partition.fragments(),
+            partition.d(),
+            2,
+        ))
+        .unwrap();
     assert_eq!(parallel.matches, sequential.matches);
 }
 
@@ -76,8 +99,8 @@ fn generated_workload_patterns_agree_across_algorithms() {
         let Some(pattern) = generate_pattern(&graph, &config) else {
             continue;
         };
-        let a = quantified_match_with(&graph, &pattern, &MatchConfig::qmatch()).unwrap();
-        let b = quantified_match_with(&graph, &pattern, &MatchConfig::enumerate()).unwrap();
+        let a = engine_match(&graph, &pattern, MatchConfig::qmatch());
+        let b = engine_match(&graph, &pattern, MatchConfig::enumerate());
         assert_eq!(a.matches, b.matches, "seed {seed}: {pattern}");
     }
 }
