@@ -97,6 +97,33 @@ pub struct EngineMeasurement {
     pub candidates_decided: usize,
 }
 
+/// One timed incremental-maintenance workload
+/// (`experiments bench --incremental`).
+///
+/// Each row streams `batches` update batches of `batch_size` ops through a
+/// `MatchView` and compares the mean per-batch repair latency against a
+/// full recompute (prepare + execute) on the final graph.  The harness
+/// asserts that the maintained match set equals the recomputed one before
+/// recording the row, so `matches` doubles as a correctness fingerprint.
+#[derive(Debug, Clone)]
+pub struct IncrementalMeasurement {
+    /// Workload name (e.g. `pokec-like/Q3(p=2)`).
+    pub workload: String,
+    /// Ops per applied batch.
+    pub batch_size: usize,
+    /// Batches applied for this row.
+    pub batches: usize,
+    /// Mean wall-clock `MatchView::apply` time per batch.
+    pub apply_seconds: f64,
+    /// Best-of-N wall-clock full recompute on the post-stream graph.
+    pub recompute_seconds: f64,
+    /// Mean focus candidates re-decided per batch (the incremental work
+    /// unit; compare against a recompute deciding every candidate).
+    pub rechecked: f64,
+    /// Matches after the stream (fingerprint; equals the recompute's).
+    pub matches: usize,
+}
+
 /// One labeled measurement run (e.g. `baseline` or `current`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchRun {
@@ -116,6 +143,9 @@ pub struct BenchRun {
     /// Prepared-query engine section (empty unless the harness ran with
     /// `--engine`).
     pub engine: Vec<EngineMeasurement>,
+    /// Incremental maintenance section (empty unless the harness ran with
+    /// `--incremental`).
+    pub incremental: Vec<IncrementalMeasurement>,
 }
 
 /// A whole `BENCH_*.json` document.
@@ -186,12 +216,12 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
         );
         out.push_str(if i + 1 < run.parallel.len() { ",\n" } else { "\n" });
     }
-    // The engine section is omitted entirely when empty so documents from
-    // pre-engine harness versions and engine-less runs render identically.
-    if run.engine.is_empty() {
-        out.push_str("      ]\n");
-    } else {
-        out.push_str("      ],\n");
+    // The engine and incremental sections are omitted entirely when empty
+    // so documents from earlier harness versions render identically.
+    let has_engine = !run.engine.is_empty();
+    let has_incremental = !run.incremental.is_empty();
+    out.push_str(if has_engine || has_incremental { "      ],\n" } else { "      ]\n" });
+    if has_engine {
         out.push_str("      \"engine\": [\n");
         for (i, m) in run.engine.iter().enumerate() {
             let _ = write!(
@@ -205,6 +235,26 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
                 m.candidates_decided
             );
             out.push_str(if i + 1 < run.engine.len() { ",\n" } else { "\n" });
+        }
+        out.push_str(if has_incremental { "      ],\n" } else { "      ]\n" });
+    }
+    if has_incremental {
+        out.push_str("      \"incremental\": [\n");
+        for (i, m) in run.incremental.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"workload\": \"{}\", \"batch_size\": {}, \"batches\": {}, \
+                 \"apply_seconds\": {:.6}, \"recompute_seconds\": {:.6}, \
+                 \"rechecked\": {:.1}, \"matches\": {}}}",
+                escape(&m.workload),
+                m.batch_size,
+                m.batches,
+                m.apply_seconds,
+                m.recompute_seconds,
+                m.rechecked,
+                m.matches
+            );
+            out.push_str(if i + 1 < run.incremental.len() { ",\n" } else { "\n" });
         }
         out.push_str("      ]\n");
     }
@@ -315,6 +365,15 @@ mod tests {
                     matches: 10,
                     candidates_decided: 17,
                 }],
+                incremental: vec![IncrementalMeasurement {
+                    workload: "pokec-like/Q3(p=2)".into(),
+                    batch_size: 10,
+                    batches: 32,
+                    apply_seconds: 0.0004,
+                    recompute_seconds: 0.0123,
+                    rechecked: 3.5,
+                    matches: 42,
+                }],
             }],
         };
         let json = report.to_json();
@@ -333,6 +392,60 @@ mod tests {
         assert!(!json.contains(",\n      ]"));
         assert!(!json.contains(",\n  ]"));
         assert!(json.contains("\"critical_path_seconds\": 0.110000"));
+        assert!(json.contains("\"incremental\": [\n"));
+        assert!(json.contains("\"batch_size\": 10"));
+    }
+
+    #[test]
+    fn optional_sections_are_omitted_when_empty_in_every_combination() {
+        let base = BenchRun {
+            label: "x".into(),
+            ..BenchRun::default()
+        };
+        let engine_row = EngineMeasurement {
+            workload: "w".into(),
+            mode: "prepared".into(),
+            seconds: 0.1,
+            matches: 1,
+            candidates_decided: 2,
+        };
+        let inc_row = IncrementalMeasurement {
+            workload: "w".into(),
+            batch_size: 1,
+            batches: 4,
+            apply_seconds: 0.001,
+            recompute_seconds: 0.1,
+            rechecked: 2.0,
+            matches: 1,
+        };
+        for (engine, incremental) in [
+            (vec![], vec![]),
+            (vec![engine_row.clone()], vec![]),
+            (vec![], vec![inc_row.clone()]),
+            (vec![engine_row], vec![inc_row]),
+        ] {
+            let has_engine = !engine.is_empty();
+            let has_incremental = !incremental.is_empty();
+            let run = BenchRun {
+                engine,
+                incremental,
+                ..base.clone()
+            };
+            let json = BenchReport { runs: vec![run.clone()] }.to_json();
+            assert_eq!(json.contains("\"engine\""), has_engine);
+            assert_eq!(json.contains("\"incremental\""), has_incremental);
+            for (open, close) in [('{', '}'), ('[', ']')] {
+                assert_eq!(
+                    json.matches(open).count(),
+                    json.matches(close).count(),
+                    "unbalanced {open}{close} (engine={has_engine}, incremental={has_incremental})"
+                );
+            }
+            assert!(!json.contains(",\n      ]"));
+            // append_run round-trips every combination.
+            let appended = BenchReport::append_run(&json, &run).unwrap();
+            assert_eq!(appended.matches("\"label\": \"x\"").count(), 2);
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   and the Exp-3 QGAR study,
 //! * [`perf`] + [`json`] — the fixed-seed perf harness behind
 //!   `experiments bench` and the `BENCH_*.json` report format it emits,
+//! * [`stream`] — seeded edge-update stream generation shared between the
+//!   differential tests and the `--incremental` maintenance section,
 //! * [`report`] — plain-text / markdown tables.
 //!
 //! Run the whole experiment suite with:
@@ -33,9 +35,15 @@ pub mod experiments;
 pub mod json;
 pub mod perf;
 pub mod report;
+pub mod stream;
 pub mod workloads;
 
-pub use json::{BenchReport, BenchRun, EngineMeasurement, ParallelMeasurement};
-pub use perf::{run_bench, run_engine_section, run_parallel_section, BenchScale};
+pub use json::{
+    BenchReport, BenchRun, EngineMeasurement, IncrementalMeasurement, ParallelMeasurement,
+};
+pub use perf::{
+    run_bench, run_engine_section, run_incremental_section, run_parallel_section, BenchScale,
+};
 pub use report::Table;
+pub use stream::{StreamConfig, UpdateStreamGen};
 pub use workloads::{Dataset, ExperimentScale};

@@ -14,8 +14,8 @@
 //!   exp3       Exp-3       QGAR discovery
 //!   all        everything above
 //!
-//! experiments bench [--smoke] [--parallel] [--engine] [--label NAME]
-//!                   [--commit SHA] [--out PATH] [--append]
+//! experiments bench [--smoke] [--parallel] [--engine] [--incremental]
+//!                   [--label NAME] [--commit SHA] [--out PATH] [--append]
 //!
 //!   Runs the fixed-seed perf harness (graph construction + sequential
 //!   QMatch workloads) and writes a BENCH_*.json document with one run.
@@ -24,8 +24,11 @@
 //!   with wall/busy/critical-path accounting and identical-match checks).
 //!   --engine adds the prepared-query section (one-shot vs prepared vs
 //!   limit(10) on the sequential matching workloads, with prefix and
-//!   identical-answer checks).  --append splices the run into an existing
-//!   --out document instead of overwriting it.
+//!   identical-answer checks).  --incremental adds the live match view
+//!   section (per-batch MatchView::apply latency vs full recompute across
+//!   update-batch sizes 1/10/100/1000, with view-equals-recompute checks).
+//!   --append splices the run into an existing --out document instead of
+//!   overwriting it.
 //! ```
 
 use std::env;
@@ -36,8 +39,8 @@ use qgp_bench::experiments::{
     exp2_vary_q, exp2_vary_ratio, exp3_qgar,
 };
 use qgp_bench::{
-    run_bench, run_engine_section, run_parallel_section, BenchReport, BenchScale, Dataset,
-    ExperimentScale,
+    run_bench, run_engine_section, run_incremental_section, run_parallel_section, BenchReport,
+    BenchScale, Dataset, ExperimentScale,
 };
 
 fn bench_main(args: &[String]) -> ExitCode {
@@ -47,6 +50,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut out: Option<String> = None;
     let mut parallel = false;
     let mut engine = false;
+    let mut incremental = false;
     let mut append = false;
     let mut i = 0;
     while i < args.len() {
@@ -54,6 +58,7 @@ fn bench_main(args: &[String]) -> ExitCode {
             "--smoke" => scale = BenchScale::smoke(),
             "--parallel" => parallel = true,
             "--engine" => engine = true,
+            "--incremental" => incremental = true,
             "--append" => append = true,
             "--label" => {
                 i += 1;
@@ -86,6 +91,9 @@ fn bench_main(args: &[String]) -> ExitCode {
     if engine {
         run_engine_section(&mut run, &scale);
     }
+    if incremental {
+        run_incremental_section(&mut run, &scale);
+    }
     for m in &run.graph_construction {
         println!(
             "construct {:<28} {:>9} nodes {:>9} edges  {:.3}s",
@@ -114,6 +122,19 @@ fn bench_main(args: &[String]) -> ExitCode {
         println!(
             "engine    {:<28} {:<9} {:.3}s  ({} matches, {} candidates decided)",
             m.workload, m.mode, m.seconds, m.matches, m.candidates_decided
+        );
+    }
+    for m in &run.incremental {
+        println!(
+            "increment {:<28} batch={:<5} apply {:.6}s vs recompute {:.3}s \
+             ({:.1}x, {:.1} rechecked, {} matches)",
+            m.workload,
+            m.batch_size,
+            m.apply_seconds,
+            m.recompute_seconds,
+            m.recompute_seconds / m.apply_seconds.max(1e-12),
+            m.rechecked,
+            m.matches
         );
     }
     let document = match &out {

@@ -54,10 +54,12 @@
 
 mod exec;
 mod options;
+mod view;
 
 pub use exec::{Matches, ParallelTelemetry};
 pub use options::{ExecMode, ExecOptions, Parallelism};
 pub use qgp_runtime::CancelToken;
+pub use view::{MatchView, ViewDelta};
 
 use std::sync::Arc;
 
@@ -162,6 +164,16 @@ impl<'g> PreparedQuery<'g> {
     /// [`QueryAnswer`] (matches plus this execution's work counters).
     pub fn run(&mut self, opts: ExecOptions<'_>) -> Result<QueryAnswer, MatchError> {
         Ok(self.execute(opts)?.into_answer())
+    }
+
+    /// Materializes the current answer as a live [`MatchView`] that
+    /// [`MatchView::apply`] keeps consistent under [`qgp_graph::EdgeOp`]
+    /// streams.
+    ///
+    /// The view owns a private copy of the graph: updates applied to it
+    /// never affect this prepared query, the engine, or other views.
+    pub fn view(&self) -> MatchView {
+        MatchView::materialize(self.graph.clone(), Arc::clone(&self.compiled))
     }
 
     /// The cached session for `config`, building it on first use, plus the

@@ -1,0 +1,478 @@
+//! Live match views: materialized answers maintained under edge streams.
+//!
+//! A [`MatchView`] is the incremental counterpart of
+//! [`PreparedQuery::execute`](super::PreparedQuery::execute): it materializes
+//! `Q(x_o, G)` once, then [`MatchView::apply`] folds a batch of [`EdgeOp`]s
+//! into its owned copy of the graph and repairs the answer *locally* instead
+//! of recomputing it.
+//!
+//! The locality argument is the same one that makes the d-hop preserving
+//! partition of Section 5 exact: a match of focus candidate `v` only ever
+//! touches nodes within `radius(Q)` undirected hops of `v`, so an edge
+//! update can change `v`'s membership only if one of the edge's endpoints
+//! lies inside `v`'s ball — equivalently, only if `v` lies inside the
+//! radius-ball around the batch's endpoints.  `apply` computes that ball in
+//! the pre-update *and* post-update graph (an inserted edge can pull new
+//! nodes into reach; a deleted one was only in reach before), re-decides
+//! the focus candidates in the union with the ordinary `QMatch` session
+//! machinery, and reports the membership changes as a [`ViewDelta`].
+//!
+//! Re-decisions ride the candidate sets built at view construction, which
+//! use [`CandidateFilter::LabelUniverse`] — every node carrying the pattern
+//! node's label, with no degree-based pruning — precisely so they stay
+//! valid while edges churn (node labels are immutable; node count is fixed
+//! because [`EdgeOp`] cannot add nodes).  Large repair sets fan out on the
+//! work-stealing runtime with one persistent session per worker.
+
+use std::sync::{Arc, Mutex};
+
+use qgp_graph::{
+    bfs_within_multi_with, BfsScratch, EdgeOp, Graph, GraphError, NodeId, UpdateReport,
+};
+use qgp_runtime::Runtime;
+
+use crate::matching::compiled::CompiledPattern;
+use crate::matching::{CandidateFilter, MatchConfig, SessionCore};
+use crate::pattern::Pattern;
+
+/// Repair sets at least this large are re-decided on the work-stealing
+/// runtime; smaller ones run inline (a handful of decisions is cheaper than
+/// waking the workers).
+const PARALLEL_REDECIDE_THRESHOLD: usize = 128;
+
+/// The membership changes produced by one [`MatchView::apply`] batch.
+///
+/// `added` and `removed` are disjoint, sorted ascending, and describe the
+/// transition from the match set before the batch to the one after it;
+/// [`ViewDelta::apply_to`] replays the transition onto any sorted copy of
+/// the former.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewDelta {
+    /// Focus nodes that newly entered `Q(x_o, G)`, sorted ascending.
+    pub added: Vec<NodeId>,
+    /// Focus nodes that left `Q(x_o, G)`, sorted ascending.
+    pub removed: Vec<NodeId>,
+    /// Focus candidates re-decided for this batch — the size of the
+    /// affected ball after candidate filtering, and the unit of incremental
+    /// work (compare against the full candidate count of a recompute).
+    pub rechecked: usize,
+    /// What the batch did to the underlying graph.
+    pub report: UpdateReport,
+}
+
+impl ViewDelta {
+    /// Did the batch change the match set?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Replays this delta onto a sorted match set: removes `removed`,
+    /// merges in `added`, keeps the set sorted.  Replaying every delta of a
+    /// stream (in order) onto the initial match set reproduces the view's
+    /// final one.
+    pub fn apply_to(&self, set: &mut Vec<NodeId>) {
+        if !self.removed.is_empty() {
+            set.retain(|v| self.removed.binary_search(v).is_err());
+        }
+        if !self.added.is_empty() {
+            set.extend(self.added.iter().copied());
+            set.sort_unstable();
+            set.dedup();
+        }
+    }
+}
+
+/// A materialized match set kept consistent with a stream of edge updates.
+///
+/// Built by [`PreparedQuery::view`](super::PreparedQuery::view); owns a
+/// private copy of the graph, so the engine's graph and other views are
+/// unaffected by the updates applied here.
+///
+/// ```
+/// use qgp_core::engine::Engine;
+/// use qgp_core::pattern::{CountingQuantifier, PatternBuilder};
+/// use qgp_graph::{EdgeOp, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new();
+/// let ann = b.add_node("person");
+/// let bob = b.add_node("person");
+/// let phone = b.add_node("Redmi 2A");
+/// b.add_edge(ann, bob, "follow").unwrap();
+/// b.add_edge(bob, phone, "recom").unwrap();
+/// let graph = b.build();
+///
+/// // "people, all of whose followees recommend the phone"
+/// let mut p = PatternBuilder::new();
+/// let xo = p.node("person");
+/// let z = p.node("person");
+/// let y = p.node("Redmi 2A");
+/// p.quantified_edge(xo, z, "follow", CountingQuantifier::universal());
+/// p.edge(z, y, "recom");
+/// p.focus(xo);
+/// let pattern = p.build().unwrap();
+///
+/// let engine = Engine::new(&graph);
+/// let mut view = engine.prepare(&pattern).unwrap().view();
+/// assert_eq!(view.matches(), &[ann]);
+///
+/// // Bob stops recommending: Ann's universal quantifier now fails.
+/// let recom = graph.labels().edge_label("recom").unwrap();
+/// let delta = view.apply(&[EdgeOp::delete(bob, phone, recom)]).unwrap();
+/// assert_eq!(delta.removed, vec![ann]);
+/// assert!(view.matches().is_empty());
+/// ```
+pub struct MatchView {
+    graph: Graph,
+    compiled: Arc<CompiledPattern>,
+    /// The maintenance session: update-stable candidate sets, reused
+    /// across every batch.
+    core: SessionCore,
+    /// The materialized answer, sorted ascending.
+    matches: Vec<NodeId>,
+    scratch: BfsScratch,
+    /// Reusable buffer for the affected-ball BFS.
+    ball: Vec<(NodeId, usize)>,
+    /// Per-worker sessions for parallel re-decisions, kept across batches
+    /// so candidate analysis is paid once per worker, not once per batch.
+    pool: Mutex<Vec<SessionCore>>,
+}
+
+impl MatchView {
+    /// The maintenance config: plain `QMatch`.  The simulation pre-filter
+    /// must stay off — it would prune candidate sets against the
+    /// construction-time graph, which updates would then invalidate.
+    fn config() -> MatchConfig {
+        MatchConfig::qmatch()
+    }
+
+    pub(crate) fn materialize(graph: Graph, compiled: Arc<CompiledPattern>) -> Self {
+        let mut core = SessionCore::with_filter(
+            &graph,
+            Arc::clone(&compiled),
+            &Self::config(),
+            CandidateFilter::LabelUniverse,
+        );
+        let candidates = core.focus_candidates().to_vec();
+        let matches = candidates
+            .into_iter()
+            .filter(|&v| core.decide(&graph, v))
+            .collect();
+        MatchView {
+            scratch: BfsScratch::for_graph(&graph),
+            graph,
+            compiled,
+            core,
+            matches,
+            ball: Vec::new(),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current match set `Q(x_o, G)`, sorted ascending.
+    pub fn matches(&self) -> &[NodeId] {
+        &self.matches
+    }
+
+    /// Number of current matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Is the current match set empty?
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Is `v` currently a match?
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.matches.binary_search(&v).is_ok()
+    }
+
+    /// The view's private copy of the graph, including every applied batch.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The pattern the view maintains.
+    pub fn pattern(&self) -> &Pattern {
+        &self.compiled.pattern
+    }
+
+    /// Applies a batch of edge updates and repairs the match set, returning
+    /// the membership changes.  Runs on the global [`Runtime`]; see
+    /// [`MatchView::apply_with`].
+    pub fn apply(&mut self, ops: &[EdgeOp]) -> Result<ViewDelta, GraphError> {
+        self.apply_with(ops, Runtime::global())
+    }
+
+    /// [`MatchView::apply`] on an explicit runtime.
+    ///
+    /// The batch is transactional: on any error (an out-of-range node id
+    /// anywhere in the batch) neither the graph nor the match set changes.
+    /// Ops take effect in order within the batch, so an insert/delete pair
+    /// of the same edge cancels out before the repair runs.
+    pub fn apply_with(&mut self, ops: &[EdgeOp], runtime: &Runtime) -> Result<ViewDelta, GraphError> {
+        // Validate up front: the ball walk below indexes per-node scratch
+        // arrays, so it must never see an out-of-range endpoint.
+        let node_count = self.graph.node_count();
+        for op in ops {
+            for node in [op.from(), op.to()] {
+                if node.index() >= node_count {
+                    return Err(GraphError::NodeOutOfBounds { node, node_count });
+                }
+            }
+        }
+        let starts: Vec<NodeId> = ops.iter().flat_map(|op| [op.from(), op.to()]).collect();
+        let radius = self.compiled.radius;
+
+        // Ball around the endpoints in the pre-update graph: candidates
+        // that could reach a deleted edge.
+        self.ball.clear();
+        bfs_within_multi_with(&self.graph, &starts, radius, &mut self.scratch, &mut self.ball);
+        let mut affected: Vec<NodeId> = self.ball.iter().map(|&(v, _)| v).collect();
+
+        let report = self.graph.apply_edge_ops(ops)?;
+        if !report.changed() {
+            // Every op was a no-op: the graph is unchanged, so no decision
+            // can have changed either.
+            return Ok(ViewDelta {
+                report,
+                ..ViewDelta::default()
+            });
+        }
+
+        // Ball in the post-update graph: candidates that an inserted edge
+        // newly connects.
+        self.ball.clear();
+        bfs_within_multi_with(&self.graph, &starts, radius, &mut self.scratch, &mut self.ball);
+        affected.extend(self.ball.iter().map(|&(v, _)| v));
+        affected.sort_unstable();
+        affected.dedup();
+        affected.retain(|&v| self.core.is_focus_candidate(v));
+
+        let decisions: Vec<bool> =
+            if affected.len() < PARALLEL_REDECIDE_THRESHOLD || runtime.threads() <= 1 {
+                let graph = &self.graph;
+                let core = &mut self.core;
+                affected.iter().map(|&v| core.decide(graph, v)).collect()
+            } else {
+                let graph = &self.graph;
+                let compiled = &self.compiled;
+                let pool = &self.pool;
+                let affected = &affected;
+                let outcome = runtime.map_with(
+                    affected.len(),
+                    || {
+                        pool.lock()
+                            .expect("view worker pool poisoned")
+                            .pop()
+                            .unwrap_or_else(|| {
+                                SessionCore::with_filter(
+                                    graph,
+                                    Arc::clone(compiled),
+                                    &Self::config(),
+                                    CandidateFilter::LabelUniverse,
+                                )
+                            })
+                    },
+                    |core, i| core.decide(graph, affected[i]),
+                );
+                let mut pool = self.pool.lock().expect("view worker pool poisoned");
+                pool.extend(outcome.states);
+                outcome.outputs
+            };
+
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for (&v, &now) in affected.iter().zip(&decisions) {
+            let was = self.matches.binary_search(&v).is_ok();
+            if now && !was {
+                added.push(v);
+            } else if was && !now {
+                removed.push(v);
+            }
+        }
+        let delta = ViewDelta {
+            added,
+            removed,
+            rechecked: affected.len(),
+            report,
+        };
+        delta.apply_to(&mut self.matches);
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, ExecOptions};
+    use crate::pattern::library;
+    use qgp_graph::GraphBuilder;
+
+    /// Graph G1 of Fig. 2 plus the label handles the tests mutate with.
+    fn g1() -> (Graph, Vec<NodeId>, Vec<NodeId>, NodeId) {
+        let mut b = GraphBuilder::new();
+        let xs = b.add_nodes("person", 3);
+        let vs = b.add_nodes("person", 5);
+        let redmi = b.add_node("Redmi 2A");
+        b.add_edge(xs[0], vs[0], "follow").unwrap();
+        b.add_edge(xs[1], vs[1], "follow").unwrap();
+        b.add_edge(xs[1], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[2], "follow").unwrap();
+        b.add_edge(xs[2], vs[3], "follow").unwrap();
+        b.add_edge(xs[2], vs[4], "follow").unwrap();
+        for &v in &vs[..4] {
+            b.add_edge(v, redmi, "recom").unwrap();
+        }
+        b.add_edge(vs[4], redmi, "bad_rating").unwrap();
+        (b.build(), xs, vs, redmi)
+    }
+
+    fn full_recompute(graph: &Graph, pattern: &Pattern) -> Vec<NodeId> {
+        Engine::new(graph)
+            .prepare(pattern)
+            .unwrap()
+            .execute(ExecOptions::sequential())
+            .unwrap()
+            .collect()
+    }
+
+    #[test]
+    fn view_starts_at_the_batch_answer() {
+        let (g, _, _, _) = g1();
+        for pattern in [
+            library::q2_redmi_universal(),
+            library::q3_redmi_negation(2),
+        ] {
+            let view = Engine::new(&g).prepare(&pattern).unwrap().view();
+            assert_eq!(view.matches(), full_recompute(&g, &pattern), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_repair_the_match_set() {
+        let (g, xs, vs, redmi) = g1();
+        let pattern = library::q3_redmi_negation(2);
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        assert_eq!(view.matches(), &[xs[1]]);
+
+        // v4 stops bad-rating and recommends instead: x2 regains ≥2
+        // recommending followees with no bad-rater.
+        let recom = g.labels().edge_label("recom").unwrap();
+        let bad = g.labels().edge_label("bad_rating").unwrap();
+        let delta = view
+            .apply(&[
+                EdgeOp::delete(vs[4], redmi, bad),
+                EdgeOp::insert(vs[4], redmi, recom),
+            ])
+            .unwrap();
+        assert_eq!(delta.added, vec![xs[2]]);
+        assert!(delta.removed.is_empty());
+        assert_eq!(view.matches(), full_recompute(view.graph(), &pattern));
+        assert!(view.contains(xs[2]));
+
+        // Undo restores the original answer.
+        let undo = view
+            .apply(&[
+                EdgeOp::delete(vs[4], redmi, recom),
+                EdgeOp::insert(vs[4], redmi, bad),
+            ])
+            .unwrap();
+        assert_eq!(undo.removed, vec![xs[2]]);
+        assert_eq!(view.matches(), &[xs[1]]);
+    }
+
+    #[test]
+    fn deltas_replay_to_the_final_match_set() {
+        let (g, _, vs, redmi) = g1();
+        let pattern = library::q2_redmi_universal();
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let mut replayed = view.matches().to_vec();
+        let recom = g.labels().edge_label("recom").unwrap();
+        let follow = g.labels().edge_label("follow").unwrap();
+        let batches = [
+            vec![EdgeOp::delete(vs[0], redmi, recom)],
+            vec![EdgeOp::insert(vs[0], redmi, recom), EdgeOp::insert(vs[0], vs[1], follow)],
+            vec![EdgeOp::delete(vs[0], vs[1], follow)],
+        ];
+        for ops in &batches {
+            let delta = view.apply(ops).unwrap();
+            delta.apply_to(&mut replayed);
+            assert_eq!(replayed, view.matches());
+            assert_eq!(view.matches(), full_recompute(view.graph(), &pattern));
+        }
+    }
+
+    #[test]
+    fn noop_batches_change_nothing_and_say_so() {
+        let (g, _, vs, redmi) = g1();
+        let pattern = library::q2_redmi_universal();
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let before = view.matches().to_vec();
+        let recom = g.labels().edge_label("recom").unwrap();
+        // Duplicate insert + delete of an absent edge: both no-ops.
+        let delta = view
+            .apply(&[
+                EdgeOp::insert(vs[0], redmi, recom),
+                EdgeOp::delete(vs[1], vs[2], recom),
+            ])
+            .unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.rechecked, 0);
+        assert_eq!(delta.report.noop_inserts, 1);
+        assert_eq!(delta.report.noop_deletes, 1);
+        assert_eq!(view.matches(), before);
+    }
+
+    #[test]
+    fn out_of_range_ops_fail_without_mutating_the_view() {
+        let (g, _, vs, redmi) = g1();
+        let pattern = library::q2_redmi_universal();
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let before = view.matches().to_vec();
+        let recom = g.labels().edge_label("recom").unwrap();
+        let bogus = NodeId::new(10_000);
+        let err = view
+            .apply(&[
+                EdgeOp::delete(vs[0], redmi, recom),
+                EdgeOp::insert(bogus, redmi, recom),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+        assert_eq!(view.matches(), before);
+        assert_eq!(view.graph().edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn the_engine_graph_is_isolated_from_the_view() {
+        let (g, _, vs, redmi) = g1();
+        let pattern = library::q2_redmi_universal();
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let recom = g.labels().edge_label("recom").unwrap();
+        view.apply(&[EdgeOp::delete(vs[0], redmi, recom)]).unwrap();
+        assert_eq!(view.graph().edge_count(), g.edge_count() - 1);
+        assert_eq!(g.edge_count(), 11);
+        assert!(g.has_edge(vs[0], redmi, recom));
+    }
+
+    #[test]
+    fn parallel_and_sequential_repairs_agree() {
+        let (g, _, vs, redmi) = g1();
+        let pattern = library::q3_redmi_negation(2);
+        let recom = g.labels().edge_label("recom").unwrap();
+        let bad = g.labels().edge_label("bad_rating").unwrap();
+        let ops = [
+            EdgeOp::delete(vs[4], redmi, bad),
+            EdgeOp::insert(vs[4], redmi, recom),
+        ];
+        let mut seq = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let mut par = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let rt = Runtime::new(4);
+        let d_seq = seq.apply_with(&ops, &Runtime::new(1)).unwrap();
+        let d_par = par.apply_with(&ops, &rt).unwrap();
+        assert_eq!(d_seq.added, d_par.added);
+        assert_eq!(d_seq.removed, d_par.removed);
+        assert_eq!(seq.matches(), par.matches());
+    }
+}

@@ -143,9 +143,15 @@ impl CandidateSets {
 /// candidate sets.  The `Enum` baseline uses [`CandidateFilter::LabelOnly`]
 /// (it enumerates all matches of the stratified pattern first and only then
 /// verifies quantifiers), `QMatch` uses [`CandidateFilter::QuantifierAware`].
+/// Incremental match views use [`CandidateFilter::LabelUniverse`]: candidate
+/// sets depend only on node labels, which edge updates cannot change, so the
+/// sets stay valid across `EdgeOp` batches without recomputation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum CandidateFilter {
-    /// Only node labels and the existence of required adjacent edge labels.
+    /// Node labels only — `C(u)` is exactly `nodes_with_label`.  No degree
+    /// checks, so the sets are stable under edge insertions and deletions.
+    LabelUniverse,
+    /// Node labels plus the existence of required adjacent edge labels.
     LabelOnly,
     /// Additionally require `U(v, e) = |Mₑ(v)|` to satisfy each quantifier.
     QuantifierAware,
@@ -161,6 +167,11 @@ pub(crate) fn build_candidates(
     let mut sets = Vec::with_capacity(rp.node_count());
     for u in 0..rp.node_count() {
         let label = rp.node_labels[u];
+        if filter == CandidateFilter::LabelUniverse {
+            // `nodes_with_label` lists nodes in id order — already sorted.
+            sets.push(graph.nodes_with_label(label).to_vec());
+            continue;
+        }
         let mut set = Vec::new();
         'candidates: for &v in graph.nodes_with_label(label) {
             for &eidx in &rp.out_edges[u] {
@@ -172,6 +183,7 @@ pub(crate) fn build_candidates(
                 }
                 let total = graph.out_degree_with_label(v, e.label);
                 let feasible = match filter {
+                    CandidateFilter::LabelUniverse => unreachable!("handled above"),
                     CandidateFilter::LabelOnly => total >= 1,
                     CandidateFilter::QuantifierAware => {
                         e.quantifier.feasible_with_upper_bound(total, total)
@@ -281,6 +293,23 @@ mod tests {
         assert!(cands.contains(1, vs[2]));
         assert!(!cands.contains(1, vs[4]));
         assert!(!cands.contains(1, xs[0]));
+    }
+
+    #[test]
+    fn label_universe_filter_is_exactly_nodes_with_label() {
+        let (g, xs, vs, redmi) = g1();
+        let p = follow_recom_pattern(CountingQuantifier::at_least(2));
+        let rp = ResolvedPattern::resolve(&p, &g).unwrap();
+        let mut stats = MatchStats::new();
+        let cands = build_candidates(&g, &rp, CandidateFilter::LabelUniverse, &mut stats);
+        // Every person is a candidate for both person-labeled pattern nodes,
+        // degree notwithstanding — that is what makes the sets stable under
+        // edge updates.
+        let mut all_people: Vec<NodeId> = xs.iter().chain(vs.iter()).copied().collect();
+        all_people.sort_unstable();
+        assert_eq!(cands.set(0), all_people.as_slice());
+        assert_eq!(cands.set(1), all_people.as_slice());
+        assert_eq!(cands.set(2), &[redmi]);
     }
 
     #[test]

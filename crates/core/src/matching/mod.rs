@@ -22,6 +22,9 @@ mod session;
 mod simulation;
 mod stats;
 
+pub(crate) use candidates::CandidateFilter;
+pub(crate) use session::SessionCore;
+
 pub use config::MatchConfig;
 pub use qmatch::{conventional_match, QueryAnswer};
 // The deprecated one-shot entry points stay re-exported for compatibility;

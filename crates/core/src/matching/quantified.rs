@@ -119,14 +119,28 @@ impl PositiveSession {
         config: &MatchConfig,
         stats: &mut MatchStats,
     ) -> Self {
+        let filter = if config.use_upper_bound_pruning {
+            CandidateFilter::QuantifierAware
+        } else {
+            CandidateFilter::LabelOnly
+        };
+        Self::with_filter(graph, pattern, config, filter, stats)
+    }
+
+    /// [`PositiveSession::new`] with an explicit candidate filter instead of
+    /// the one the config implies.  Incremental match views pass
+    /// [`CandidateFilter::LabelUniverse`] so the candidate sets stay valid
+    /// across edge updates (per-focus checks still read the live graph).
+    pub fn with_filter(
+        graph: &Graph,
+        pattern: &Pattern,
+        config: &MatchConfig,
+        filter: CandidateFilter,
+        stats: &mut MatchStats,
+    ) -> Self {
         debug_assert!(pattern.is_positive(), "PositiveSession requires Π(Q)");
         let inner = (|| {
             let rp = ResolvedPattern::resolve(pattern, graph)?;
-            let filter = if config.use_upper_bound_pruning {
-                CandidateFilter::QuantifierAware
-            } else {
-                CandidateFilter::LabelOnly
-            };
             let mut candidates = build_candidates(graph, &rp, filter, stats);
             if candidates.any_empty() {
                 return None;

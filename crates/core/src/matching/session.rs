@@ -14,6 +14,14 @@
 //! instead of being rebuilt per chunk (tracked by
 //! [`MatchStats::sessions_built`]).
 //!
+//! Internally the session state is split from the graph borrow:
+//! [`SessionCore`] holds everything graph-*independent* (candidate sets,
+//! search order, counter scratch, negation sessions) and takes the graph as
+//! an argument per decision.  [`MatchSession`] pairs a core with a borrowed
+//! graph — the ergonomic form for one-shot execution — while the
+//! incremental `MatchView` owns its graph and drives the core directly, so
+//! it can mutate the graph between decisions without rebuilding state.
+//!
 //! Batch matching ([`crate::matching::quantified_match_restricted`]) is a
 //! thin loop over this same session, so the sequential and parallel paths
 //! cannot drift apart semantically.
@@ -23,21 +31,25 @@ use std::sync::Arc;
 use qgp_graph::{Graph, NodeId};
 use qgp_runtime::CancelToken;
 
+use super::candidates::CandidateFilter;
 use super::compiled::CompiledPattern;
 use super::config::MatchConfig;
 use super::quantified::PositiveSession;
 use super::stats::MatchStats;
 use crate::pattern::Pattern;
 
-/// A reusable matching session for one (pattern, graph) pair, deciding
-/// membership in `Q(x_o, G)` one focus candidate at a time.
-///
-/// The pattern is assumed validated (see [`crate::pattern::Pattern::validate`]);
-/// the public entry points of [`crate::matching`] and [`crate::engine`]
-/// validate before constructing sessions.
-pub struct MatchSession<'g> {
-    graph: &'g Graph,
+/// The graph-independent state of one matching session: candidate sets,
+/// search order, counter scratch and lazily-built negation sessions.  Every
+/// decision takes the graph as an argument, so one core can serve a graph
+/// that changes between calls (the incremental `MatchView` path) as long as
+/// its candidate sets remain valid — guaranteed by construction with
+/// [`CandidateFilter::LabelUniverse`], whose sets depend only on node
+/// labels.
+pub(crate) struct SessionCore {
     config: MatchConfig,
+    /// Candidate filter used for the positive session and every
+    /// lazily-built negation session.
+    filter: CandidateFilter,
     /// The graph-independent compilation (projection, positified patterns,
     /// radius), shared across every session of one prepared query.
     compiled: Arc<CompiledPattern>,
@@ -52,35 +64,36 @@ pub struct MatchSession<'g> {
     stats: MatchStats,
 }
 
-impl<'g> MatchSession<'g> {
-    /// Builds a session for a validated pattern, compiling it on the spot.
-    ///
-    /// Callers that execute one pattern repeatedly (or across fragments and
-    /// worker threads) should compile once through
-    /// [`crate::engine::Engine::prepare`] instead, which shares the
-    /// compilation across every session it builds.
-    pub fn new(graph: &'g Graph, pattern: &Pattern, config: &MatchConfig) -> Self {
-        Self::from_compiled(graph, Arc::new(CompiledPattern::compile(pattern)), config)
+impl SessionCore {
+    /// Builds a core with the candidate filter the config implies
+    /// (quantifier-aware degree pruning when upper bounds are on).
+    pub fn new(graph: &Graph, compiled: Arc<CompiledPattern>, config: &MatchConfig) -> Self {
+        let filter = if config.use_upper_bound_pruning {
+            CandidateFilter::QuantifierAware
+        } else {
+            CandidateFilter::LabelOnly
+        };
+        Self::with_filter(graph, compiled, config, filter)
     }
 
-    /// Builds a session from an already-compiled pattern (the engine path:
-    /// the projection and positified patterns are shared, only the
-    /// graph-dependent state — candidate sets, search order, counter
-    /// scratch — is constructed here).
-    pub(crate) fn from_compiled(
-        graph: &'g Graph,
+    /// Builds a core with an explicit candidate filter.  The incremental
+    /// `MatchView` passes [`CandidateFilter::LabelUniverse`] so the sets
+    /// survive edge updates.
+    pub fn with_filter(
+        graph: &Graph,
         compiled: Arc<CompiledPattern>,
         config: &MatchConfig,
+        filter: CandidateFilter,
     ) -> Self {
         let mut stats = MatchStats {
             sessions_built: 1,
             ..MatchStats::default()
         };
-        let positive = PositiveSession::new(graph, &compiled.pi, config, &mut stats);
+        let positive = PositiveSession::with_filter(graph, &compiled.pi, config, filter, &mut stats);
         let negated = (0..compiled.positified.len()).map(|_| None).collect();
-        MatchSession {
-            graph,
+        SessionCore {
             config: *config,
+            filter,
             compiled,
             positive,
             negated,
@@ -88,9 +101,7 @@ impl<'g> MatchSession<'g> {
         }
     }
 
-    /// The focus candidates of `Π(Q)`, sorted ascending — the complete set
-    /// of nodes for which [`MatchSession::decide`] can possibly return
-    /// `true`.
+    /// The focus candidates of `Π(Q)`, sorted ascending.
     pub fn focus_candidates(&self) -> &[NodeId] {
         self.positive.focus_candidates()
     }
@@ -100,32 +111,19 @@ impl<'g> MatchSession<'g> {
         self.positive.is_focus_candidate(v)
     }
 
-    /// Decides whether `vx ∈ Q(x_o, G)`: positive verification via the
-    /// quantifier-aware matcher, plus exclusion by each positified pattern
-    /// `Π(Q^{+e})` (the set-difference semantics of negation).
-    ///
-    /// The two negation strategies of the paper keep their distinct costs:
-    ///
-    /// * `IncQMatch` (`incremental_negation = true`) verifies the positified
-    ///   patterns only for candidates that already passed the positive
-    ///   phase — `Π(Q^{+e})(x_o, G) ⊆ Π(Q)(x_o, G)`, so nothing else can be
-    ///   excluded and the work is skipped (counted in `reused_from_cache`).
-    /// * `QMatchn` (`incremental_negation = false`) recomputes each
-    ///   positified pattern from scratch: every focus candidate pays the
-    ///   negation verification whether or not the positive phase accepted
-    ///   it — the extra work Exp-1 measures.
-    pub fn decide(&mut self, vx: NodeId) -> bool {
-        self.decide_cancellable(vx, None).unwrap_or(false)
+    /// Decides whether `vx ∈ Q(x_o, G)` against `graph`.  See
+    /// [`MatchSession::decide`] for semantics.
+    pub fn decide(&mut self, graph: &Graph, vx: NodeId) -> bool {
+        self.decide_cancellable(graph, vx, None).unwrap_or(false)
     }
 
-    /// [`MatchSession::decide`] with cooperative cancellation: the token is
-    /// polled on entry and between verification phases (once per positified
-    /// pattern), and `None` is returned as soon as it fires — the decision
-    /// for `vx` is then unknown and no counter for it has been committed
-    /// beyond the phases that actually ran.  The session itself stays fully
-    /// usable; a later call with the same candidate re-verifies it from the
-    /// session's (immutable) candidate state.
-    pub fn decide_cancellable(&mut self, vx: NodeId, cancel: Option<&CancelToken>) -> Option<bool> {
+    /// [`SessionCore::decide`] with cooperative cancellation.
+    pub fn decide_cancellable(
+        &mut self,
+        graph: &Graph,
+        vx: NodeId,
+        cancel: Option<&CancelToken>,
+    ) -> Option<bool> {
         if cancel.is_some_and(CancelToken::is_cancelled) {
             return None;
         }
@@ -133,7 +131,7 @@ impl<'g> MatchSession<'g> {
             return Some(false);
         }
         self.stats.focus_candidates += 1;
-        let positive = self.positive.verify(self.graph, vx, &mut self.stats);
+        let positive = self.positive.verify(graph, vx, &mut self.stats);
         if positive && self.config.incremental_negation {
             self.stats.reused_from_cache += self.compiled.positified.len();
         }
@@ -145,14 +143,16 @@ impl<'g> MatchSession<'g> {
             if cancel.is_some_and(CancelToken::is_cancelled) {
                 return None;
             }
-            let graph = self.graph;
             let pattern = &self.compiled.positified[k];
             let config = &self.config;
+            let filter = self.filter;
             let stats = &mut self.stats;
             let neg = match &mut self.negated[k] {
                 Some(session) => session,
                 slot => {
-                    *slot = Some(PositiveSession::new(graph, pattern, config, stats));
+                    *slot = Some(PositiveSession::with_filter(
+                        graph, pattern, config, filter, stats,
+                    ));
                     slot.as_mut().expect("just inserted")
                 }
             };
@@ -181,6 +181,95 @@ impl<'g> MatchSession<'g> {
     /// Takes the accumulated counters, resetting them to zero.
     pub fn take_stats(&mut self) -> MatchStats {
         std::mem::take(&mut self.stats)
+    }
+}
+
+/// A reusable matching session for one (pattern, graph) pair, deciding
+/// membership in `Q(x_o, G)` one focus candidate at a time.
+///
+/// The pattern is assumed validated (see [`crate::pattern::Pattern::validate`]);
+/// the public entry points of [`crate::matching`] and [`crate::engine`]
+/// validate before constructing sessions.
+pub struct MatchSession<'g> {
+    graph: &'g Graph,
+    core: SessionCore,
+}
+
+impl<'g> MatchSession<'g> {
+    /// Builds a session for a validated pattern, compiling it on the spot.
+    ///
+    /// Callers that execute one pattern repeatedly (or across fragments and
+    /// worker threads) should compile once through
+    /// [`crate::engine::Engine::prepare`] instead, which shares the
+    /// compilation across every session it builds.
+    pub fn new(graph: &'g Graph, pattern: &Pattern, config: &MatchConfig) -> Self {
+        Self::from_compiled(graph, Arc::new(CompiledPattern::compile(pattern)), config)
+    }
+
+    /// Builds a session from an already-compiled pattern (the engine path:
+    /// the projection and positified patterns are shared, only the
+    /// graph-dependent state — candidate sets, search order, counter
+    /// scratch — is constructed here).
+    pub(crate) fn from_compiled(
+        graph: &'g Graph,
+        compiled: Arc<CompiledPattern>,
+        config: &MatchConfig,
+    ) -> Self {
+        MatchSession {
+            graph,
+            core: SessionCore::new(graph, compiled, config),
+        }
+    }
+
+    /// The focus candidates of `Π(Q)`, sorted ascending — the complete set
+    /// of nodes for which [`MatchSession::decide`] can possibly return
+    /// `true`.
+    pub fn focus_candidates(&self) -> &[NodeId] {
+        self.core.focus_candidates()
+    }
+
+    /// Is `v` a focus candidate (cheap bitmap probe)?
+    pub fn is_focus_candidate(&self, v: NodeId) -> bool {
+        self.core.is_focus_candidate(v)
+    }
+
+    /// Decides whether `vx ∈ Q(x_o, G)`: positive verification via the
+    /// quantifier-aware matcher, plus exclusion by each positified pattern
+    /// `Π(Q^{+e})` (the set-difference semantics of negation).
+    ///
+    /// The two negation strategies of the paper keep their distinct costs:
+    ///
+    /// * `IncQMatch` (`incremental_negation = true`) verifies the positified
+    ///   patterns only for candidates that already passed the positive
+    ///   phase — `Π(Q^{+e})(x_o, G) ⊆ Π(Q)(x_o, G)`, so nothing else can be
+    ///   excluded and the work is skipped (counted in `reused_from_cache`).
+    /// * `QMatchn` (`incremental_negation = false`) recomputes each
+    ///   positified pattern from scratch: every focus candidate pays the
+    ///   negation verification whether or not the positive phase accepted
+    ///   it — the extra work Exp-1 measures.
+    pub fn decide(&mut self, vx: NodeId) -> bool {
+        self.core.decide(self.graph, vx)
+    }
+
+    /// [`MatchSession::decide`] with cooperative cancellation: the token is
+    /// polled on entry and between verification phases (once per positified
+    /// pattern), and `None` is returned as soon as it fires — the decision
+    /// for `vx` is then unknown and no counter for it has been committed
+    /// beyond the phases that actually ran.  The session itself stays fully
+    /// usable; a later call with the same candidate re-verifies it from the
+    /// session's (immutable) candidate state.
+    pub fn decide_cancellable(&mut self, vx: NodeId, cancel: Option<&CancelToken>) -> Option<bool> {
+        self.core.decide_cancellable(self.graph, vx, cancel)
+    }
+
+    /// Work counters accumulated so far (including session construction).
+    pub fn stats(&self) -> MatchStats {
+        self.core.stats()
+    }
+
+    /// Takes the accumulated counters, resetting them to zero.
+    pub fn take_stats(&mut self) -> MatchStats {
+        self.core.take_stats()
     }
 }
 
@@ -279,5 +368,31 @@ mod tests {
         let mut session = MatchSession::new(&g, &pattern, &MatchConfig::qmatch());
         assert!(!session.decide(NodeId::new(10_000)));
         assert!(!session.is_focus_candidate(NodeId::new(10_000)));
+    }
+
+    #[test]
+    fn label_universe_core_matches_default_core_decisions() {
+        let (g, _) = g1();
+        for pattern in [
+            library::q2_redmi_universal(),
+            library::q3_redmi_negation(2),
+        ] {
+            let compiled = Arc::new(CompiledPattern::compile(&pattern));
+            let config = MatchConfig::qmatch();
+            let mut default_core = SessionCore::new(&g, Arc::clone(&compiled), &config);
+            let mut universe_core = SessionCore::with_filter(
+                &g,
+                Arc::clone(&compiled),
+                &config,
+                CandidateFilter::LabelUniverse,
+            );
+            for v in g.nodes() {
+                assert_eq!(
+                    default_core.decide(&g, v),
+                    universe_core.decide(&g, v),
+                    "{pattern} at {v:?}"
+                );
+            }
+        }
     }
 }

@@ -19,9 +19,10 @@
 //! The layout is *frozen*: it is (re)built in one `O(E log E)` sort from a
 //! triple list ([`CsrAdjacency::rebuild`]) and queried immutably afterwards.
 //! Batch construction goes through [`crate::GraphBuilder`], which accumulates
-//! triples and finalizes once.  Incremental mutation after the freeze is
-//! still supported ([`CsrAdjacency::insert`]) but pays an `O(V·L + E)`
-//! splice; it exists for small interactive edits and tests, not bulk loads.
+//! triples and finalizes once.  Incremental mutation never touches the
+//! frozen arrays — it goes through the delta overlay in the `delta` module,
+//! which layers sorted side-tables over this base and folds them back in
+//! with one `rebuild` at compaction time.
 
 use serde::{Deserialize, Serialize};
 
@@ -176,12 +177,6 @@ impl CsrAdjacency {
         self.node_slice(v).len()
     }
 
-    /// Degree of `v` via one label (`|Mₑ(v)|`).
-    #[inline]
-    pub fn degree_with_label(&self, v: usize, l: usize) -> usize {
-        self.slice(v, l).len()
-    }
-
     /// Is `w` a neighbor of `v` via label `l`?  Binary search within the
     /// label range.
     #[inline]
@@ -203,25 +198,6 @@ impl CsrAdjacency {
             let mut triples = self.to_triples();
             self.rebuild(self.node_count, label_count, &mut triples);
         }
-    }
-
-    /// Incrementally inserts one edge, keeping the frozen invariants.
-    /// Returns `false` when the edge is already present.  `O(V·L + E)` —
-    /// use [`Self::rebuild`] (via the batch loader) for bulk insertion.
-    pub fn insert(&mut self, v: usize, l: usize, w: NodeId) -> bool {
-        debug_assert!(l < self.label_count, "call ensure_label_capacity first");
-        let base = v * self.stride() + l;
-        let start = self.label_offsets[base] as usize;
-        let end = self.label_offsets[base + 1] as usize;
-        let pos = match self.targets[start..end].binary_search(&w) {
-            Ok(_) => return false,
-            Err(p) => start + p,
-        };
-        self.targets.insert(pos, w);
-        for offset in &mut self.label_offsets[base + 1..] {
-            *offset += 1;
-        }
-        true
     }
 }
 
@@ -247,7 +223,7 @@ mod tests {
         assert_eq!(csr.slice(1, 1), &[NodeId(0)]);
         assert_eq!(csr.node_slice(0), &[NodeId(1), NodeId(2), NodeId(1)]);
         assert_eq!(csr.degree(0), 3);
-        assert_eq!(csr.degree_with_label(0, 0), 2);
+        assert_eq!(csr.slice(0, 0).len(), 2);
         assert_eq!(csr.degree(2), 0);
         assert_eq!(csr.to_triples().len(), 4);
     }
@@ -264,20 +240,6 @@ mod tests {
     }
 
     #[test]
-    fn incremental_insert_matches_batch_rebuild() {
-        let mut incremental = CsrAdjacency::default();
-        incremental.rebuild(3, 2, &mut Vec::new());
-        assert!(incremental.insert(0, 0, NodeId(2)));
-        assert!(incremental.insert(0, 0, NodeId(1)));
-        assert!(incremental.insert(0, 1, NodeId(1)));
-        assert!(incremental.insert(1, 1, NodeId(0)));
-        assert!(!incremental.insert(0, 0, NodeId(2)), "duplicate rejected");
-        let batch = sample();
-        assert_eq!(incremental.to_triples(), batch.to_triples());
-        assert_eq!(incremental.label_offsets, batch.label_offsets);
-    }
-
-    #[test]
     fn push_node_and_label_growth_preserve_contents() {
         let mut csr = sample();
         csr.push_node();
@@ -285,7 +247,9 @@ mod tests {
         let before = csr.to_triples();
         csr.ensure_label_capacity(5);
         assert_eq!(csr.to_triples(), before);
-        assert!(csr.insert(3, 4, NodeId(0)));
+        let mut triples = csr.to_triples();
+        triples.push((3, 4, 0));
+        csr.rebuild(4, 5, &mut triples);
         assert_eq!(csr.slice(3, 4), &[NodeId(0)]);
     }
 

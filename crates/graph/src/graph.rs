@@ -5,14 +5,23 @@
 //! neighborhood sets `Mₑ(v)` of Table 1 and the degrees `|Mₑ(v)|` that seed
 //! the `QMatch` upper bounds are constant-time slice lookups.  Bulk
 //! construction goes through [`crate::GraphBuilder`] (accumulate triples,
-//! sort once); [`Graph::add_edge`] remains available for small incremental
-//! edits but pays an `O(V·L + E)` splice per call.
+//! sort once).  After the freeze, updates go through the delta overlay (see
+//! the `delta` module): [`Graph::apply_edge_ops`] records inserted/deleted
+//! triples in sorted side-tables, re-materializes only the touched node
+//! rows, and folds the overlay back into the CSR once it grows past
+//! [`Graph::compaction_threshold`].  [`Graph::add_edge`] is a one-op batch
+//! on that path — the old `O(V·L + E)` per-edge splice is gone.
 
 use serde::{Deserialize, Serialize};
 
 use crate::csr::{CsrAdjacency, Triple};
+use crate::delta::{EdgeOp, GraphDelta, UpdateReport, UpdateStats};
 use crate::error::GraphError;
 use crate::labels::{LabelId, LabelSet};
+
+/// Overlay side-table size (per direction) past which
+/// [`Graph::apply_edge_ops`] folds pending updates back into the frozen CSR.
+pub const DEFAULT_COMPACTION_THRESHOLD: usize = 1024;
 
 /// Identifier of a node in a [`Graph`].
 ///
@@ -63,6 +72,14 @@ pub struct Graph {
     /// `nodes_by_label[l]` lists every node whose label is `l`.
     nodes_by_label: Vec<Vec<NodeId>>,
     edge_count: usize,
+    /// Pending updates not yet folded into the frozen CSR base.  `None`
+    /// when the graph is fully compacted (the common read-only state).
+    delta: Option<Box<GraphDelta>>,
+    /// Configured compaction threshold; `0` means
+    /// [`DEFAULT_COMPACTION_THRESHOLD`].
+    compaction_threshold: usize,
+    /// Lifetime update-path counters.
+    update_stats: UpdateStats,
 }
 
 impl Graph {
@@ -131,6 +148,9 @@ impl Graph {
         self.node_labels.push(label);
         self.out.push_node();
         self.inn.push_node();
+        if let Some(delta) = &mut self.delta {
+            delta.push_node();
+        }
         if label.index() >= self.nodes_by_label.len() {
             self.nodes_by_label.resize(label.index() + 1, Vec::new());
         }
@@ -158,8 +178,13 @@ impl Graph {
     /// Adds a directed edge `from → to` with the given (already interned)
     /// edge label.  Returns an error if either endpoint does not exist or the
     /// exact same labeled edge is already present.
+    ///
+    /// This is a one-op [`Graph::apply_edge_ops`] batch: the edge lands in
+    /// the delta overlay and only the two endpoint rows are re-materialized,
+    /// instead of the `O(V·L + E)` CSR splice earlier versions paid.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: LabelId) -> Result<(), GraphError> {
-        if self.insert_edge(from, to, label)? {
+        let report = self.apply_edge_ops(&[EdgeOp::Insert { from, to, label }])?;
+        if report.inserted == 1 {
             Ok(())
         } else {
             Err(GraphError::DuplicateEdge { from, to })
@@ -176,27 +201,153 @@ impl Graph {
         to: NodeId,
         label: LabelId,
     ) -> Result<bool, GraphError> {
-        self.insert_edge(from, to, label)
+        let report = self.apply_edge_ops(&[EdgeOp::Insert { from, to, label }])?;
+        Ok(report.inserted == 1)
     }
 
-    fn insert_edge(
+    /// Removes the directed edge `from → to` with the given label.  Returns
+    /// `Ok(true)` if the edge existed and `Ok(false)` if it did not.
+    pub fn remove_edge(
         &mut self,
         from: NodeId,
         to: NodeId,
         label: LabelId,
     ) -> Result<bool, GraphError> {
-        self.check_node(from)?;
-        self.check_node(to)?;
-        let capacity = self.labels.edge_label_count().max(label.index() + 1);
-        self.out.ensure_label_capacity(capacity);
-        self.inn.ensure_label_capacity(capacity);
-        if !self.out.insert(from.index(), label.index(), to) {
-            return Ok(false);
+        let report = self.apply_edge_ops(&[EdgeOp::Delete { from, to, label }])?;
+        Ok(report.deleted == 1)
+    }
+
+    /// Applies a batch of edge mutations through the delta overlay — the
+    /// update path for live graphs.
+    ///
+    /// Ops apply in order with set semantics: inserting a present edge or
+    /// deleting an absent one is a counted no-op (see [`UpdateReport`]), and
+    /// a delete-then-reinsert inside one batch cancels out.  If any op
+    /// references a node id that does not exist, the whole batch fails with
+    /// [`GraphError::NodeOutOfBounds`] and the graph is left untouched.
+    ///
+    /// Cost is `O(ops · log pending + Σ degree(touched))`: mutations land in
+    /// sorted side-tables and only the touched node rows are
+    /// re-materialized.  Once a side-table grows past
+    /// [`Graph::compaction_threshold`] the overlay is folded back into the
+    /// frozen CSR with one `O(E log E)` rebuild (reported via
+    /// [`UpdateReport::compacted`]).  An op naming an edge label beyond the
+    /// frozen index's vocabulary forces that fold early, so the index can be
+    /// rebuilt with the wider stride first.
+    pub fn apply_edge_ops(&mut self, ops: &[EdgeOp]) -> Result<UpdateReport, GraphError> {
+        for op in ops {
+            self.check_node(op.from())?;
+            self.check_node(op.to())?;
         }
-        let inserted = self.inn.insert(to.index(), label.index(), from);
-        debug_assert!(inserted, "out/in CSR views disagree");
-        self.edge_count += 1;
-        Ok(true)
+        let mut report = UpdateReport::default();
+        if ops.is_empty() {
+            return Ok(report);
+        }
+        let needed = ops.iter().map(|op| op.label().index() + 1).max().unwrap_or(0);
+        let capacity = self.labels.edge_label_count().max(needed);
+        if capacity > self.out.label_count() {
+            self.compact_updates();
+            self.out.ensure_label_capacity(capacity);
+            self.inn.ensure_label_capacity(capacity);
+            self.update_stats.full_rebuilds += 1;
+        }
+        let threshold = self.compaction_threshold();
+        let n = self.node_count();
+        let delta = self
+            .delta
+            .get_or_insert_with(|| Box::new(GraphDelta::new(n)));
+        let mut touched_out: Vec<u32> = Vec::new();
+        let mut touched_in: Vec<u32> = Vec::new();
+        for op in ops {
+            if delta.apply(&self.out, &self.inn, op) {
+                touched_out.push(op.from().0);
+                touched_in.push(op.to().0);
+                if op.is_insert() {
+                    self.edge_count += 1;
+                    report.inserted += 1;
+                } else {
+                    self.edge_count -= 1;
+                    report.deleted += 1;
+                }
+            } else if op.is_insert() {
+                report.noop_inserts += 1;
+            } else {
+                report.noop_deletes += 1;
+            }
+        }
+        touched_out.sort_unstable();
+        touched_out.dedup();
+        touched_in.sort_unstable();
+        touched_in.dedup();
+        delta.repatch_all(
+            &self.out,
+            &self.inn,
+            self.out.label_count(),
+            &touched_out,
+            &touched_in,
+        );
+        report.nodes_patched = touched_out.len() + touched_in.len();
+        let pending = delta.pending();
+
+        self.update_stats.ops_applied += ops.len();
+        self.update_stats.edges_inserted += report.inserted;
+        self.update_stats.edges_deleted += report.deleted;
+        self.update_stats.noop_inserts += report.noop_inserts;
+        self.update_stats.noop_deletes += report.noop_deletes;
+        self.update_stats.nodes_patched += report.nodes_patched;
+
+        if pending >= threshold {
+            self.compact_updates();
+            report.compacted = true;
+        }
+        Ok(report)
+    }
+
+    /// Folds any pending overlay updates back into the frozen CSR base with
+    /// one `O(E log E)` rebuild, leaving the graph fully compacted.  A no-op
+    /// when nothing is pending.
+    pub fn compact_updates(&mut self) {
+        let Some(delta) = self.delta.take() else {
+            return;
+        };
+        if delta.pending() == 0 {
+            // Every patch equals its base row; dropping the overlay suffices.
+            return;
+        }
+        let mut triples = delta.out.merged_triples(&self.out);
+        let mut reversed: Vec<Triple> = triples.iter().map(|&(f, l, t)| (t, l, f)).collect();
+        let n = self.node_count();
+        let label_count = self.out.label_count();
+        self.out.rebuild(n, label_count, &mut triples);
+        self.inn.rebuild(n, label_count, &mut reversed);
+        self.update_stats.compactions += 1;
+    }
+
+    /// The overlay size (pending inserted/deleted triples per direction)
+    /// past which [`Graph::apply_edge_ops`] compacts.
+    pub fn compaction_threshold(&self) -> usize {
+        if self.compaction_threshold == 0 {
+            DEFAULT_COMPACTION_THRESHOLD
+        } else {
+            self.compaction_threshold
+        }
+    }
+
+    /// Overrides the compaction threshold (`0` restores the default).  A
+    /// threshold of 1 compacts after every mutating batch — useful in tests.
+    pub fn set_compaction_threshold(&mut self, threshold: usize) {
+        self.compaction_threshold = threshold;
+    }
+
+    /// Number of pending overlay entries (inserted plus deleted triples) not
+    /// yet folded into the frozen CSR.
+    pub fn pending_updates(&self) -> usize {
+        self.delta.as_ref().map_or(0, |d| d.pending())
+    }
+
+    /// Lifetime update-path counters (see [`UpdateStats`]).
+    pub fn update_stats(&self) -> &UpdateStats {
+        &self.update_stats
     }
 
     /// Adds a batch of edges in one `O(E log E)` rebuild — the fast path the
@@ -209,6 +360,9 @@ impl Graph {
         &mut self,
         edges: impl IntoIterator<Item = (NodeId, NodeId, LabelId)>,
     ) -> Result<usize, GraphError> {
+        // The merge below reads the frozen triple list, so pending overlay
+        // updates must be folded in first.
+        self.compact_updates();
         let mut fresh: Vec<Triple> = Vec::new();
         let mut max_label = self.labels.edge_label_count();
         for (from, to, label) in edges {
@@ -254,6 +408,7 @@ impl Graph {
         self.out.rebuild(n, max_label, &mut merged);
         self.inn.rebuild(n, max_label, &mut reversed);
         self.edge_count += added;
+        self.update_stats.full_rebuilds += 1;
         Ok(added)
     }
 
@@ -269,6 +424,41 @@ impl Graph {
         self.out = out;
         self.inn = inn;
         self.edge_count = edge_count;
+        self.delta = None;
+    }
+
+    /// `Mₑ(v)` in the out direction through the overlay, raw-index form.
+    #[inline]
+    fn out_slice(&self, v: usize, l: usize) -> &[NodeId] {
+        match &self.delta {
+            None => self.out.slice(v, l),
+            Some(d) => d.out.slice(&self.out, v, l),
+        }
+    }
+
+    /// `Mₑ(v)` in the in direction through the overlay, raw-index form.
+    #[inline]
+    fn in_slice(&self, v: usize, l: usize) -> &[NodeId] {
+        match &self.delta {
+            None => self.inn.slice(v, l),
+            Some(d) => d.inn.slice(&self.inn, v, l),
+        }
+    }
+
+    #[inline]
+    fn out_node_slice(&self, v: usize) -> &[NodeId] {
+        match &self.delta {
+            None => self.out.node_slice(v),
+            Some(d) => d.out.node_slice(&self.out, v),
+        }
+    }
+
+    #[inline]
+    fn in_node_slice(&self, v: usize) -> &[NodeId] {
+        match &self.delta {
+            None => self.inn.node_slice(v),
+            Some(d) => d.inn.node_slice(&self.inn, v),
+        }
     }
 
     /// Node label of `v`.
@@ -294,19 +484,19 @@ impl Graph {
     /// Out-degree of `v` (counting all edge labels).
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out.degree(v.index())
+        self.out_node_slice(v.index()).len()
     }
 
     /// In-degree of `v` (counting all edge labels).
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.inn.degree(v.index())
+        self.in_node_slice(v.index()).len()
     }
 
     /// All outgoing edges of `v`, grouped by edge label.
     pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
         (0..self.out.label_count()).flat_map(move |l| {
-            self.out.slice(v.index(), l).iter().map(move |&to| EdgeRef {
+            self.out_slice(v.index(), l).iter().map(move |&to| EdgeRef {
                 from: v,
                 to,
                 label: LabelId(l as u32),
@@ -317,14 +507,11 @@ impl Graph {
     /// All incoming edges of `v`, grouped by edge label.
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
         (0..self.inn.label_count()).flat_map(move |l| {
-            self.inn
-                .slice(v.index(), l)
-                .iter()
-                .map(move |&from| EdgeRef {
-                    from,
-                    to: v,
-                    label: LabelId(l as u32),
-                })
+            self.in_slice(v.index(), l).iter().map(move |&from| EdgeRef {
+                from,
+                to: v,
+                label: LabelId(l as u32),
+            })
         })
     }
 
@@ -333,13 +520,13 @@ impl Graph {
     /// appears once per label).
     #[inline]
     pub fn out_neighbors_slice(&self, v: NodeId) -> &[NodeId] {
-        self.out.node_slice(v.index())
+        self.out_node_slice(v.index())
     }
 
     /// All in-neighbors of `v` regardless of edge label, as one slice.
     #[inline]
     pub fn in_neighbors_slice(&self, v: NodeId) -> &[NodeId] {
-        self.inn.node_slice(v.index())
+        self.in_node_slice(v.index())
     }
 
     /// All out-neighbors of `v` regardless of edge label.
@@ -357,13 +544,13 @@ impl Graph {
     /// Constant-time via the dense per-`(node, label)` range index.
     #[inline]
     pub fn out_neighbors_with_label_slice(&self, v: NodeId, label: LabelId) -> &[NodeId] {
-        self.out.slice(v.index(), label.index())
+        self.out_slice(v.index(), label.index())
     }
 
     /// The parents of `v` reachable via an edge labeled `label`, sorted.
     #[inline]
     pub fn in_neighbors_with_label_slice(&self, v: NodeId, label: LabelId) -> &[NodeId] {
-        self.inn.slice(v.index(), label.index())
+        self.in_slice(v.index(), label.index())
     }
 
     /// Iterator form of [`Graph::out_neighbors_with_label_slice`].
@@ -389,13 +576,13 @@ impl Graph {
     /// initial upper bound `U(v, e)` of the `QMatch` auxiliary structures.
     #[inline]
     pub fn out_degree_with_label(&self, v: NodeId, label: LabelId) -> usize {
-        self.out.degree_with_label(v.index(), label.index())
+        self.out_slice(v.index(), label.index()).len()
     }
 
     /// Number of parents of `v` connected by an edge labeled `label`.
     #[inline]
     pub fn in_degree_with_label(&self, v: NodeId, label: LabelId) -> usize {
-        self.inn.degree_with_label(v.index(), label.index())
+        self.in_slice(v.index(), label.index()).len()
     }
 
     /// Tests whether the edge `(from, to)` with label `label` exists.
@@ -403,7 +590,10 @@ impl Graph {
         if from.index() >= self.node_count() {
             return false;
         }
-        self.out.contains(from.index(), label.index(), to)
+        match &self.delta {
+            None => self.out.contains(from.index(), label.index(), to),
+            Some(d) => d.out.contains(&self.out, from.index(), label.index(), to),
+        }
     }
 
     /// Tests whether *some* edge from `from` to `to` exists, with any label.
@@ -413,7 +603,10 @@ impl Graph {
         if from.index() >= self.node_count() {
             return false;
         }
-        self.out.contains_any(from.index(), to)
+        match &self.delta {
+            None => self.out.contains_any(from.index(), to),
+            Some(d) => d.out.contains_any(&self.out, from.index(), to),
+        }
     }
 
     /// Iterates over every edge of the graph.
@@ -597,6 +790,223 @@ mod tests {
             );
             assert_eq!(a.in_neighbors_slice(v), b.in_neighbors_slice(v));
         }
+    }
+
+    /// Asserts that `g`'s full adjacency (both directions, every accessor
+    /// shape) equals a graph batch-rebuilt from the expected edge list.
+    fn assert_matches_rebuild(g: &Graph, expected: &[(NodeId, NodeId, LabelId)]) {
+        let mut reference = Graph::with_labels(g.labels().clone());
+        for v in g.nodes() {
+            reference.add_node(g.node_label(v));
+        }
+        reference.add_edges_bulk(expected.iter().copied()).unwrap();
+        assert_eq!(g.edge_count(), reference.edge_count(), "edge count");
+        for v in g.nodes() {
+            assert_eq!(
+                g.out_neighbors_slice(v),
+                reference.out_neighbors_slice(v),
+                "out adjacency of {v:?}"
+            );
+            assert_eq!(
+                g.in_neighbors_slice(v),
+                reference.in_neighbors_slice(v),
+                "in adjacency of {v:?}"
+            );
+            for l in 0..g.labels().edge_label_count() {
+                let l = LabelId(l as u32);
+                assert_eq!(
+                    g.out_neighbors_with_label_slice(v, l),
+                    reference.out_neighbors_with_label_slice(v, l),
+                    "out ({v:?}, {l:?})"
+                );
+                assert_eq!(
+                    g.in_neighbors_with_label_slice(v, l),
+                    reference.in_neighbors_with_label_slice(v, l),
+                    "in ({v:?}, {l:?})"
+                );
+                assert_eq!(g.out_degree_with_label(v, l), reference.out_degree_with_label(v, l));
+                assert_eq!(g.in_degree_with_label(v, l), reference.in_degree_with_label(v, l));
+            }
+            assert_eq!(g.out_degree(v), reference.out_degree(v));
+            assert_eq!(g.in_degree(v), reference.in_degree(v));
+        }
+        for &(f, t, l) in expected {
+            assert!(g.has_edge(f, t, l), "missing edge {f:?}->{t:?}");
+            assert!(g.has_any_edge(f, t));
+        }
+    }
+
+    #[test]
+    fn delete_of_never_inserted_edge_is_a_counted_noop() {
+        let (mut g, n, follows) = triangle();
+        let edges = vec![(n[0], n[1], follows), (n[1], n[2], follows), (n[2], n[0], follows)];
+        let report = g
+            .apply_edge_ops(&[EdgeOp::delete(n[1], n[0], follows)])
+            .unwrap();
+        assert_eq!(report.deleted, 0);
+        assert_eq!(report.noop_deletes, 1);
+        assert!(!report.changed());
+        assert_eq!(g.update_stats().noop_deletes, 1);
+        assert_matches_rebuild(&g, &edges);
+        assert_eq!(g.remove_edge(n[1], n[0], follows), Ok(false));
+        assert_eq!(g.remove_edge(n[0], n[1], follows), Ok(true));
+        assert_matches_rebuild(&g, &edges[1..]);
+    }
+
+    #[test]
+    fn duplicate_insert_via_ops_is_a_counted_noop() {
+        let (mut g, n, follows) = triangle();
+        let edges = vec![(n[0], n[1], follows), (n[1], n[2], follows), (n[2], n[0], follows)];
+        let report = g
+            .apply_edge_ops(&[
+                EdgeOp::insert(n[0], n[1], follows),
+                EdgeOp::insert(n[0], n[2], follows),
+                EdgeOp::insert(n[0], n[2], follows),
+            ])
+            .unwrap();
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.noop_inserts, 2);
+        let mut expected = edges;
+        expected.push((n[0], n[2], follows));
+        assert_matches_rebuild(&g, &expected);
+    }
+
+    #[test]
+    fn delete_then_reinsert_in_one_batch_cancels_out() {
+        let (mut g, n, follows) = triangle();
+        g.compact_updates();
+        let edges = vec![(n[0], n[1], follows), (n[1], n[2], follows), (n[2], n[0], follows)];
+        let report = g
+            .apply_edge_ops(&[
+                EdgeOp::delete(n[0], n[1], follows),
+                EdgeOp::insert(n[0], n[1], follows),
+                EdgeOp::insert(n[1], n[0], follows),
+                EdgeOp::delete(n[1], n[0], follows),
+            ])
+            .unwrap();
+        assert_eq!(report.inserted, 2);
+        assert_eq!(report.deleted, 2);
+        assert_eq!(g.pending_updates(), 0, "all ops cancelled in the overlay");
+        assert_matches_rebuild(&g, &edges);
+    }
+
+    #[test]
+    fn out_of_range_ops_fail_the_whole_batch_without_mutation() {
+        let (mut g, n, follows) = triangle();
+        let edges = vec![(n[0], n[1], follows), (n[1], n[2], follows), (n[2], n[0], follows)];
+        let bogus = NodeId::new(42);
+        let before = *g.update_stats();
+        // The valid leading op must not be applied when a later op is bad.
+        let err = g
+            .apply_edge_ops(&[
+                EdgeOp::insert(n[0], n[2], follows),
+                EdgeOp::insert(n[0], bogus, follows),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+        assert_eq!(*g.update_stats(), before);
+        assert_matches_rebuild(&g, &edges);
+        assert!(g
+            .apply_edge_ops(&[EdgeOp::delete(bogus, n[0], follows)])
+            .is_err());
+        assert_matches_rebuild(&g, &edges);
+    }
+
+    #[test]
+    fn compaction_threshold_crossing_mid_stream_preserves_adjacency() {
+        let mut g = Graph::new();
+        let person = g.labels_mut().intern_node_label("person");
+        let follows = g.labels_mut().intern_edge_label("follows");
+        let n: Vec<_> = (0..10).map(|_| g.add_node(person)).collect();
+        g.set_compaction_threshold(4);
+        assert_eq!(g.compaction_threshold(), 4);
+        let mut expected: Vec<(NodeId, NodeId, LabelId)> = Vec::new();
+        let mut compactions = 0usize;
+        for i in 0..10 {
+            for j in 0..10 {
+                if i == j {
+                    continue;
+                }
+                let report = g
+                    .apply_edge_ops(&[EdgeOp::insert(n[i], n[j], follows)])
+                    .unwrap();
+                expected.push((n[i], n[j], follows));
+                if report.compacted {
+                    compactions += 1;
+                    assert_eq!(g.pending_updates(), 0);
+                }
+                assert!(g.pending_updates() < 4);
+            }
+        }
+        assert!(compactions > 0, "threshold 4 must trigger compaction");
+        assert_eq!(g.update_stats().compactions, compactions);
+        assert_matches_rebuild(&g, &expected);
+        // Deletes cross the threshold too.
+        let report = g
+            .apply_edge_ops(
+                &expected[..5]
+                    .iter()
+                    .map(|&(f, t, l)| EdgeOp::delete(f, t, l))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        assert_eq!(report.deleted, 5);
+        assert!(report.compacted);
+        assert_matches_rebuild(&g, &expected[5..]);
+    }
+
+    #[test]
+    fn single_edge_update_patches_two_rows_without_rebuild() {
+        let (mut g, n, follows) = triangle();
+        let before = *g.update_stats();
+        g.apply_edge_ops(&[EdgeOp::insert(n[1], n[0], follows)])
+            .unwrap();
+        let after = *g.update_stats();
+        assert_eq!(after.full_rebuilds, before.full_rebuilds, "no CSR rebuild");
+        assert_eq!(after.compactions, before.compactions);
+        assert_eq!(after.nodes_patched - before.nodes_patched, 2);
+    }
+
+    #[test]
+    fn new_label_beyond_the_frozen_index_forces_a_widening_rebuild() {
+        let (mut g, n, follows) = triangle();
+        let likes = g.labels_mut().intern_edge_label("likes");
+        let before = g.update_stats().full_rebuilds;
+        g.apply_edge_ops(&[EdgeOp::insert(n[0], n[1], likes)])
+            .unwrap();
+        assert_eq!(g.update_stats().full_rebuilds, before + 1);
+        assert!(g.has_edge(n[0], n[1], likes));
+        assert_matches_rebuild(
+            &g,
+            &[
+                (n[0], n[1], follows),
+                (n[1], n[2], follows),
+                (n[2], n[0], follows),
+                (n[0], n[1], likes),
+            ],
+        );
+    }
+
+    #[test]
+    fn add_node_while_overlay_is_live_keeps_reads_consistent() {
+        let (mut g, n, follows) = triangle();
+        g.apply_edge_ops(&[EdgeOp::insert(n[1], n[0], follows)])
+            .unwrap();
+        assert!(g.pending_updates() > 0);
+        let person = g.labels().node_label("person").unwrap();
+        let d = g.add_node(person);
+        assert_eq!(g.out_degree(d), 0);
+        g.apply_edge_ops(&[EdgeOp::insert(d, n[0], follows)]).unwrap();
+        assert_matches_rebuild(
+            &g,
+            &[
+                (n[0], n[1], follows),
+                (n[1], n[2], follows),
+                (n[2], n[0], follows),
+                (n[1], n[0], follows),
+                (d, n[0], follows),
+            ],
+        );
     }
 
     #[test]

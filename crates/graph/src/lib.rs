@@ -15,6 +15,9 @@
 //! * [`LabelSet`] — string interning for node and edge labels,
 //! * [`GraphBuilder`] — the batch loader: accumulates `(from, to, label)`
 //!   triples and freezes the CSR layout with one sort at `build()`,
+//! * [`delta`] — the update path for live graphs: [`EdgeOp`] batches applied
+//!   through a sorted side-table overlay ([`Graph::apply_edge_ops`]) that is
+//!   compacted back into the CSR past a configurable threshold,
 //! * [`neighborhood`] — d-hop neighborhoods `N_d(v)` and BFS utilities used
 //!   by the d-hop preserving partition of Section 5,
 //! * [`fragment`] — fragments of a partitioned graph with local/global id
@@ -45,6 +48,7 @@
 pub mod bitset;
 pub mod builder;
 pub(crate) mod csr;
+pub mod delta;
 pub mod error;
 pub mod fragment;
 pub mod graph;
@@ -54,11 +58,13 @@ pub mod stats;
 
 pub use bitset::DenseBitSet;
 pub use builder::GraphBuilder;
+pub use delta::{EdgeOp, UpdateReport, UpdateStats};
 pub use error::GraphError;
 pub use fragment::{Fragment, FragmentId};
-pub use graph::{EdgeRef, Graph, NodeId};
+pub use graph::{EdgeRef, Graph, NodeId, DEFAULT_COMPACTION_THRESHOLD};
 pub use labels::{LabelId, LabelSet};
 pub use neighborhood::{
-    bfs_within, bfs_within_with, d_hop_neighborhood, d_hop_nodes, d_hop_nodes_with, BfsScratch,
+    bfs_within, bfs_within_multi_with, bfs_within_with, d_hop_neighborhood, d_hop_nodes,
+    d_hop_nodes_with, BfsScratch,
 };
 pub use stats::GraphStats;

@@ -93,6 +93,52 @@ pub fn bfs_within_with(
     }
 }
 
+/// Bounded undirected BFS from *several* start nodes at once: appends every
+/// node within `d` hops of any node in `starts` (including the starts
+/// themselves), paired with the hop distance to the *nearest* start, to
+/// `out` in BFS order.  Duplicate start nodes are visited once.
+///
+/// This is the "affected ball" primitive of incremental matching: the union
+/// `⋃ N_d(s)` over an update batch's endpoints, computed in one traversal
+/// instead of one BFS per endpoint.
+pub fn bfs_within_multi_with(
+    graph: &Graph,
+    starts: &[NodeId],
+    d: usize,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<(NodeId, usize)>,
+) {
+    scratch.begin(graph.node_count());
+    let epoch = scratch.epoch;
+    for &start in starts {
+        if scratch.mark[start.index()] == epoch {
+            continue;
+        }
+        scratch.mark[start.index()] = epoch;
+        scratch.dist[start.index()] = 0;
+        scratch.queue.push_back(start);
+        out.push((start, 0));
+    }
+    while let Some(v) = scratch.queue.pop_front() {
+        let dist = scratch.dist[v.index()] as usize;
+        if dist == d {
+            continue;
+        }
+        for &w in graph
+            .out_neighbors_slice(v)
+            .iter()
+            .chain(graph.in_neighbors_slice(v))
+        {
+            if scratch.mark[w.index()] != epoch {
+                scratch.mark[w.index()] = epoch;
+                scratch.dist[w.index()] = (dist + 1) as u32;
+                out.push((w, dist + 1));
+                scratch.queue.push_back(w);
+            }
+        }
+    }
+}
+
 /// The node set of `N_d(v)` computed with reusable scratch state — the form
 /// `DPar` calls in its per-node loop.
 pub fn d_hop_nodes_with(
@@ -225,6 +271,29 @@ mod tests {
         assert!(mapping.contains(&n[1]));
         assert!(mapping.contains(&n[2]));
         assert_eq!(d_hop_size(&g, n[1], 1), 5);
+    }
+
+    #[test]
+    fn multi_source_bfs_is_the_union_of_single_source_balls() {
+        let (g, n) = path_graph();
+        let mut scratch = BfsScratch::for_graph(&g);
+        let mut out = Vec::new();
+        bfs_within_multi_with(&g, &[n[0], n[4], n[0]], 1, &mut scratch, &mut out);
+        let mut got: Vec<_> = out.iter().map(|&(v, _)| v).collect();
+        got.sort_unstable();
+        let mut want = vec![n[0], n[1], n[4]];
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // Distances are to the nearest start.
+        let dist: HashMap<_, _> = out.into_iter().collect();
+        assert_eq!(dist[&n[0]], 0);
+        assert_eq!(dist[&n[4]], 0);
+        assert_eq!(dist[&n[1]], 1);
+
+        // Empty start set visits nothing.
+        let mut none = Vec::new();
+        bfs_within_multi_with(&g, &[], 3, &mut scratch, &mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

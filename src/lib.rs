@@ -77,6 +77,17 @@
 //!     .unwrap()
 //!     .next();
 //! assert_eq!(first, Some(ann));
+//!
+//! // Or keep the answer live under edge updates: materialize a view and
+//! // apply update batches to it.
+//! use quantified_graph_patterns::EdgeOp;
+//! let mut view = prepared.view();
+//! assert_eq!(view.matches(), &[ann]);
+//! // ann follows dee, who panned the phone — the negation now excludes ann.
+//! let follow = graph.labels().edge_label("follow").unwrap();
+//! let delta = view.apply(&[EdgeOp::insert(ann, dee, follow)]).unwrap();
+//! assert_eq!(delta.removed, vec![ann]);
+//! assert!(view.matches().is_empty());
 //! ```
 
 pub use qgp_core as core;
@@ -89,10 +100,10 @@ pub use qgp_runtime as runtime;
 // The one execution surface, flattened to the root so the quickstart needs
 // a single `use` line.
 pub use qgp_core::engine::{
-    CancelToken, Engine, ExecMode, ExecOptions, Matches, ParallelTelemetry, Parallelism,
-    PreparedQuery,
+    CancelToken, Engine, ExecMode, ExecOptions, Matches, MatchView, ParallelTelemetry,
+    Parallelism, PreparedQuery, ViewDelta,
 };
 pub use qgp_core::matching::{MatchConfig, MatchStats, QueryAnswer};
 pub use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
-pub use qgp_graph::{Graph, GraphBuilder, NodeId};
+pub use qgp_graph::{EdgeOp, Graph, GraphBuilder, GraphError, LabelId, LabelSet, NodeId, UpdateReport};
 pub use qgp_runtime::Runtime;

@@ -1,0 +1,306 @@
+//! Differential contracts of the live match view:
+//!
+//! * after every update batch, `MatchView::apply` leaves the view equal to
+//!   a full `PreparedQuery::execute` on a graph *rebuilt from scratch* with
+//!   the post-batch edge set — for every matcher configuration, and for
+//!   repairs run at 1 and 4 executor threads,
+//! * the accumulated `ViewDelta`s replay the initial match set to the final
+//!   one,
+//! * metamorphic inverse: streaming a batch sequence and then the exact
+//!   inverse (effective ops only, reversed) restores both the original
+//!   match set and the original adjacency,
+//! * a single-edge update on the pokec-like generator's graph patches two
+//!   adjacency rows instead of rebuilding the CSR (counter-pinned).
+//!
+//! Streams come from the same seeded [`UpdateStreamGen`] the
+//! `experiments bench --incremental` section measures, so the perf numbers
+//! and the correctness pins cover one distribution.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use qgp_bench::{StreamConfig, UpdateStreamGen};
+use quantified_graph_patterns::graph::LabelId;
+use quantified_graph_patterns::{
+    CountingQuantifier, EdgeOp, Engine, ExecOptions, Graph, GraphBuilder, MatchConfig, NodeId,
+    Pattern, PatternBuilder, Runtime,
+};
+
+const NODE_LABELS: &[&str] = &["A", "B", "C"];
+const EDGE_LABELS: &[&str] = &["r", "s"];
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    node_labels: Vec<u8>,
+    edges: Vec<(u8, u8, u8)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (4usize..10).prop_flat_map(|n| {
+        let nodes = proptest::collection::vec(0u8..NODE_LABELS.len() as u8, n);
+        let edges = proptest::collection::vec(
+            (0u8..n as u8, 0u8..n as u8, 0u8..EDGE_LABELS.len() as u8),
+            0..(3 * n),
+        );
+        (nodes, edges).prop_map(|(node_labels, edges)| GraphSpec { node_labels, edges })
+    })
+}
+
+fn build_graph(spec: &GraphSpec) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = spec
+        .node_labels
+        .iter()
+        .map(|&l| b.add_node(NODE_LABELS[l as usize]))
+        .collect();
+    // Intern every edge label even when the random edge list misses one, so
+    // the stream generator always has the full vocabulary to draw from.
+    for (i, name) in EDGE_LABELS.iter().enumerate() {
+        let from = ids[i % ids.len()];
+        let to = ids[(i + 1) % ids.len()];
+        let _ = b.add_edge_dedup(from, to, name);
+    }
+    for &(from, to, label) in &spec.edges {
+        if from == to {
+            continue;
+        }
+        let _ = b.add_edge_dedup(
+            ids[from as usize],
+            ids[to as usize],
+            EDGE_LABELS[label as usize],
+        );
+    }
+    b.build()
+}
+
+/// A fixed family of patterns covering every quantifier class, including
+/// negation.
+fn pattern(kind: u8) -> Pattern {
+    let mut b = PatternBuilder::new();
+    let xo = b.node("A");
+    match kind % 6 {
+        0 => {
+            let y = b.node("B");
+            b.edge(xo, y, "r");
+        }
+        1 => {
+            let y = b.node("B");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::at_least(2));
+        }
+        2 => {
+            let y = b.node("B");
+            let z = b.node("C");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::at_least_percent(50.0));
+            b.edge(y, z, "s");
+        }
+        3 => {
+            let y = b.node("B");
+            let z = b.node("C");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::universal());
+            b.edge(y, z, "s");
+        }
+        4 => {
+            let y = b.node("B");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::exactly(1));
+        }
+        _ => {
+            let y = b.node("B");
+            let z = b.node("C");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::at_least(1));
+            b.negated_edge(xo, z, "s");
+        }
+    }
+    b.focus(xo);
+    b.build().expect("fixed pattern family validates")
+}
+
+fn all_configs() -> [MatchConfig; 4] {
+    [
+        MatchConfig::qmatch(),
+        MatchConfig::qmatch_n(),
+        MatchConfig::qmatch_with_simulation(),
+        MatchConfig::enumerate(),
+    ]
+}
+
+type Edge = (NodeId, NodeId, LabelId);
+
+fn edge_set(graph: &Graph) -> BTreeSet<Edge> {
+    graph.edges().map(|e| (e.from, e.to, e.label)).collect()
+}
+
+/// Rebuilds a graph from scratch with the same nodes/labels as `template`
+/// but exactly `edges` — the from-first-principles reference an overlay
+/// graph is compared against.
+fn rebuild(template: &Graph, edges: &BTreeSet<Edge>) -> Graph {
+    let mut g = Graph::with_labels(template.labels().clone());
+    for v in template.nodes() {
+        g.add_node(template.node_label(v));
+    }
+    g.add_edges_bulk(edges.iter().copied())
+        .expect("mirror endpoints are in range");
+    g
+}
+
+fn recompute(graph: &Graph, pattern: &Pattern, config: &MatchConfig) -> Vec<NodeId> {
+    Engine::new(graph)
+        .prepare(pattern)
+        .expect("pattern validates")
+        .run(ExecOptions::sequential().with_config(*config))
+        .expect("sequential runs succeed")
+        .matches
+}
+
+fn stream_config(seed: u64) -> StreamConfig {
+    StreamConfig {
+        seed,
+        ..StreamConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential pin: after every batch the view equals a full
+    /// recompute on a from-scratch rebuild of the post-batch edge set, for
+    /// all four matcher configs; sequential and 4-thread repairs agree; the
+    /// accumulated deltas replay to the view's match set.
+    #[test]
+    fn view_apply_tracks_recompute_on_the_rebuilt_graph(
+        gspec in graph_spec(),
+        kind in 0u8..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let graph = build_graph(&gspec);
+        let pattern = pattern(kind);
+        let engine = Engine::new(&graph);
+        let prepared = engine.prepare(&pattern).unwrap();
+        let mut view_seq = prepared.view();
+        let mut view_par = prepared.view();
+        let rt1 = Runtime::new(1);
+        let rt4 = Runtime::new(4);
+        let mut gen = UpdateStreamGen::new(&graph, stream_config(seed));
+        let mut edges = edge_set(&graph);
+        let mut replayed = view_seq.matches().to_vec();
+        prop_assert_eq!(
+            &replayed[..],
+            &recompute(&graph, &pattern, &MatchConfig::qmatch())[..]
+        );
+
+        for batch_size in [1usize, 4, 12, 30] {
+            let ops = gen.next_batch(batch_size);
+            for op in &ops {
+                let key = (op.from(), op.to(), op.label());
+                if op.is_insert() {
+                    edges.insert(key);
+                } else {
+                    edges.remove(&key);
+                }
+            }
+            let d_seq = view_seq.apply_with(&ops, &rt1).unwrap();
+            let d_par = view_par.apply_with(&ops, &rt4).unwrap();
+            prop_assert_eq!(&d_seq, &d_par, "thread counts disagree");
+            d_seq.apply_to(&mut replayed);
+
+            let rebuilt = rebuild(&graph, &edges);
+            prop_assert_eq!(edge_set(&rebuilt), edge_set(view_seq.graph()));
+            for config in all_configs() {
+                prop_assert_eq!(
+                    view_seq.matches(),
+                    &recompute(&rebuilt, &pattern, &config)[..],
+                    "batch of {}, {:?}", batch_size, config
+                );
+            }
+            prop_assert_eq!(&replayed[..], view_seq.matches(), "delta replay diverged");
+        }
+    }
+
+    /// Metamorphic inverse: stream a few batches, then apply the exact
+    /// inverse (effective ops only, in reverse order) — the original match
+    /// set and the original adjacency both come back.
+    #[test]
+    fn inverse_stream_restores_matches_and_adjacency(
+        gspec in graph_spec(),
+        kind in 0u8..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let graph = build_graph(&gspec);
+        let pattern = pattern(kind);
+        let engine = Engine::new(&graph);
+        let prepared = engine.prepare(&pattern).unwrap();
+        let mut view = prepared.view();
+        let original_matches = view.matches().to_vec();
+        let original_edges = edge_set(&graph);
+
+        // Track which ops actually changed the edge set: a counted no-op
+        // (duplicate insert, delete-of-absent) has no inverse to apply.
+        let mut live = original_edges.clone();
+        let mut effective: Vec<EdgeOp> = Vec::new();
+        let mut gen = UpdateStreamGen::new(&graph, stream_config(seed));
+        for batch_size in [5usize, 17] {
+            let ops = gen.next_batch(batch_size);
+            for op in &ops {
+                let key = (op.from(), op.to(), op.label());
+                let changed = if op.is_insert() {
+                    live.insert(key)
+                } else {
+                    live.remove(&key)
+                };
+                if changed {
+                    effective.push(*op);
+                }
+            }
+            view.apply(&ops).unwrap();
+        }
+        prop_assert_eq!(edge_set(view.graph()), live.clone());
+
+        let inverse: Vec<EdgeOp> = effective.iter().rev().map(EdgeOp::inverse).collect();
+        let delta = view.apply(&inverse).unwrap();
+        prop_assert_eq!(delta.report.noop_inserts, 0);
+        prop_assert_eq!(delta.report.noop_deletes, 0);
+        prop_assert_eq!(view.matches(), &original_matches[..]);
+        prop_assert_eq!(edge_set(view.graph()), original_edges);
+        prop_assert_eq!(view.graph().edge_count(), graph.edge_count());
+    }
+}
+
+/// A single-edge update on the pokec-like generator's graph must patch two
+/// adjacency rows (the out-row of the source and the in-row of the target)
+/// through the delta overlay instead of rebuilding the full CSR — the
+/// regression the overlay exists to prevent.  Counter-based on purpose: the
+/// counters are scale-invariant, so the graph runs at a debug-test-friendly
+/// fraction of the 400k-person benchmark scale without weakening the
+/// assertion.
+#[test]
+fn pokec_like_single_edge_update_patches_rows_without_rebuild() {
+    use quantified_graph_patterns::datasets::{pokec_like, SocialConfig};
+
+    let mut graph = pokec_like(&SocialConfig::with_persons(20_000));
+    let follow = graph
+        .labels()
+        .edge_label("follow")
+        .expect("pokec-like interns follow");
+    let (from, to) = graph
+        .nodes()
+        .zip(graph.nodes().skip(1))
+        .find(|&(f, t)| !graph.has_edge(f, t, follow))
+        .expect("some follow edge is absent");
+
+    let before = *graph.update_stats();
+    let report = graph
+        .apply_edge_ops(&[EdgeOp::insert(from, to, follow)])
+        .unwrap();
+    let after = *graph.update_stats();
+
+    assert_eq!(report.inserted, 1);
+    assert_eq!(report.nodes_patched, 2, "one out-row and one in-row");
+    assert!(!report.compacted);
+    assert_eq!(
+        after.full_rebuilds, before.full_rebuilds,
+        "a single-edge update must not rebuild the CSR"
+    );
+    assert_eq!(after.compactions, before.compactions);
+    assert_eq!(after.nodes_patched, before.nodes_patched + 2);
+    assert!(graph.has_edge(from, to, follow));
+}

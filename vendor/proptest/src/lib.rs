@@ -33,11 +33,20 @@ pub mod prelude {
 /// The macro-generated test harness: runs each property against `cases`
 /// generated inputs. Not part of the public proptest API surface; used by
 /// the [`proptest!`] expansion.
+///
+/// Like upstream proptest, the `PROPTEST_CASES` environment variable
+/// overrides the in-source case count — CI pins it for reproducible
+/// wall-clock budgets, and developers can crank it up locally for soak
+/// runs without editing every config.
 #[doc(hidden)]
 pub fn run_property<F>(test_name: &str, cases: u32, mut property: F)
 where
     F: FnMut(&mut test_runner::TestRng, u32) -> Result<(), test_runner::TestCaseError>,
 {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cases);
     // Seed from the test name so every test exercises a distinct but
     // reproducible stream.
     let seed = test_name
