@@ -124,6 +124,40 @@ pub struct IncrementalMeasurement {
     pub matches: usize,
 }
 
+/// One chaos / fault-isolation workload (`experiments bench --chaos`).
+///
+/// Each row runs one parallel matching workload twice over: disarmed, to
+/// measure the wall-clock cost of the panic-isolation layer
+/// (`isolation_seconds` — comparable against the same workload's earlier
+/// parallel rows, the overhead must stay within noise), then `trials` times
+/// under an armed seeded [`FaultPlan`], counting how many trials completed
+/// (exact answer asserted) versus failed with the typed task error.  The
+/// harness asserts that every armed trial is one of those two outcomes and
+/// that a disarmed retry reproduces the fault-free answer, so a robustness
+/// regression can never be committed as a chaos number.
+///
+/// [`FaultPlan`]: qgp_runtime::faults::FaultPlan
+#[derive(Debug, Clone)]
+pub struct ChaosMeasurement {
+    /// Workload name (e.g. `pokec-like/Q3(p=2)`).
+    pub workload: String,
+    /// Fault-plan seed the armed trials ran under.
+    pub seed: u64,
+    /// Per-fault-point panic probability of the armed trials.
+    pub panic_rate: f64,
+    /// Armed executions attempted.
+    pub trials: usize,
+    /// Trials that completed with the exact fault-free answer.
+    pub completed: usize,
+    /// Trials that failed with the typed `TaskPanicked` error.
+    pub faulted: usize,
+    /// Best-of-N fault-free parallel wall time through the isolation layer.
+    pub isolation_seconds: f64,
+    /// Fault-free focus matches (fingerprint; the disarmed retry and every
+    /// completed trial must equal it).
+    pub matches: usize,
+}
+
 /// One labeled measurement run (e.g. `baseline` or `current`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchRun {
@@ -146,6 +180,9 @@ pub struct BenchRun {
     /// Incremental maintenance section (empty unless the harness ran with
     /// `--incremental`).
     pub incremental: Vec<IncrementalMeasurement>,
+    /// Chaos / fault-isolation section (empty unless the harness ran with
+    /// `--chaos`).
+    pub chaos: Vec<ChaosMeasurement>,
 }
 
 /// A whole `BENCH_*.json` document.
@@ -216,11 +253,16 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
         );
         out.push_str(if i + 1 < run.parallel.len() { ",\n" } else { "\n" });
     }
-    // The engine and incremental sections are omitted entirely when empty
-    // so documents from earlier harness versions render identically.
+    // The engine, incremental and chaos sections are omitted entirely when
+    // empty so documents from earlier harness versions render identically.
     let has_engine = !run.engine.is_empty();
     let has_incremental = !run.incremental.is_empty();
-    out.push_str(if has_engine || has_incremental { "      ],\n" } else { "      ]\n" });
+    let has_chaos = !run.chaos.is_empty();
+    out.push_str(if has_engine || has_incremental || has_chaos {
+        "      ],\n"
+    } else {
+        "      ]\n"
+    });
     if has_engine {
         out.push_str("      \"engine\": [\n");
         for (i, m) in run.engine.iter().enumerate() {
@@ -236,7 +278,11 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
             );
             out.push_str(if i + 1 < run.engine.len() { ",\n" } else { "\n" });
         }
-        out.push_str(if has_incremental { "      ],\n" } else { "      ]\n" });
+        out.push_str(if has_incremental || has_chaos {
+            "      ],\n"
+        } else {
+            "      ]\n"
+        });
     }
     if has_incremental {
         out.push_str("      \"incremental\": [\n");
@@ -255,6 +301,27 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
                 m.matches
             );
             out.push_str(if i + 1 < run.incremental.len() { ",\n" } else { "\n" });
+        }
+        out.push_str(if has_chaos { "      ],\n" } else { "      ]\n" });
+    }
+    if has_chaos {
+        out.push_str("      \"chaos\": [\n");
+        for (i, m) in run.chaos.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"workload\": \"{}\", \"seed\": {}, \"panic_rate\": {:.6}, \
+                 \"trials\": {}, \"completed\": {}, \"faulted\": {}, \
+                 \"isolation_seconds\": {:.6}, \"matches\": {}}}",
+                escape(&m.workload),
+                m.seed,
+                m.panic_rate,
+                m.trials,
+                m.completed,
+                m.faulted,
+                m.isolation_seconds,
+                m.matches
+            );
+            out.push_str(if i + 1 < run.chaos.len() { ",\n" } else { "\n" });
         }
         out.push_str("      ]\n");
     }
@@ -374,6 +441,7 @@ mod tests {
                     rechecked: 3.5,
                     matches: 42,
                 }],
+                chaos: vec![],
             }],
         };
         let json = report.to_json();
@@ -418,30 +486,41 @@ mod tests {
             rechecked: 2.0,
             matches: 1,
         };
-        for (engine, incremental) in [
-            (vec![], vec![]),
-            (vec![engine_row.clone()], vec![]),
-            (vec![], vec![inc_row.clone()]),
-            (vec![engine_row], vec![inc_row]),
-        ] {
+        let chaos_row = ChaosMeasurement {
+            workload: "w".into(),
+            seed: 7,
+            panic_rate: 0.01,
+            trials: 8,
+            completed: 5,
+            faulted: 3,
+            isolation_seconds: 0.01,
+            matches: 1,
+        };
+        for mask in 0u8..8 {
+            let engine = if mask & 1 != 0 { vec![engine_row.clone()] } else { vec![] };
+            let incremental = if mask & 2 != 0 { vec![inc_row.clone()] } else { vec![] };
+            let chaos = if mask & 4 != 0 { vec![chaos_row.clone()] } else { vec![] };
             let has_engine = !engine.is_empty();
             let has_incremental = !incremental.is_empty();
+            let has_chaos = !chaos.is_empty();
             let run = BenchRun {
                 engine,
                 incremental,
+                chaos,
                 ..base.clone()
             };
             let json = BenchReport { runs: vec![run.clone()] }.to_json();
             assert_eq!(json.contains("\"engine\""), has_engine);
             assert_eq!(json.contains("\"incremental\""), has_incremental);
+            assert_eq!(json.contains("\"chaos\""), has_chaos);
             for (open, close) in [('{', '}'), ('[', ']')] {
                 assert_eq!(
                     json.matches(open).count(),
                     json.matches(close).count(),
-                    "unbalanced {open}{close} (engine={has_engine}, incremental={has_incremental})"
+                    "unbalanced {open}{close} (mask={mask:03b})"
                 );
             }
-            assert!(!json.contains(",\n      ]"));
+            assert!(!json.contains(",\n      ]"), "trailing comma (mask={mask:03b})");
             // append_run round-trips every combination.
             let appended = BenchReport::append_run(&json, &run).unwrap();
             assert_eq!(appended.matches("\"label\": \"x\"").count(), 2);

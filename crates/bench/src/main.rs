@@ -15,7 +15,8 @@
 //!   all        everything above
 //!
 //! experiments bench [--smoke] [--parallel] [--engine] [--incremental]
-//!                   [--label NAME] [--commit SHA] [--out PATH] [--append]
+//!                   [--chaos] [--label NAME] [--commit SHA] [--out PATH]
+//!                   [--append]
 //!
 //!   Runs the fixed-seed perf harness (graph construction + sequential
 //!   QMatch workloads) and writes a BENCH_*.json document with one run.
@@ -27,6 +28,9 @@
 //!   identical-answer checks).  --incremental adds the live match view
 //!   section (per-batch MatchView::apply latency vs full recompute across
 //!   update-batch sizes 1/10/100/1000, with view-equals-recompute checks).
+//!   --chaos adds the fault-injection section (seeded panic injection at
+//!   task boundaries: isolation-overhead timing plus completed/faulted
+//!   trial counts, with exact-answer checks on every fault-free run).
 //!   --append splices the run into an existing --out document instead of
 //!   overwriting it.
 //! ```
@@ -39,8 +43,8 @@ use qgp_bench::experiments::{
     exp2_vary_q, exp2_vary_ratio, exp3_qgar,
 };
 use qgp_bench::{
-    run_bench, run_engine_section, run_incremental_section, run_parallel_section, BenchReport,
-    BenchScale, Dataset, ExperimentScale,
+    run_bench, run_chaos_section, run_engine_section, run_incremental_section,
+    run_parallel_section, BenchReport, BenchScale, Dataset, ExperimentScale,
 };
 
 fn bench_main(args: &[String]) -> ExitCode {
@@ -51,6 +55,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut parallel = false;
     let mut engine = false;
     let mut incremental = false;
+    let mut chaos = false;
     let mut append = false;
     let mut i = 0;
     while i < args.len() {
@@ -59,6 +64,7 @@ fn bench_main(args: &[String]) -> ExitCode {
             "--parallel" => parallel = true,
             "--engine" => engine = true,
             "--incremental" => incremental = true,
+            "--chaos" => chaos = true,
             "--append" => append = true,
             "--label" => {
                 i += 1;
@@ -93,6 +99,9 @@ fn bench_main(args: &[String]) -> ExitCode {
     }
     if incremental {
         run_incremental_section(&mut run, &scale);
+    }
+    if chaos {
+        run_chaos_section(&mut run, &scale);
     }
     for m in &run.graph_construction {
         println!(
@@ -135,6 +144,12 @@ fn bench_main(args: &[String]) -> ExitCode {
             m.recompute_seconds / m.apply_seconds.max(1e-12),
             m.rechecked,
             m.matches
+        );
+    }
+    for m in &run.chaos {
+        println!(
+            "chaos     {:<28} seed={:#x} rate={:.6} {}/{} faulted  isolated {:.3}s  ({} matches)",
+            m.workload, m.seed, m.panic_rate, m.faulted, m.trials, m.isolation_seconds, m.matches
         );
     }
     let document = match &out {

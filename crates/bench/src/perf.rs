@@ -18,8 +18,8 @@ use qgp_rules::{mine_qgars_with_report, MiningConfig};
 use qgp_runtime::Runtime;
 
 use crate::json::{
-    time_best_of, BenchRun, ConstructionMeasurement, EngineMeasurement, IncrementalMeasurement,
-    ParallelMeasurement, QmatchMeasurement,
+    time_best_of, BenchRun, ChaosMeasurement, ConstructionMeasurement, EngineMeasurement,
+    IncrementalMeasurement, ParallelMeasurement, QmatchMeasurement,
 };
 use crate::stream::{StreamConfig, UpdateStreamGen};
 use crate::workloads::synthetic_graph;
@@ -448,6 +448,121 @@ pub fn run_incremental_section(run: &mut BenchRun, scale: &BenchScale) {
         "yago2-like/Q4(p=2)",
         &yago,
         &library::q4_uk_professors(2),
+        scale.iters,
+    );
+}
+
+/// Armed executions per chaos workload.
+const CHAOS_TRIALS: usize = 8;
+
+/// One chaos workload: a disarmed parallel run timing the panic-isolation
+/// layer (the overhead number, comparable against the workload's earlier
+/// parallel rows), then [`CHAOS_TRIALS`] armed executions under a seeded
+/// fault plan.  Panics unless every armed trial either completes with the
+/// exact fault-free answer or fails with the typed `TaskPanicked` error,
+/// and unless a disarmed retry reproduces the fault-free answer — so a
+/// robustness regression can never be committed as a chaos number.
+fn chaos_case(
+    runs: &mut Vec<ChaosMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    pattern: &Pattern,
+    seed: u64,
+    iters: usize,
+) {
+    use qgp_core::MatchError;
+    use qgp_runtime::faults::{self, FaultPlan};
+
+    let runtime = Runtime::new(4);
+    let mut prepared = Engine::new(graph)
+        .prepare(pattern)
+        .expect("library patterns validate");
+    // Fault-free timing through the isolation layer (catch_unwind per task
+    // block plus the budget/abort polling): this is the overhead number.
+    let (baseline, elapsed) = best_of(iters, || {
+        prepared
+            .run(ExecOptions::parallel_on(&runtime))
+            .expect("fault-free parallel runs succeed")
+    });
+
+    // With one fault point per focus candidate, aim for ~1.5 expected
+    // panics per armed trial (≈78 % trial fault probability) so both
+    // outcomes show up in the counts at any workload scale.
+    let candidates = baseline.stats.focus_candidates.max(1);
+    let panic_rate = (1.5 / candidates as f64).min(0.05);
+    let (mut completed, mut faulted) = (0usize, 0usize);
+    {
+        let _armed = faults::install(FaultPlan::new(seed, panic_rate).with_delay_rate(0.01));
+        for trial in 0..CHAOS_TRIALS {
+            match prepared.run(ExecOptions::parallel_on(&runtime)) {
+                Ok(answer) => {
+                    assert_eq!(
+                        answer.matches, baseline.matches,
+                        "{workload}: chaos trial {trial} completed with a wrong answer"
+                    );
+                    completed += 1;
+                }
+                Err(MatchError::TaskPanicked(e)) => {
+                    assert!(
+                        e.payload.contains("injected fault"),
+                        "{workload}: chaos trial {trial} surfaced a foreign panic: {e}"
+                    );
+                    faulted += 1;
+                }
+                Err(other) => panic!("{workload}: chaos trial {trial} failed oddly: {other}"),
+            }
+        }
+    }
+    // The disarmed retry on the very same prepared query and runtime must
+    // reproduce the fault-free answer exactly.
+    let retry = prepared
+        .run(ExecOptions::parallel_on(&runtime))
+        .expect("disarmed retry succeeds");
+    assert_eq!(
+        retry.matches, baseline.matches,
+        "{workload}: disarmed retry diverged from the fault-free answer"
+    );
+
+    runs.push(ChaosMeasurement {
+        workload: workload.to_string(),
+        seed,
+        panic_rate,
+        trials: CHAOS_TRIALS,
+        completed,
+        faulted,
+        isolation_seconds: elapsed.as_secs_f64(),
+        matches: baseline.matches.len(),
+    });
+}
+
+/// The chaos / fault-isolation section (`--chaos`): the sequential matching
+/// workloads run in parallel mode, disarmed (isolation overhead) and under
+/// seeded fault injection (typed-failure-or-exact-answer, reusable runtime).
+pub fn run_chaos_section(run: &mut BenchRun, scale: &BenchScale) {
+    let pokec = pokec_like(&SocialConfig::with_persons(scale.matching_persons));
+    let yago = yago_like(&KnowledgeConfig::with_persons(scale.matching_persons));
+    chaos_case(
+        &mut run.chaos,
+        "pokec-like/Q3(p=2)",
+        &pokec,
+        &library::q3_redmi_negation(2),
+        0xC4A05 + 1,
+        scale.iters,
+    );
+    chaos_case(
+        &mut run.chaos,
+        "pokec-like/Q1(80%)",
+        &pokec,
+        &library::q1_music_club(),
+        0xC4A05 + 2,
+        scale.iters,
+    );
+    chaos_case(
+        &mut run.chaos,
+        "yago2-like/Q4(p=2)",
+        &yago,
+        &library::q4_uk_professors(2),
+        0xC4A05 + 3,
         scale.iters,
     );
 }

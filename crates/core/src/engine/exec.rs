@@ -7,9 +7,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qgp_graph::{Fragment, NodeId};
-use qgp_runtime::{CancelToken, Runtime};
+use qgp_runtime::{CancelToken, ExecBudget, Runtime};
 
-use super::options::{ExecMode, ExecOptions, Parallelism};
+use super::options::{BudgetPolicy, ExecMode, ExecOptions, Parallelism};
 use super::PreparedQuery;
 use crate::error::MatchError;
 use crate::matching::{MatchSession, MatchStats, QueryAnswer};
@@ -31,19 +31,22 @@ pub struct ParallelTelemetry {
 }
 
 /// Shared controls of one execution: the user's cancellation token, the
-/// internal stop flag the runtime polls (set on user cancellation *or* when
-/// the answer limit is reached), and the accepted-answer counter.
+/// execution budget, the internal stop flag the runtime polls (set on user
+/// cancellation, budget exhaustion, *or* when the answer limit is
+/// reached), and the accepted-answer counter.
 struct ExecControl {
     user: Option<CancelToken>,
+    budget: Option<ExecBudget>,
     stop: CancelToken,
     limit: Option<usize>,
     accepted: AtomicUsize,
 }
 
 impl ExecControl {
-    fn new(limit: Option<usize>, user: Option<CancelToken>) -> Self {
+    fn new(limit: Option<usize>, user: Option<CancelToken>, budget: Option<ExecBudget>) -> Self {
         ExecControl {
             user,
+            budget,
             stop: CancelToken::new(),
             limit,
             accepted: AtomicUsize::new(0),
@@ -55,19 +58,43 @@ impl ExecControl {
         &self.stop
     }
 
-    /// The user's token, polled inside [`MatchSession::decide_cancellable`].
-    fn user_token(&self) -> Option<&CancelToken> {
-        self.user.as_ref()
+    /// The token polled inside [`MatchSession::decide_cancellable`]: the
+    /// user's when present, else the budget's (so a deadline is observed
+    /// between verification phases too).
+    fn decide_token(&self) -> Option<&CancelToken> {
+        self.user
+            .as_ref()
+            .or_else(|| self.budget.as_ref().map(ExecBudget::token))
+    }
+
+    /// Charges one decision against the budget.  `false` means the budget
+    /// is out: the stop flag is raised and the candidate must not be
+    /// verified.
+    fn charge(&self) -> bool {
+        match &self.budget {
+            Some(budget) if !budget.charge(1) => {
+                self.stop.cancel();
+                false
+            }
+            _ => true,
+        }
     }
 
     /// Should this execution stop scheduling new candidates?  Propagates a
-    /// fired user token into the runtime stop flag.
+    /// fired user token or exhausted budget into the runtime stop flag.
     fn should_stop(&self) -> bool {
-        if self.user.as_ref().is_some_and(CancelToken::is_cancelled) {
+        if self.user.as_ref().is_some_and(CancelToken::is_cancelled)
+            || self.budget.as_ref().is_some_and(ExecBudget::is_exhausted)
+        {
             self.stop.cancel();
             return true;
         }
         self.stop.is_cancelled()
+    }
+
+    /// Was the execution truncated by budget exhaustion?
+    fn budget_exhausted(&self) -> bool {
+        self.budget.as_ref().is_some_and(ExecBudget::is_exhausted)
     }
 
     /// Claims one accepted-answer slot.  With a limit of `k`, exactly the
@@ -142,6 +169,9 @@ enum Inner<'q, 'g> {
         emitted: Vec<NodeId>,
         limit: Option<usize>,
         cancel: Option<CancelToken>,
+        budget: Option<ExecBudget>,
+        fail_on_budget: bool,
+        truncated: bool,
         cancelled: bool,
         done: bool,
     },
@@ -150,6 +180,7 @@ enum Inner<'q, 'g> {
         pos: usize,
         stats: MatchStats,
         telemetry: ParallelTelemetry,
+        truncated: bool,
         cancelled: bool,
     },
 }
@@ -166,6 +197,8 @@ impl<'q, 'g> Iterator for Matches<'q, 'g> {
                 emitted,
                 limit,
                 cancel,
+                budget,
+                truncated,
                 cancelled,
                 done,
                 ..
@@ -174,11 +207,30 @@ impl<'q, 'g> Iterator for Matches<'q, 'g> {
                     return None;
                 }
                 while *pos < candidates.len() {
+                    // Per-candidate budget polling: the charge that finds
+                    // the budget empty (deadline or decision cap) stops the
+                    // stream before the candidate is verified.
+                    if let Some(budget) = budget {
+                        if !budget.charge(1) {
+                            *truncated = true;
+                            *done = true;
+                            return None;
+                        }
+                    }
                     let vx = candidates[*pos];
                     *pos += 1;
-                    match session.decide_cancellable(vx, cancel.as_ref()) {
+                    let token = cancel
+                        .as_ref()
+                        .or_else(|| budget.as_ref().map(ExecBudget::token));
+                    match session.decide_cancellable(vx, token) {
                         None => {
-                            *cancelled = true;
+                            // Stopped mid-verification: by the user's token
+                            // when one is attached, else by the budget's.
+                            if cancel.is_some() {
+                                *cancelled = true;
+                            } else {
+                                *truncated = true;
+                            }
                             *done = true;
                             return None;
                         }
@@ -244,21 +296,64 @@ impl<'q, 'g> Matches<'q, 'g> {
         }
     }
 
-    /// Runs the execution to completion (respecting limit and cancellation)
-    /// and returns the full answer — matches already yielded included.
+    /// Was (or will) the execution be stopped by its [`ExecBudget`] running
+    /// out, rather than by exhausting the candidates, the limit, or
+    /// explicit cancellation?  A truncated execution's answer is a prefix
+    /// (sequential mode) or subset (parallel modes) of the full answer.
+    pub fn truncated(&self) -> bool {
+        match &self.inner {
+            Inner::Streaming {
+                truncated,
+                done,
+                budget,
+                ..
+            } => {
+                *truncated || (!done && budget.as_ref().is_some_and(ExecBudget::is_exhausted))
+            }
+            Inner::Buffered { truncated, .. } => *truncated,
+        }
+    }
+
+    /// Runs the execution to completion (respecting limit, budget and
+    /// cancellation) and returns the full answer — matches already yielded
+    /// included.  Budget exhaustion comes back as a partial answer with
+    /// [`QueryAnswer::truncated`] set regardless of the
+    /// [`BudgetPolicy`](super::BudgetPolicy); use
+    /// [`Matches::try_into_answer`] to honor [`BudgetPolicy::Fail`].
     pub fn into_answer(mut self) -> QueryAnswer {
         while self.next().is_some() {}
         let stats = self.stats();
+        let truncated = self.truncated() || self.cancelled();
         match self.inner {
             Inner::Streaming { emitted, .. } => QueryAnswer {
                 matches: emitted,
                 stats,
+                truncated,
             },
             Inner::Buffered { results, .. } => QueryAnswer {
                 matches: results,
                 stats,
+                truncated,
             },
         }
+    }
+
+    /// [`Matches::into_answer`] under the execution's budget policy: with
+    /// [`BudgetPolicy::Fail`](super::BudgetPolicy::Fail), a run whose
+    /// budget ran out returns [`MatchError::BudgetExceeded`] instead of a
+    /// partial answer.  (Buffered executions under `Fail` already failed at
+    /// `execute`; this is where the streaming sequential path fails.)
+    pub fn try_into_answer(mut self) -> Result<QueryAnswer, MatchError> {
+        while self.next().is_some() {}
+        let fail = match &self.inner {
+            Inner::Streaming { fail_on_budget, .. } => *fail_on_budget,
+            // Buffered Fail-policy runs error before a `Matches` exists.
+            Inner::Buffered { .. } => false,
+        };
+        if fail && self.truncated() {
+            return Err(MatchError::BudgetExceeded);
+        }
+        Ok(self.into_answer())
     }
 }
 
@@ -287,7 +382,7 @@ pub(super) fn execute<'q, 'g>(
 ) -> Result<Matches<'q, 'g>, MatchError> {
     match opts.mode {
         ExecMode::Sequential => Ok(execute_sequential(pq, &opts)),
-        ExecMode::Parallel(parallelism) => Ok(execute_parallel(pq, &opts, parallelism)),
+        ExecMode::Parallel(parallelism) => execute_parallel(pq, &opts, parallelism),
         ExecMode::Partitioned {
             fragments,
             d,
@@ -311,6 +406,9 @@ fn execute_sequential<'q, 'g>(
             emitted: Vec::new(),
             limit: opts.limit,
             cancel: opts.cancel.clone(),
+            budget: opts.budget.clone(),
+            fail_on_budget: opts.on_budget == BudgetPolicy::Fail,
+            truncated: false,
             cancelled: false,
             done: false,
         },
@@ -331,7 +429,7 @@ fn execute_parallel<'q, 'g>(
     pq: &'q mut PreparedQuery<'g>,
     opts: &ExecOptions<'_>,
     parallelism: Parallelism<'_>,
-) -> Matches<'q, 'g> {
+) -> Result<Matches<'q, 'g>, MatchError> {
     let graph = pq.graph;
     let compiled = Arc::clone(&pq.compiled);
     let config = opts.config;
@@ -344,23 +442,29 @@ fn execute_parallel<'q, 'g>(
 
     let mut owned = None;
     let runtime = resolve_runtime(parallelism, &mut owned);
-    let ctl = ExecControl::new(opts.limit, opts.cancel.clone());
+    let ctl = ExecControl::new(opts.limit, opts.cancel.clone(), opts.budget.clone());
     let start = Instant::now();
-    let outcome = runtime.map_with_cancel(
-        candidates.len(),
-        ctl.runtime_token(),
-        || MatchSession::from_compiled(graph, Arc::clone(&compiled), &config),
-        |session, i| {
-            if ctl.should_stop() {
-                return None;
-            }
-            match session.decide_cancellable(candidates[i], ctl.user_token()) {
-                Some(true) if ctl.try_accept() => Some(candidates[i]),
-                _ => None,
-            }
-        },
-    );
+    let outcome = runtime
+        .try_map_with_cancel(
+            candidates.len(),
+            ctl.runtime_token(),
+            || MatchSession::from_compiled(graph, Arc::clone(&compiled), &config),
+            |session, i| {
+                if ctl.should_stop() || !ctl.charge() {
+                    return None;
+                }
+                match session.decide_cancellable(candidates[i], ctl.decide_token()) {
+                    Some(true) if ctl.try_accept() => Some(candidates[i]),
+                    _ => None,
+                }
+            },
+        )
+        .map_err(MatchError::TaskPanicked)?;
 
+    let truncated = ctl.budget_exhausted();
+    if truncated && opts.on_budget == BudgetPolicy::Fail {
+        return Err(MatchError::BudgetExceeded);
+    }
     let mut matches: Vec<NodeId> = outcome.outputs.into_iter().flatten().flatten().collect();
     matches.sort_unstable();
     let mut stats = planning;
@@ -373,15 +477,16 @@ fn execute_parallel<'q, 'g>(
         steals: outcome.steals,
         elapsed: start.elapsed(),
     };
-    Matches {
+    Ok(Matches {
         inner: Inner::Buffered {
             results: matches,
             pos: 0,
             stats,
             telemetry,
+            truncated,
             cancelled: ctl.was_cancelled(),
         },
-    }
+    })
 }
 
 /// Per-executor-thread scratch of a partitioned execution: one lazily built
@@ -449,49 +554,61 @@ fn execute_partitioned<'q, 'g>(
 
     let mut owned = None;
     let runtime = resolve_runtime(parallelism, &mut owned);
-    let ctl = ExecControl::new(opts.limit, opts.cancel.clone());
+    let ctl = ExecControl::new(opts.limit, opts.cancel.clone(), opts.budget.clone());
     let start = Instant::now();
-    let outcome = runtime.map_with_cancel(
-        tasks.len(),
-        ctl.runtime_token(),
-        || FragmentScratch {
-            sessions: (0..n).map(|_| None).collect(),
-            fragment_busy: vec![Duration::ZERO; n],
-        },
-        |scratch, i| {
-            if ctl.should_stop() {
-                return None;
-            }
-            let (f, local) = tasks[i];
-            let f = f as usize;
-            let session = match &mut scratch.sessions[f] {
-                Some(session) => session,
-                slot => {
+    let outcome = runtime
+        .try_map_with_cancel(
+            tasks.len(),
+            ctl.runtime_token(),
+            || FragmentScratch {
+                sessions: (0..n).map(|_| None).collect(),
+                fragment_busy: vec![Duration::ZERO; n],
+            },
+            |scratch, i| {
+                if ctl.should_stop() {
+                    return None;
+                }
+                let (f, local) = tasks[i];
+                let f = f as usize;
+                let FragmentScratch {
+                    sessions,
+                    fragment_busy,
+                } = scratch;
+                let session = sessions[f].get_or_insert_with(|| {
                     let t0 = Instant::now();
-                    *slot = Some(MatchSession::from_compiled(
+                    let session = MatchSession::from_compiled(
                         fragments[f].graph(),
                         Arc::clone(&compiled),
                         &config,
-                    ));
-                    scratch.fragment_busy[f] += t0.elapsed();
-                    slot.as_mut().expect("just inserted")
+                    );
+                    fragment_busy[f] += t0.elapsed();
+                    session
+                });
+                // Pruned candidates exit through one bitmap probe with no
+                // clock reads — per-item timing only wraps real
+                // verifications, so the balance accounting does not tax the
+                // (common) cheap path.
+                if !session.is_focus_candidate(local) {
+                    return None;
                 }
-            };
-            // Pruned candidates exit through one bitmap probe with no clock
-            // reads — per-item timing only wraps real verifications, so the
-            // balance accounting does not tax the (common) cheap path.
-            if !session.is_focus_candidate(local) {
-                return None;
-            }
-            let t0 = Instant::now();
-            let decision = session.decide_cancellable(local, ctl.user_token());
-            scratch.fragment_busy[f] += t0.elapsed();
-            match decision {
-                Some(true) if ctl.try_accept() => Some(fragments[f].to_global(local)),
-                _ => None,
-            }
-        },
-    );
+                if !ctl.charge() {
+                    return None;
+                }
+                let t0 = Instant::now();
+                let decision = session.decide_cancellable(local, ctl.decide_token());
+                fragment_busy[f] += t0.elapsed();
+                match decision {
+                    Some(true) if ctl.try_accept() => Some(fragments[f].to_global(local)),
+                    _ => None,
+                }
+            },
+        )
+        .map_err(MatchError::TaskPanicked)?;
+
+    let truncated = ctl.budget_exhausted();
+    if truncated && opts.on_budget == BudgetPolicy::Fail {
+        return Err(MatchError::BudgetExceeded);
+    }
 
     // Coordinator: union of the partial answers.
     let mut matches: Vec<NodeId> = outcome.outputs.into_iter().flatten().flatten().collect();
@@ -520,6 +637,7 @@ fn execute_partitioned<'q, 'g>(
             pos: 0,
             stats,
             telemetry,
+            truncated,
             cancelled: ctl.was_cancelled(),
         },
     })

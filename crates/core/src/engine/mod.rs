@@ -52,14 +52,19 @@
 //! assert_eq!(matches, vec![ann]);
 //! ```
 
+// The engine is serving-path code: `unwrap()` is banned from its library
+// code (warn-level here, promoted to deny by CI's `-D warnings`) — recover,
+// restructure, or return a typed error instead.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod exec;
 mod options;
 mod view;
 
 pub use exec::{Matches, ParallelTelemetry};
-pub use options::{ExecMode, ExecOptions, Parallelism};
-pub use qgp_runtime::CancelToken;
-pub use view::{MatchView, ViewDelta};
+pub use options::{BudgetPolicy, ExecMode, ExecOptions, Parallelism};
+pub use qgp_runtime::{BudgetStop, CancelToken, ExecBudget, TaskError};
+pub use view::{MatchView, ViewDelta, ViewError};
 
 use std::sync::Arc;
 
@@ -162,8 +167,14 @@ impl<'g> PreparedQuery<'g> {
 
     /// [`PreparedQuery::execute`] run to completion: the collected
     /// [`QueryAnswer`] (matches plus this execution's work counters).
+    ///
+    /// Honors the execution's [`BudgetPolicy`]: under
+    /// [`BudgetPolicy::Fail`] a run whose [`ExecBudget`] is exhausted
+    /// returns [`MatchError::BudgetExceeded`]; under the default
+    /// [`BudgetPolicy::Partial`] it returns the matches found so far with
+    /// [`QueryAnswer::truncated`] set.
     pub fn run(&mut self, opts: ExecOptions<'_>) -> Result<QueryAnswer, MatchError> {
-        Ok(self.execute(opts)?.into_answer())
+        self.execute(opts)?.try_into_answer()
     }
 
     /// Materializes the current answer as a live [`MatchView`] that
@@ -188,9 +199,9 @@ impl<'g> PreparedQuery<'g> {
             (&mut self.sessions[idx].1, baseline)
         } else {
             let session = MatchSession::from_compiled(self.graph, Arc::clone(&self.compiled), config);
+            let idx = self.sessions.len();
             self.sessions.push((*config, session));
-            let entry = self.sessions.last_mut().expect("just pushed");
-            (&mut entry.1, MatchStats::default())
+            (&mut self.sessions[idx].1, MatchStats::default())
         }
     }
 }

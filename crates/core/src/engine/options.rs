@@ -10,9 +10,30 @@
 //! [cancellation token](ExecOptions::cancel_with).
 
 use qgp_graph::{Fragment, NodeId};
-use qgp_runtime::{CancelToken, Runtime};
+use qgp_runtime::{CancelToken, ExecBudget, Runtime};
 
 use crate::matching::MatchConfig;
+
+/// What an execution does when its [`ExecBudget`] runs out (deadline
+/// passed or decision cap consumed) before the query completes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Return the matches found so far, with
+    /// [`QueryAnswer::truncated`](crate::matching::QueryAnswer::truncated)
+    /// set — graceful degradation (the default, and the same shape a
+    /// cancelled execution has always had).
+    #[default]
+    Partial,
+    /// Fail the execution with
+    /// [`MatchError::BudgetExceeded`](crate::error::MatchError::BudgetExceeded).
+    /// Buffered (parallel/partitioned) executions fail at
+    /// [`PreparedQuery::execute`](super::PreparedQuery::execute); streaming
+    /// sequential executions fail at
+    /// [`Matches::try_into_answer`](super::Matches::try_into_answer) /
+    /// [`PreparedQuery::run`](super::PreparedQuery::run), since the budget
+    /// can only be exceeded while iterating.
+    Fail,
+}
 
 /// Where the parallel work of an execution runs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -92,6 +113,13 @@ pub struct ExecOptions<'a> {
     /// Cooperative cancellation/deadline token, polled between candidates
     /// and between verification phases.
     pub cancel: Option<CancelToken>,
+    /// Execution budget: charged one decision per focus candidate verified,
+    /// on every path (sequential streaming, parallel, partitioned).  When
+    /// it runs out the execution stops at per-candidate granularity and
+    /// [`ExecOptions::on_budget`] decides what comes back.
+    pub budget: Option<ExecBudget>,
+    /// Policy applied when [`ExecOptions::budget`] is exhausted.
+    pub on_budget: BudgetPolicy,
 }
 
 impl<'a> ExecOptions<'a> {
@@ -196,6 +224,21 @@ impl<'a> ExecOptions<'a> {
         self.cancel = Some(token);
         self
     }
+
+    /// Attaches an execution budget (deadline and/or decision cap).  The
+    /// budget is charged once per focus candidate verified; combine with
+    /// [`ExecOptions::on_budget`] to choose failure or graceful
+    /// degradation.
+    pub fn budget_with(mut self, budget: ExecBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the policy applied when the budget runs out.
+    pub fn on_budget(mut self, policy: BudgetPolicy) -> Self {
+        self.on_budget = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -227,5 +270,13 @@ mod tests {
             .cancel_with(CancelToken::new());
         assert_eq!(o.restrict, Some(&nodes[..]));
         assert!(o.cancel.is_some());
+        assert!(o.budget.is_none());
+        assert_eq!(o.on_budget, BudgetPolicy::Partial);
+
+        let o = ExecOptions::sequential()
+            .budget_with(ExecBudget::unlimited().max_decisions(10))
+            .on_budget(BudgetPolicy::Fail);
+        assert_eq!(o.budget.as_ref().and_then(ExecBudget::decision_cap), Some(10));
+        assert_eq!(o.on_budget, BudgetPolicy::Fail);
     }
 }

@@ -23,17 +23,107 @@
 //! valid while edges churn (node labels are immutable; node count is fixed
 //! because [`EdgeOp`] cannot add nodes).  Large repair sets fan out on the
 //! work-stealing runtime with one persistent session per worker.
+//!
+//! ## Failure atomicity
+//!
+//! `apply` is **transactional**: the graph delta and the repaired match set
+//! commit together or not at all.  The batch's effective inverse is staged
+//! before any mutation; if the repair phase fails — budget exhausted, or a
+//! panic in a re-decision — the graph delta is rolled back and the view
+//! still equals its pre-apply state.  A panic inside the view's own
+//! maintenance session leaves that session's scratch suspect, so the view
+//! is additionally marked [poisoned](MatchView::poisoned): further `apply`
+//! calls are refused until [`MatchView::rebuild`] reconstructs the session
+//! and recomputes the match set from the (rolled-back) graph.  A panic in a
+//! pooled *worker* session only discards that pool — the view's own state
+//! was never touched, so it is not poisoned.
 
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use qgp_graph::{
-    bfs_within_multi_with, BfsScratch, EdgeOp, Graph, GraphError, NodeId, UpdateReport,
+    bfs_within_multi_with, BfsScratch, EdgeOp, Graph, GraphError, LabelId, NodeId, UpdateReport,
 };
-use qgp_runtime::Runtime;
+use qgp_runtime::{faults, CancelToken, ExecBudget, Runtime, TaskError};
 
 use crate::matching::compiled::CompiledPattern;
 use crate::matching::{CandidateFilter, MatchConfig, SessionCore};
 use crate::pattern::Pattern;
+
+/// Errors raised by [`MatchView::apply`] and its variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewError {
+    /// The batch was rejected by the graph layer (e.g. an out-of-range
+    /// node id); nothing was mutated.
+    Graph(GraphError),
+    /// The repair's [`ExecBudget`] ran out; the batch was rolled back and
+    /// the view still equals its pre-apply state.
+    BudgetExceeded,
+    /// A re-decision panicked; the batch was rolled back.  When the panic
+    /// hit the view's own maintenance session the view is also
+    /// [poisoned](MatchView::poisoned).
+    TaskPanicked(TaskError),
+    /// The view is poisoned by an earlier failure; call
+    /// [`MatchView::rebuild`] before applying further batches.
+    Poisoned,
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::Graph(e) => write!(f, "update batch rejected: {e}"),
+            ViewError::BudgetExceeded => {
+                write!(f, "repair budget exceeded; batch rolled back")
+            }
+            ViewError::TaskPanicked(e) => write!(f, "repair aborted: {e}"),
+            ViewError::Poisoned => write!(
+                f,
+                "view is poisoned by an earlier failure; call rebuild() first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+impl From<GraphError> for ViewError {
+    fn from(e: GraphError) -> Self {
+        ViewError::Graph(e)
+    }
+}
+
+/// Why a repair phase aborted (internal; mapped to [`ViewError`] after the
+/// graph delta is rolled back).
+enum RepairAbort {
+    Budget,
+    /// Panic in a pooled worker session: the pool is discarded, the view's
+    /// own session is clean.
+    WorkerPanic(TaskError),
+    /// Panic in the view's own maintenance session: poisons the view.
+    CorePanic(TaskError),
+}
+
+/// The *effective inverse* of an update batch against `graph`: inverse ops
+/// for exactly the ops that will change the graph, in reverse order.
+/// Applying it after the batch restores the original edge set (ops are
+/// set-like, so no-ops need no undo).
+fn effective_inverse(graph: &Graph, ops: &[EdgeOp]) -> Vec<EdgeOp> {
+    let mut present: HashMap<(NodeId, NodeId, LabelId), bool> = HashMap::new();
+    let mut undo: Vec<EdgeOp> = Vec::new();
+    for op in ops {
+        let key = (op.from(), op.to(), op.label());
+        let was = *present
+            .entry(key)
+            .or_insert_with(|| graph.has_edge(op.from(), op.to(), op.label()));
+        if op.is_insert() != was {
+            undo.push(op.inverse());
+            present.insert(key, op.is_insert());
+        }
+    }
+    undo.reverse();
+    undo
+}
 
 /// Repair sets at least this large are re-decided on the work-stealing
 /// runtime; smaller ones run inline (a handful of decisions is cheaper than
@@ -135,6 +225,9 @@ pub struct MatchView {
     /// Per-worker sessions for parallel re-decisions, kept across batches
     /// so candidate analysis is paid once per worker, not once per batch.
     pool: Mutex<Vec<SessionCore>>,
+    /// Set when a failure left the maintenance session's scratch suspect;
+    /// cleared by [`MatchView::rebuild`].
+    poisoned: bool,
 }
 
 impl MatchView {
@@ -165,6 +258,7 @@ impl MatchView {
             matches,
             ball: Vec::new(),
             pool: Mutex::new(Vec::new()),
+            poisoned: false,
         }
     }
 
@@ -198,27 +292,93 @@ impl MatchView {
         &self.compiled.pattern
     }
 
+    /// Has a failure left the view's maintenance session suspect?  A
+    /// poisoned view still reports its (consistent, pre-failure) match set
+    /// and graph, but refuses further [`MatchView::apply`] calls until
+    /// [`MatchView::rebuild`] runs.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Recovery path: reconstructs the maintenance session, recomputes the
+    /// match set from scratch against the view's current graph, discards
+    /// the worker-session pool, and clears the poisoned flag.  Equivalent
+    /// to materializing a fresh view over [`MatchView::graph`].
+    pub fn rebuild(&mut self) {
+        let mut core = SessionCore::with_filter(
+            &self.graph,
+            Arc::clone(&self.compiled),
+            &Self::config(),
+            CandidateFilter::LabelUniverse,
+        );
+        let graph = &self.graph;
+        let matches = core
+            .focus_candidates()
+            .to_vec()
+            .into_iter()
+            .filter(|&v| core.decide(graph, v))
+            .collect();
+        self.core = core;
+        self.matches = matches;
+        self.pool = Mutex::new(Vec::new());
+        self.poisoned = false;
+    }
+
     /// Applies a batch of edge updates and repairs the match set, returning
-    /// the membership changes.  Runs on the global [`Runtime`]; see
-    /// [`MatchView::apply_with`].
-    pub fn apply(&mut self, ops: &[EdgeOp]) -> Result<ViewDelta, GraphError> {
-        self.apply_with(ops, Runtime::global())
+    /// the membership changes.  Runs on the global [`Runtime`] with no
+    /// budget; see [`MatchView::apply_with`] and
+    /// [`MatchView::apply_budgeted`].
+    pub fn apply(&mut self, ops: &[EdgeOp]) -> Result<ViewDelta, ViewError> {
+        self.apply_inner(ops, None, Runtime::global())
     }
 
     /// [`MatchView::apply`] on an explicit runtime.
+    pub fn apply_with(&mut self, ops: &[EdgeOp], runtime: &Runtime) -> Result<ViewDelta, ViewError> {
+        self.apply_inner(ops, None, runtime)
+    }
+
+    /// [`MatchView::apply`] under an [`ExecBudget`], charged one decision
+    /// per re-decided candidate and polled at per-candidate granularity.
     ///
-    /// The batch is transactional: on any error (an out-of-range node id
-    /// anywhere in the batch) neither the graph nor the match set changes.
-    /// Ops take effect in order within the batch, so an insert/delete pair
-    /// of the same edge cancels out before the repair runs.
-    pub fn apply_with(&mut self, ops: &[EdgeOp], runtime: &Runtime) -> Result<ViewDelta, GraphError> {
+    /// There is no partial-repair mode: a view must stay consistent, so an
+    /// exhausted budget rolls the whole batch back
+    /// ([`ViewError::BudgetExceeded`]) and the view still equals its
+    /// pre-apply state.
+    pub fn apply_budgeted(
+        &mut self,
+        ops: &[EdgeOp],
+        budget: &ExecBudget,
+        runtime: &Runtime,
+    ) -> Result<ViewDelta, ViewError> {
+        self.apply_inner(ops, Some(budget), runtime)
+    }
+
+    /// The shared transactional apply: stage, repair, commit-or-roll-back.
+    ///
+    /// The batch is transactional: on any error — an out-of-range node id
+    /// anywhere in the batch, an exhausted budget, or a panic mid-repair —
+    /// neither the graph nor the match set changes.  Ops take effect in
+    /// order within the batch, so an insert/delete pair of the same edge
+    /// cancels out before the repair runs.
+    fn apply_inner(
+        &mut self,
+        ops: &[EdgeOp],
+        budget: Option<&ExecBudget>,
+        runtime: &Runtime,
+    ) -> Result<ViewDelta, ViewError> {
+        if self.poisoned {
+            return Err(ViewError::Poisoned);
+        }
         // Validate up front: the ball walk below indexes per-node scratch
         // arrays, so it must never see an out-of-range endpoint.
         let node_count = self.graph.node_count();
         for op in ops {
             for node in [op.from(), op.to()] {
                 if node.index() >= node_count {
-                    return Err(GraphError::NodeOutOfBounds { node, node_count });
+                    return Err(ViewError::Graph(GraphError::NodeOutOfBounds {
+                        node,
+                        node_count,
+                    }));
                 }
             }
         }
@@ -231,7 +391,11 @@ impl MatchView {
         bfs_within_multi_with(&self.graph, &starts, radius, &mut self.scratch, &mut self.ball);
         let mut affected: Vec<NodeId> = self.ball.iter().map(|&(v, _)| v).collect();
 
-        let report = self.graph.apply_edge_ops(ops)?;
+        // Stage the rollback before mutating anything: the effective
+        // inverse restores the exact pre-batch edge set if the repair
+        // phase fails.
+        let undo = effective_inverse(&self.graph, ops);
+        let report = self.graph.apply_edge_ops(ops).map_err(ViewError::Graph)?;
         if !report.changed() {
             // Every op was a no-op: the graph is unchanged, so no decision
             // can have changed either.
@@ -250,21 +414,53 @@ impl MatchView {
         affected.dedup();
         affected.retain(|&v| self.core.is_focus_candidate(v));
 
-        let decisions: Vec<bool> =
+        // Repair: compute every decision before touching the match set, so
+        // the commit below cannot fail halfway.
+        let decisions: Result<Vec<bool>, RepairAbort> =
             if affected.len() < PARALLEL_REDECIDE_THRESHOLD || runtime.threads() <= 1 {
                 let graph = &self.graph;
                 let core = &mut self.core;
-                affected.iter().map(|&v| core.decide(graph, v)).collect()
+                let mut decisions = Vec::with_capacity(affected.len());
+                let mut abort = None;
+                for (idx, &v) in affected.iter().enumerate() {
+                    // Per-candidate budget polling (deadline and cap).
+                    if budget.is_some_and(|b| !b.charge(1)) {
+                        abort = Some(RepairAbort::Budget);
+                        break;
+                    }
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        faults::fault_point("view-redecide", idx);
+                        core.decide(graph, v)
+                    }));
+                    match run {
+                        Ok(d) => decisions.push(d),
+                        Err(p) => {
+                            // The maintenance session's scratch is suspect.
+                            abort =
+                                Some(RepairAbort::CorePanic(TaskError::from_panic(0, Some(idx), p)));
+                            break;
+                        }
+                    }
+                }
+                match abort {
+                    Some(a) => Err(a),
+                    None => Ok(decisions),
+                }
             } else {
                 let graph = &self.graph;
                 let compiled = &self.compiled;
                 let pool = &self.pool;
                 let affected = &affected;
-                let outcome = runtime.map_with(
+                // The runtime polls the budget's token (so a deadline stops
+                // workers between tasks); without a budget, a token that
+                // never fires.
+                let token = budget.map_or_else(CancelToken::new, |b| b.token().clone());
+                let result = runtime.try_map_with_cancel(
                     affected.len(),
+                    &token,
                     || {
                         pool.lock()
-                            .expect("view worker pool poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .pop()
                             .unwrap_or_else(|| {
                                 SessionCore::with_filter(
@@ -275,13 +471,67 @@ impl MatchView {
                                 )
                             })
                     },
-                    |core, i| core.decide(graph, affected[i]),
+                    |core, i| {
+                        if budget.is_some_and(|b| !b.charge(1)) {
+                            return None;
+                        }
+                        Some(core.decide(graph, affected[i]))
+                    },
                 );
-                let mut pool = self.pool.lock().expect("view worker pool poisoned");
-                pool.extend(outcome.states);
-                outcome.outputs
+                match result {
+                    Ok(outcome) => {
+                        // Return the worker sessions to the pool for the
+                        // next batch.
+                        self.pool
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .extend(outcome.states);
+                        // Any skipped or refused slot means the budget ran
+                        // out mid-repair.
+                        let mut decisions = Vec::with_capacity(affected.len());
+                        let mut complete = true;
+                        for slot in outcome.outputs {
+                            match slot {
+                                Some(Some(d)) => decisions.push(d),
+                                _ => {
+                                    complete = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if complete {
+                            Ok(decisions)
+                        } else {
+                            Err(RepairAbort::Budget)
+                        }
+                    }
+                    // The panicking worker's session died with the failed
+                    // map; the view's own session was never involved.
+                    Err(e) => Err(RepairAbort::WorkerPanic(e)),
+                }
             };
 
+        let decisions = match decisions {
+            Ok(decisions) => decisions,
+            Err(abort) => {
+                // Roll the graph delta back; the match set was never
+                // touched.  A rollback failure (impossible for in-bounds
+                // inverse ops, but never silent) also poisons the view.
+                if self.graph.apply_edge_ops(&undo).is_err() {
+                    self.poisoned = true;
+                }
+                return Err(match abort {
+                    RepairAbort::Budget => ViewError::BudgetExceeded,
+                    RepairAbort::WorkerPanic(e) => ViewError::TaskPanicked(e),
+                    RepairAbort::CorePanic(e) => {
+                        self.poisoned = true;
+                        ViewError::TaskPanicked(e)
+                    }
+                });
+            }
+        };
+
+        // Commit: pure bookkeeping from here on, no fallible step.
         let mut added = Vec::new();
         let mut removed = Vec::new();
         for (&v, &now) in affected.iter().zip(&decisions) {
@@ -439,7 +689,10 @@ mod tests {
                 EdgeOp::insert(bogus, redmi, recom),
             ])
             .unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+        assert!(matches!(
+            err,
+            ViewError::Graph(GraphError::NodeOutOfBounds { .. })
+        ));
         assert_eq!(view.matches(), before);
         assert_eq!(view.graph().edge_count(), g.edge_count());
     }
@@ -454,6 +707,132 @@ mod tests {
         assert_eq!(view.graph().edge_count(), g.edge_count() - 1);
         assert_eq!(g.edge_count(), 11);
         assert!(g.has_edge(vs[0], redmi, recom));
+    }
+
+    /// A follow-star: 200 spokes all following one hub, so one edge op
+    /// near the hub puts every spoke in the repair ball — enough affected
+    /// candidates to cross `PARALLEL_REDECIDE_THRESHOLD`.
+    fn star_follow_graph() -> (Graph, Vec<NodeId>, NodeId, Pattern) {
+        use crate::pattern::PatternBuilder;
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("person");
+        let xs = b.add_nodes("person", 200);
+        for &x in &xs {
+            b.add_edge(x, hub, "follow").unwrap();
+        }
+        let mut pb = PatternBuilder::new();
+        let xo = pb.node("person");
+        let z = pb.node("person");
+        pb.edge(xo, z, "follow");
+        pb.focus(xo);
+        (b.build(), xs, hub, pb.build().unwrap())
+    }
+
+    #[test]
+    fn exhausted_budget_rolls_the_batch_back() {
+        let (g, _, vs, redmi) = g1();
+        let pattern = library::q3_redmi_negation(2);
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let before = view.matches().to_vec();
+        let recom = g.labels().edge_label("recom").unwrap();
+        let bad = g.labels().edge_label("bad_rating").unwrap();
+        let ops = [
+            EdgeOp::delete(vs[4], redmi, bad),
+            EdgeOp::insert(vs[4], redmi, recom),
+        ];
+        let starved = ExecBudget::unlimited().max_decisions(0);
+        let err = view
+            .apply_budgeted(&ops, &starved, Runtime::global())
+            .unwrap_err();
+        assert_eq!(err, ViewError::BudgetExceeded);
+        // Transactional: the graph delta rolled back, the match set was
+        // never touched, and the view is still serviceable.
+        assert_eq!(view.matches(), before);
+        assert!(view.graph().has_edge(vs[4], redmi, bad));
+        assert!(!view.graph().has_edge(vs[4], redmi, recom));
+        assert!(!view.poisoned());
+        // An adequate budget then applies the same batch exactly.
+        let ample = ExecBudget::unlimited().max_decisions(100_000);
+        let delta = view
+            .apply_budgeted(&ops, &ample, Runtime::global())
+            .unwrap();
+        assert!(!delta.added.is_empty());
+        assert_eq!(view.matches(), full_recompute(view.graph(), &pattern));
+    }
+
+    #[test]
+    fn parallel_repair_honors_the_budget() {
+        let (g, xs, hub, pattern) = star_follow_graph();
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let before = view.matches().to_vec();
+        let follow = g.labels().edge_label("follow").unwrap();
+        let ops = [EdgeOp::delete(xs[0], hub, follow)];
+        let rt = Runtime::new(4);
+        let starved = ExecBudget::unlimited().max_decisions(10);
+        let err = view.apply_budgeted(&ops, &starved, &rt).unwrap_err();
+        assert_eq!(err, ViewError::BudgetExceeded);
+        assert_eq!(view.matches(), before);
+        assert!(view.graph().has_edge(xs[0], hub, follow));
+        assert!(!view.poisoned());
+    }
+
+    #[test]
+    fn injected_fault_mid_repair_rolls_back_and_poisons() {
+        let (g, _, vs, redmi) = g1();
+        let pattern = library::q3_redmi_negation(2);
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let before = view.matches().to_vec();
+        let recom = g.labels().edge_label("recom").unwrap();
+        let bad = g.labels().edge_label("bad_rating").unwrap();
+        let ops = [
+            EdgeOp::delete(vs[4], redmi, bad),
+            EdgeOp::insert(vs[4], redmi, recom),
+        ];
+        {
+            let _faults = faults::install(faults::FaultPlan::new(7, 1.0));
+            let err = view.apply(&ops).unwrap_err();
+            assert!(matches!(err, ViewError::TaskPanicked(_)), "{err:?}");
+        }
+        // The failed batch rolled back: the view still answers from its
+        // pre-apply state...
+        assert_eq!(view.matches(), before);
+        assert!(view.graph().has_edge(vs[4], redmi, bad));
+        // ...but the maintenance session panicked mid-decision, so the
+        // view is poisoned and refuses further updates.
+        assert!(view.poisoned());
+        assert_eq!(view.apply(&ops).unwrap_err(), ViewError::Poisoned);
+        // Rebuild recovers: same answer as a fresh materialization, and
+        // the deferred batch now applies cleanly.
+        view.rebuild();
+        assert!(!view.poisoned());
+        assert_eq!(view.matches(), before);
+        let delta = view.apply(&ops).unwrap();
+        assert!(!delta.is_empty());
+        assert_eq!(view.matches(), full_recompute(view.graph(), &pattern));
+    }
+
+    #[test]
+    fn worker_panic_in_parallel_repair_fails_cleanly_without_poisoning() {
+        let (g, xs, hub, pattern) = star_follow_graph();
+        let mut view = Engine::new(&g).prepare(&pattern).unwrap().view();
+        let before = view.matches().to_vec();
+        let follow = g.labels().edge_label("follow").unwrap();
+        let ops = [EdgeOp::delete(xs[0], hub, follow)];
+        let rt = Runtime::new(4);
+        {
+            let _faults = faults::install(faults::FaultPlan::new(11, 1.0));
+            let err = view.apply_with(&ops, &rt).unwrap_err();
+            assert!(matches!(err, ViewError::TaskPanicked(_)), "{err:?}");
+        }
+        // Worker sessions are disposable — the view's own maintenance
+        // session was never involved, so no poisoning.
+        assert!(!view.poisoned());
+        assert_eq!(view.matches(), before);
+        assert!(view.graph().has_edge(xs[0], hub, follow));
+        // The disarmed retry applies cleanly and agrees with a recompute.
+        let delta = view.apply_with(&ops, &rt).unwrap();
+        assert_eq!(delta.removed, vec![xs[0]]);
+        assert_eq!(view.matches(), full_recompute(view.graph(), &pattern));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use qgp_runtime::TaskError;
+
 use crate::pattern::{PatternEdgeId, PatternNodeId};
 
 /// Errors raised when a quantified graph pattern is malformed.
@@ -80,6 +82,14 @@ pub enum MatchError {
     },
     /// A partitioned execution was requested over an empty fragment list.
     EmptyPartition,
+    /// The execution's [`ExecBudget`](qgp_runtime::ExecBudget) ran out
+    /// (deadline passed or decision cap consumed) under
+    /// [`BudgetPolicy::Fail`](crate::engine::BudgetPolicy::Fail).
+    BudgetExceeded,
+    /// A worker task panicked; the panic was isolated by the runtime and
+    /// the execution was aborted.  The runtime and the prepared query both
+    /// remain usable.
+    TaskPanicked(TaskError),
 }
 
 impl fmt::Display for MatchError {
@@ -94,6 +104,10 @@ impl fmt::Display for MatchError {
             MatchError::EmptyPartition => {
                 write!(f, "partitioned execution requires at least one fragment")
             }
+            MatchError::BudgetExceeded => {
+                write!(f, "execution budget exceeded before the query completed")
+            }
+            MatchError::TaskPanicked(e) => write!(f, "execution aborted: {e}"),
         }
     }
 }
@@ -103,6 +117,12 @@ impl std::error::Error for MatchError {}
 impl From<PatternError> for MatchError {
     fn from(e: PatternError) -> Self {
         MatchError::InvalidPattern(e)
+    }
+}
+
+impl From<TaskError> for MatchError {
+    fn from(e: TaskError) -> Self {
+        MatchError::TaskPanicked(e)
     }
 }
 

@@ -31,6 +31,13 @@ pub struct QueryAnswer {
     pub matches: Vec<NodeId>,
     /// Work counters accumulated over every phase of the evaluation.
     pub stats: MatchStats,
+    /// `true` when the execution stopped early — budget exhausted under
+    /// [`BudgetPolicy::Partial`](crate::engine::BudgetPolicy::Partial), or
+    /// cancelled — so `matches` is a *prefix* of the full answer (in
+    /// sequential mode; some subset in parallel modes).  An answer reached
+    /// via [`ExecOptions::limit`](crate::engine::ExecOptions::limit) is not
+    /// truncated: the limit was the request.
+    pub truncated: bool,
 }
 
 impl QueryAnswer {
@@ -119,6 +126,7 @@ pub fn conventional_match(graph: &Graph, pattern: &Pattern) -> Result<QueryAnswe
     Ok(QueryAnswer {
         matches: out.focus_matches,
         stats: out.stats,
+        truncated: false,
     })
 }
 
@@ -267,6 +275,7 @@ mod tests {
         let ans = QueryAnswer {
             matches: vec![NodeId::new(1), NodeId::new(5)],
             stats: MatchStats::new(),
+            truncated: false,
         };
         assert_eq!(ans.len(), 2);
         assert!(!ans.is_empty());

@@ -1,0 +1,370 @@
+//! Robustness contracts of the engine under execution budgets and seeded
+//! fault injection:
+//!
+//! * every execution mode returns `Ok` or a typed error under random
+//!   injected faults — never an abort — and a fault-free retry on the very
+//!   same prepared query and runtime reproduces the fault-free answer
+//!   exactly,
+//! * an [`ExecBudget`] stops work at per-candidate granularity:
+//!   `BudgetPolicy::Partial` yields a prefix of the full answer flagged
+//!   [`QueryAnswer::truncated`], `BudgetPolicy::Fail` surfaces
+//!   [`MatchError::BudgetExceeded`],
+//! * a [`MatchView`] under mid-apply faults equals its pre-apply state
+//!   (rolled back) or its fully-applied state — never anything in between —
+//!   and a poisoned view rebuilds to the recompute-from-scratch answer.
+//!
+//! [`ExecBudget`]: qgp_core::engine::ExecBudget
+//! [`QueryAnswer::truncated`]: qgp_core::matching::QueryAnswer
+//! [`MatchError::BudgetExceeded`]: qgp_core::MatchError
+//! [`MatchView`]: qgp_core::engine::MatchView
+
+use proptest::prelude::*;
+
+use qgp_core::engine::{
+    BudgetPolicy, Engine, ExecBudget, ExecOptions, ViewError,
+};
+use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
+use qgp_core::MatchError;
+use qgp_graph::{EdgeOp, Graph, GraphBuilder, NodeId};
+use qgp_runtime::faults::{self, FaultPlan};
+use qgp_runtime::Runtime;
+
+const NODE_LABELS: &[&str] = &["A", "B", "C"];
+const EDGE_LABELS: &[&str] = &["r", "s"];
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    node_labels: Vec<u8>,
+    edges: Vec<(u8, u8, u8)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (4usize..12).prop_flat_map(|n| {
+        let nodes = proptest::collection::vec(0u8..NODE_LABELS.len() as u8, n);
+        let edges = proptest::collection::vec(
+            (0u8..n as u8, 0u8..n as u8, 0u8..EDGE_LABELS.len() as u8),
+            0..(3 * n),
+        );
+        (nodes, edges).prop_map(|(node_labels, edges)| GraphSpec { node_labels, edges })
+    })
+}
+
+fn build_graph(spec: &GraphSpec) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = spec
+        .node_labels
+        .iter()
+        .map(|&l| b.add_node(NODE_LABELS[l as usize]))
+        .collect();
+    for &(from, to, label) in &spec.edges {
+        if from == to {
+            continue;
+        }
+        let _ = b.add_edge_dedup(
+            ids[from as usize],
+            ids[to as usize],
+            EDGE_LABELS[label as usize],
+        );
+    }
+    b.build()
+}
+
+/// A fixed family of patterns covering every quantifier class.
+fn pattern(kind: u8) -> Pattern {
+    let mut b = PatternBuilder::new();
+    let xo = b.node("A");
+    match kind % 4 {
+        0 => {
+            let y = b.node("B");
+            b.edge(xo, y, "r");
+        }
+        1 => {
+            let y = b.node("B");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::at_least(2));
+        }
+        2 => {
+            let y = b.node("B");
+            let z = b.node("C");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::universal());
+            b.edge(y, z, "s");
+        }
+        _ => {
+            let y = b.node("B");
+            let z = b.node("C");
+            b.quantified_edge(xo, y, "r", CountingQuantifier::at_least(1));
+            b.negated_edge(xo, z, "s");
+        }
+    }
+    b.focus(xo);
+    b.build().expect("fixed pattern family validates")
+}
+
+/// The armed plan for one proptest case: the `QGP_FAULTS` env plan when
+/// the CI fault-injection job pins one (its seed xor-folded with the case
+/// seed so cases still explore distinct fault schedules), else `fallback`.
+fn plan_for_case(case_seed: u64, fallback: FaultPlan) -> FaultPlan {
+    match FaultPlan::from_env() {
+        Some(env) => {
+            FaultPlan::new(env.seed ^ case_seed, env.panic_rate).with_delay_rate(env.delay_rate)
+        }
+        None => fallback,
+    }
+}
+
+/// A follow-star with enough focus candidates that every parallel map has
+/// real tasks to fault.
+fn star_graph(spokes: usize) -> (Graph, Pattern) {
+    let mut b = GraphBuilder::new();
+    let hub = b.add_node("B");
+    for _ in 0..spokes {
+        let x = b.add_node("A");
+        b.add_edge(x, hub, "r").unwrap();
+    }
+    let mut pb = PatternBuilder::new();
+    let xo = pb.node("A");
+    let y = pb.node("B");
+    pb.edge(xo, y, "r");
+    pb.focus(xo);
+    (b.build(), pb.build().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under random injected faults, parallel execution either completes
+    /// with the exact fault-free answer or fails with the typed
+    /// `TaskPanicked` error — and the same prepared query on the same
+    /// runtime reproduces the fault-free answer once disarmed.
+    #[test]
+    fn faulty_executions_fail_typed_and_retry_clean(
+        gspec in graph_spec(),
+        kind in 0u8..4,
+        seed in 0u64..1_000,
+    ) {
+        let graph = build_graph(&gspec);
+        let pattern = pattern(kind);
+        let mut prepared = Engine::new(&graph).prepare(&pattern).unwrap();
+        let runtime = Runtime::new(2);
+        let baseline = prepared
+            .run(ExecOptions::parallel_on(&runtime))
+            .unwrap();
+
+        {
+            let plan = plan_for_case(seed, FaultPlan::new(seed, 0.2).with_delay_rate(0.1));
+            let _armed = faults::install(plan);
+            match prepared.run(ExecOptions::parallel_on(&runtime)) {
+                // No fault fired inside this run: the answer is exact.
+                Ok(answer) => prop_assert_eq!(&answer.matches, &baseline.matches),
+                Err(MatchError::TaskPanicked(e)) => {
+                    prop_assert!(e.payload.contains("injected fault"), "{}", e);
+                }
+                Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+            }
+        }
+
+        // Fault-free retry: same prepared query, same runtime, exact answer.
+        let again = prepared.run(ExecOptions::parallel_on(&runtime)).unwrap();
+        prop_assert_eq!(&again.matches, &baseline.matches);
+        prop_assert!(!again.truncated);
+    }
+
+    /// A decision-capped budget under `Partial` yields a prefix of the
+    /// fault-free sequential answer, flagged truncated iff it stopped
+    /// early.
+    #[test]
+    fn budget_partial_yields_a_flagged_prefix(
+        gspec in graph_spec(),
+        kind in 0u8..4,
+        cap in 0u64..16,
+    ) {
+        let graph = build_graph(&gspec);
+        let pattern = pattern(kind);
+        let mut prepared = Engine::new(&graph).prepare(&pattern).unwrap();
+        let full = prepared.run(ExecOptions::sequential()).unwrap();
+
+        let budget = ExecBudget::unlimited().max_decisions(cap);
+        let capped = prepared
+            .run(ExecOptions::sequential().budget_with(budget))
+            .unwrap();
+        prop_assert!(capped.matches.len() <= full.matches.len());
+        prop_assert_eq!(
+            &capped.matches[..],
+            &full.matches[..capped.matches.len()],
+            "a budgeted sequential answer is a prefix"
+        );
+        if !capped.truncated {
+            prop_assert_eq!(&capped.matches, &full.matches);
+        }
+
+        // Parallel with the same cap: a subset of the answer (order of
+        // verification is nondeterministic, membership is not).
+        let runtime = Runtime::new(2);
+        let budget = ExecBudget::unlimited().max_decisions(cap);
+        let capped = prepared
+            .run(ExecOptions::parallel_on(&runtime).budget_with(budget))
+            .unwrap();
+        for v in &capped.matches {
+            prop_assert!(full.matches.contains(v));
+        }
+
+        // `Fail` surfaces the typed error exactly when work was cut short.
+        let budget = ExecBudget::unlimited().max_decisions(cap);
+        match prepared.run(
+            ExecOptions::sequential()
+                .budget_with(budget)
+                .on_budget(BudgetPolicy::Fail),
+        ) {
+            Ok(answer) => {
+                prop_assert!(!answer.truncated);
+                prop_assert_eq!(&answer.matches, &full.matches);
+            }
+            Err(MatchError::BudgetExceeded) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+    }
+
+    /// A view batch under injected faults is atomic: afterwards the view
+    /// equals either its pre-apply state or its fully-applied state, both
+    /// checked against an independent recompute; a poisoned view rebuilds
+    /// to the recompute answer.
+    #[test]
+    fn view_apply_under_faults_is_atomic(
+        gspec in graph_spec(),
+        kind in 0u8..4,
+        raw_ops in proptest::collection::vec((0u8..12, 0u8..12, 0u8..2, any::<bool>()), 1..5),
+        seed in 0u64..1_000,
+    ) {
+        let graph = build_graph(&gspec);
+        let pattern = pattern(kind);
+        let mut view = Engine::new(&graph).prepare(&pattern).unwrap().view();
+        let pre_matches = view.matches().to_vec();
+
+        // Decode the raw ops against the real node/label universe.
+        let n = graph.node_count();
+        let labels: Vec<_> = EDGE_LABELS
+            .iter()
+            .filter_map(|l| graph.labels().edge_label(l))
+            .collect();
+        if labels.is_empty() {
+            return Ok(());
+        }
+        let ops: Vec<EdgeOp> = raw_ops
+            .iter()
+            .filter_map(|&(f, t, l, ins)| {
+                let from = NodeId::new(f as usize % n);
+                let to = NodeId::new(t as usize % n);
+                if from == to {
+                    return None;
+                }
+                let label = labels[l as usize % labels.len()];
+                Some(if ins {
+                    EdgeOp::insert(from, to, label)
+                } else {
+                    EdgeOp::delete(from, to, label)
+                })
+            })
+            .collect();
+        if ops.is_empty() {
+            return Ok(());
+        }
+
+        let outcome = {
+            let _armed = faults::install(plan_for_case(seed, FaultPlan::new(seed, 0.3)));
+            view.apply(&ops)
+        };
+        let recompute = |g: &Graph| -> Vec<NodeId> {
+            Engine::new(g)
+                .prepare(&pattern)
+                .unwrap()
+                .execute(ExecOptions::sequential())
+                .unwrap()
+                .collect()
+        };
+        match outcome {
+            Ok(_) => {
+                // Fully applied: matches agree with a recompute over the
+                // updated graph.
+                prop_assert!(!view.poisoned());
+                prop_assert_eq!(view.matches(), &recompute(view.graph())[..]);
+            }
+            Err(ViewError::TaskPanicked(e)) => {
+                // Rolled back: the graph and matches are the pre-apply
+                // state, even if the maintenance session is poisoned.
+                prop_assert!(e.payload.contains("injected fault"), "{}", e);
+                prop_assert_eq!(view.matches(), &pre_matches[..]);
+                prop_assert_eq!(view.matches(), &recompute(view.graph())[..]);
+                if view.poisoned() {
+                    view.rebuild();
+                    prop_assert!(!view.poisoned());
+                    prop_assert_eq!(view.matches(), &pre_matches[..]);
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+
+        // Fault-free, the same batch applies and matches the recompute,
+        // and replaying the delta over the prior match set reproduces the
+        // view's answer.
+        let before_retry = view.matches().to_vec();
+        let delta = view.apply(&ops).unwrap();
+        prop_assert_eq!(view.matches(), &recompute(view.graph())[..]);
+        let mut replay = before_retry;
+        delta.apply_to(&mut replay);
+        prop_assert_eq!(&replay[..], view.matches());
+    }
+}
+
+/// Regression: after an injected panic inside a parallel map, the
+/// process-wide global runtime keeps serving queries.
+#[test]
+fn global_runtime_serves_queries_after_an_injected_panic() {
+    let (graph, pattern) = star_graph(64);
+    let mut prepared = Engine::new(&graph).prepare(&pattern).unwrap();
+    let full = prepared.run(ExecOptions::parallel()).unwrap();
+    assert_eq!(full.matches.len(), 64);
+
+    let err = {
+        let _armed = faults::install(FaultPlan::new(5, 1.0));
+        prepared.run(ExecOptions::parallel())
+    };
+    match err {
+        Err(MatchError::TaskPanicked(e)) => {
+            assert!(e.payload.contains("injected fault"), "{e}");
+        }
+        other => panic!("expected TaskPanicked, got {other:?}"),
+    }
+
+    // Same global runtime, same prepared query: the full answer.
+    let again = prepared.run(ExecOptions::parallel()).unwrap();
+    assert_eq!(again.matches, full.matches);
+}
+
+/// A zero-duration deadline budget truncates immediately under `Partial`
+/// and fails under `Fail`, in sequential and parallel mode alike.
+#[test]
+fn expired_deadline_budget_truncates_or_fails() {
+    let (graph, pattern) = star_graph(32);
+    let mut prepared = Engine::new(&graph).prepare(&pattern).unwrap();
+
+    let expired = ExecBudget::with_timeout(std::time::Duration::ZERO);
+    let answer = prepared
+        .run(ExecOptions::sequential().budget_with(expired))
+        .unwrap();
+    assert!(answer.truncated);
+    assert!(answer.matches.is_empty());
+
+    let expired = ExecBudget::with_timeout(std::time::Duration::ZERO);
+    let err = prepared
+        .run(
+            ExecOptions::parallel()
+                .budget_with(expired)
+                .on_budget(BudgetPolicy::Fail),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MatchError::BudgetExceeded), "{err:?}");
+
+    // The prepared query is unharmed.
+    let full = prepared.run(ExecOptions::sequential()).unwrap();
+    assert_eq!(full.matches.len(), 32);
+    assert!(!full.truncated);
+}

@@ -18,6 +18,9 @@ pub enum ParallelError {
     NoWorkers,
     /// The pattern failed validation.
     InvalidPattern(String),
+    /// The execution itself failed — a worker task panicked or an execution
+    /// budget was exceeded — propagated from the engine layer.
+    Execution(String),
 }
 
 impl fmt::Display for ParallelError {
@@ -32,6 +35,7 @@ impl fmt::Display for ParallelError {
             ),
             ParallelError::NoWorkers => write!(f, "at least one worker is required"),
             ParallelError::InvalidPattern(e) => write!(f, "invalid pattern: {e}"),
+            ParallelError::Execution(e) => write!(f, "parallel execution failed: {e}"),
         }
     }
 }
@@ -53,5 +57,8 @@ mod tests {
         assert!(ParallelError::InvalidPattern("boom".into())
             .to_string()
             .contains("boom"));
+        assert!(ParallelError::Execution("task 3 panicked".into())
+            .to_string()
+            .contains("task 3 panicked"));
     }
 }

@@ -13,7 +13,7 @@ use std::time::Duration;
 use qgp_core::matching::MatchConfig;
 use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
 use qgp_graph::{Graph, GraphStats, LabelId};
-use qgp_runtime::Runtime;
+use qgp_runtime::{CancelToken, Runtime};
 
 use crate::error::RuleError;
 use crate::evaluate::{
@@ -142,7 +142,11 @@ pub fn mine_qgars_with_report(
         })
         .collect();
 
-    let outcome = runtime.map(pairs.len(), |k| {
+    // Fault-isolating map: a panic inside any seed-pair task (including an
+    // injected one) surfaces as `RuleError::Parallel` instead of unwinding
+    // through the miner, and the runtime stays reusable.
+    let never = CancelToken::new();
+    let step = |k: usize| {
         let (i, j) = pairs[k];
         let antecedent_seed = &seeds[i];
         let consequent_seed = &seeds[j];
@@ -167,14 +171,18 @@ pub fn mine_qgars_with_report(
             evaluation: best_eval,
             strengthened_to,
         })
-    });
+    };
+    let outcome = runtime
+        .try_map_with_cancel(pairs.len(), &never, || (), |(), k| step(k))
+        .map_err(|e| RuleError::Parallel(e.to_string()))?;
 
     let report = MiningReport {
         pairs_explored: pairs.len(),
         worker_busy: outcome.worker_busy,
         steals: outcome.steals,
     };
-    let mut mined: Vec<MinedRule> = outcome.outputs.into_iter().flatten().collect();
+    // The token never fires, so every outer slot is `Some`.
+    let mut mined: Vec<MinedRule> = outcome.outputs.into_iter().flatten().flatten().collect();
 
     // Highest-confidence rules first, ties broken by support; the sort is
     // stable over the pair order, matching the sequential loop exactly.
@@ -368,6 +376,34 @@ mod tests {
         }
         // At least one rule mentions the buy consequent.
         assert!(rules.iter().any(|r| r.rule.name().contains("buy")));
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_parallel_error_and_miner_retries_clean() {
+        let g = regular_graph(10);
+        let config = MiningConfig {
+            min_support: 2,
+            confidence_threshold: 0.3,
+            ..MiningConfig::default()
+        };
+        let rt = Runtime::new(2);
+        let baseline = mine_qgars_with(&g, &config, &rt).unwrap();
+        {
+            let _armed =
+                qgp_runtime::faults::install(qgp_runtime::faults::FaultPlan::new(21, 1.0));
+            let err = mine_qgars_with(&g, &config, &rt).unwrap_err();
+            match err {
+                RuleError::Parallel(msg) => assert!(msg.contains("injected fault"), "{msg}"),
+                other => panic!("expected RuleError::Parallel, got {other:?}"),
+            }
+        }
+        // Disarmed, the same runtime mines the same rules.
+        let again = mine_qgars_with(&g, &config, &rt).unwrap();
+        assert_eq!(again.len(), baseline.len());
+        for (a, b) in again.iter().zip(&baseline) {
+            assert_eq!(a.rule.name(), b.rule.name());
+            assert_eq!(a.evaluation.support, b.evaluation.support);
+        }
     }
 
     #[test]

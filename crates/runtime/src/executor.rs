@@ -6,12 +6,26 @@
 //! join, and worker threads are scoped so tasks may borrow the caller's
 //! data.  This module is the only place in the workspace allowed to spawn
 //! threads for data parallelism.
+//!
+//! ## Panic isolation
+//!
+//! Task steps run inside `catch_unwind`: a panicking task cancels the rest
+//! of the map through an internal abort token, the scope joins cleanly, and
+//! the panic surfaces as a structured [`TaskError`] — from
+//! [`Runtime::try_map_with_cancel`] as `Err(TaskError)`, from the
+//! infallible `map*` entry points as a caller-side panic raised *after* the
+//! join.  Either way no worker thread unwinds through `join()`, so the
+//! `Runtime` (including [`Runtime::global`]) stays reusable after any task
+//! panic.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
+use crate::faults;
 
 /// Number of executor threads used when `QGP_THREADS` is not set: the
 /// machine's available parallelism.
@@ -134,6 +148,69 @@ impl RangeQueue {
     }
 }
 
+/// A panic captured from one task (or one worker's state initializer),
+/// reported with enough structure to log, retry, or surface per-query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Index of the worker the panic occurred on (0 is the caller).
+    pub worker: usize,
+    /// Index of the task that panicked; `None` when the per-worker state
+    /// initializer (not a task) panicked.
+    pub index: Option<usize>,
+    /// The panic payload rendered as a string (`&str`/`String` payloads
+    /// verbatim, anything else a placeholder).
+    pub payload: String,
+}
+
+impl TaskError {
+    /// Builds a `TaskError` from a payload caught by
+    /// [`std::panic::catch_unwind`], rendering `&str`/`String` payloads
+    /// verbatim and anything else as a placeholder.  For callers that run
+    /// their own `catch_unwind` (e.g. sequential fallbacks) and want the
+    /// same error shape the executor produces.
+    pub fn from_panic(
+        worker: usize,
+        index: Option<usize>,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> Self {
+        TaskError {
+            worker,
+            index,
+            payload: payload_to_string(payload),
+        }
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(
+                f,
+                "task {i} panicked on worker {}: {}",
+                self.worker, self.payload
+            ),
+            None => write!(
+                f,
+                "worker {} state initializer panicked: {}",
+                self.worker, self.payload
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Renders a caught panic payload for [`TaskError::payload`].
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// What one worker hands back after the join: its `(index, output)` pairs,
 /// its scratch state, and its busy time.
 type WorkerResult<O, S> = (Vec<(u32, O)>, S, Duration);
@@ -229,13 +306,16 @@ impl Runtime {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> O + Sync,
     {
-        // Small grain keeps skewed items (hub candidates) stealable without
-        // making block claims measurable overhead.
-        let grain = (len / (self.threads * 16)).clamp(1, 256);
-        self.map_with_grain(len, grain, init, step)
+        self.map_with_grain(len, self.default_grain(len), init, step)
     }
 
     /// [`Runtime::map_with`] with an explicit stealing granularity.
+    ///
+    /// A panicking task does not unwind through the executor: the map is
+    /// aborted, every worker joins cleanly, and the panic is re-raised on
+    /// the calling thread with the captured [`TaskError`] as its message —
+    /// the `Runtime` remains reusable.  Callers that want the error as a
+    /// value use [`Runtime::try_map_with_cancel`].
     pub fn map_with_grain<S, O, I, F>(
         &self,
         len: usize,
@@ -249,20 +329,12 @@ impl Runtime {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> O + Sync,
     {
-        // Inline sequential fast path: no threads, no atomics, and no
-        // Option wrapping around the outputs (the threaded path scatters
-        // into Option slots anyway, so only this path would pay for it).
-        if self.threads.min(len.max(1)) <= 1 {
-            let mut state = init();
-            let (outputs, busy) = run_measured(|| (0..len).map(|i| step(&mut state, i)).collect());
-            return MapOutcome {
-                outputs,
-                states: vec![state],
-                worker_busy: vec![busy],
-                steals: 0,
-            };
-        }
-        let outcome = self.map_impl(len, grain, None, init, step);
+        let outcome = match self.map_impl(len, grain, None, init, step) {
+            Ok(outcome) => outcome,
+            // Clean re-raise after the scope joined: no worker thread is
+            // left running and no double-panic is possible here.
+            Err(e) => panic!("{e}"),
+        };
         MapOutcome {
             outputs: outcome
                 .outputs
@@ -283,6 +355,10 @@ impl Runtime {
     /// Cancellation is cooperative — a task that already started runs to
     /// completion — so per-worker states are always returned intact and the
     /// runtime is immediately reusable for the next map.
+    ///
+    /// Panics in tasks are re-raised on the caller after a clean join, as
+    /// in [`Runtime::map_with_grain`]; use [`Runtime::try_map_with_cancel`]
+    /// to receive them as [`TaskError`] values instead.
     pub fn map_with_cancel<S, O, I, F>(
         &self,
         len: usize,
@@ -296,8 +372,43 @@ impl Runtime {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> O + Sync,
     {
-        let grain = (len / (self.threads * 16)).clamp(1, 256);
-        self.map_impl(len, grain, Some(cancel), init, step)
+        match self.try_map_with_cancel(len, cancel, init, step) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panic-isolating, cancellation-aware parallel map: the engine-facing
+    /// entry point of the fault-tolerance layer.
+    ///
+    /// A panic in `init` or in any task aborts the map (remaining indices
+    /// are skipped, in-flight tasks finish or panic on their own), every
+    /// worker joins cleanly, and the first captured panic comes back as
+    /// `Err(TaskError)`.  The `Runtime` — including the global instance —
+    /// is reusable immediately afterwards.  Worker states are not returned
+    /// on error: a state mutated by a panicking step is suspect and is
+    /// dropped with the failed map.
+    pub fn try_map_with_cancel<S, O, I, F>(
+        &self,
+        len: usize,
+        cancel: &CancelToken,
+        init: I,
+        step: F,
+    ) -> Result<MapOutcome<Option<O>, S>, TaskError>
+    where
+        S: Send,
+        O: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> O + Sync,
+    {
+        self.map_impl(len, self.default_grain(len), Some(cancel), init, step)
+    }
+
+    /// Default stealing granularity: small enough to keep skewed items
+    /// (hub candidates) stealable without making block claims measurable
+    /// overhead.
+    fn default_grain(&self, len: usize) -> usize {
+        (len / (self.threads * 16)).clamp(1, 256)
     }
 
     /// Shared implementation: `None` for `cancel` means "never cancelled".
@@ -308,7 +419,7 @@ impl Runtime {
         cancel: Option<&CancelToken>,
         init: I,
         step: F,
-    ) -> MapOutcome<Option<O>, S>
+    ) -> Result<MapOutcome<Option<O>, S>, TaskError>
     where
         S: Send,
         O: Send,
@@ -318,25 +429,53 @@ impl Runtime {
         assert!(len <= u32::MAX as usize, "task list exceeds u32 index space");
         let workers = self.threads.min(len.max(1));
         if workers <= 1 {
-            // Inline sequential fast path: no threads, no atomics.
-            let mut state = init();
-            let (outputs, busy) = run_measured(|| {
-                let mut outputs: Vec<Option<O>> = Vec::with_capacity(len);
+            // Inline sequential fast path: no threads, no atomics.  Panic
+            // isolation still applies — the engine's QGP_THREADS=1 leg must
+            // degrade identically to the parallel one.
+            let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
+                Ok(s) => s,
+                Err(p) => {
+                    return Err(TaskError {
+                        worker: 0,
+                        index: None,
+                        payload: payload_to_string(p),
+                    })
+                }
+            };
+            let mut outputs: Vec<Option<O>> = Vec::with_capacity(len);
+            let mut caught = None;
+            let ((), busy) = run_measured(|| {
                 for i in 0..len {
                     if cancel.is_some_and(CancelToken::is_cancelled) {
                         break;
                     }
-                    outputs.push(Some(step(&mut state, i)));
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        faults::fault_point("task", i);
+                        step(&mut state, i)
+                    }));
+                    match run {
+                        Ok(o) => outputs.push(Some(o)),
+                        Err(p) => {
+                            caught = Some(TaskError {
+                                worker: 0,
+                                index: Some(i),
+                                payload: payload_to_string(p),
+                            });
+                            break;
+                        }
+                    }
                 }
-                outputs.resize_with(len, || None);
-                outputs
             });
-            return MapOutcome {
+            if let Some(e) = caught {
+                return Err(e);
+            }
+            outputs.resize_with(len, || None);
+            return Ok(MapOutcome {
                 outputs,
                 states: vec![state],
                 worker_busy: vec![busy],
                 steals: 0,
-            };
+            });
         }
 
         // Static contiguous split as the starting point; stealing corrects
@@ -353,30 +492,63 @@ impl Runtime {
         debug_assert_eq!(next, len);
         let steals = AtomicUsize::new(0);
         let grain = grain.clamp(1, u32::MAX as usize) as u32;
+        // The fail-fast channel: the first panicking worker trips this so
+        // its siblings stop claiming and stealing work.
+        let abort = CancelToken::new();
 
-        let results: Vec<WorkerResult<O, S>> = std::thread::scope(|scope| {
+        // Fault-injection scope follows the caller's thread: spawned
+        // workers inherit whether this map participates in an armed plan.
+        let inject = faults::thread_participates();
+
+        let results: Vec<Result<WorkerResult<O, S>, TaskError>> = std::thread::scope(|scope| {
             let queues = &queues;
             let steals = &steals;
+            let abort = &abort;
             let init = &init;
             let step = &step;
             let handles: Vec<_> = (1..workers)
                 .map(|w| {
-                    scope.spawn(move || worker_loop(w, queues, grain, cancel, init, step, steals))
+                    scope.spawn(move || {
+                        faults::set_participating(inject);
+                        worker_loop(w, queues, grain, cancel, abort, init, step, steals)
+                    })
                 })
                 .collect();
             // The calling thread is worker 0.
-            let mut all = vec![worker_loop(0, queues, grain, cancel, init, step, steals)];
-            all.extend(handles.into_iter().map(|h| h.join().expect("worker panicked")));
+            let mut all = vec![worker_loop(0, queues, grain, cancel, abort, init, step, steals)];
+            all.extend(handles.into_iter().enumerate().map(|(k, h)| {
+                // Worker panics are caught inside `worker_loop`; a join
+                // error can only come from a panic that escaped it (e.g. a
+                // non-unwinding-safe drop).  Capture the payload instead of
+                // re-panicking while other handles are still pending.
+                h.join().unwrap_or_else(|p| {
+                    Err(TaskError {
+                        worker: k + 1,
+                        index: None,
+                        payload: payload_to_string(p),
+                    })
+                })
+            }));
             all
         });
 
         // Scatter worker-local outputs back into index order.  Under
         // cancellation some indices were never executed; their slots stay
-        // `None`.
+        // `None`.  The first captured panic wins and discards the map.
         let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(len).collect();
         let mut states = Vec::with_capacity(results.len());
         let mut worker_busy = Vec::with_capacity(results.len());
-        for (pairs, state, busy) in results {
+        let mut first_error: Option<TaskError> = None;
+        for result in results {
+            let (pairs, state, busy) = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                    continue;
+                }
+            };
             for (i, o) in pairs {
                 debug_assert!(slots[i as usize].is_none(), "index {i} executed twice");
                 slots[i as usize] = Some(o);
@@ -384,12 +556,15 @@ impl Runtime {
             states.push(state);
             worker_busy.push(busy);
         }
-        MapOutcome {
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(MapOutcome {
             outputs: slots,
             states,
             worker_busy,
             steals: steals.load(Ordering::Relaxed),
-        }
+        })
     }
 }
 
@@ -403,38 +578,72 @@ impl Default for Runtime {
 /// steal the upper half of the richest victim; exit when every queue is
 /// empty.  Claimed-but-unfinished blocks are not in any queue, so the
 /// residual imbalance at exit is bounded by `grain` items per worker.
-/// When a cancel token is present it is polled between tasks; once it fires
-/// the worker abandons its remaining range and exits.
+/// When a cancel token is present it is polled between tasks; once it (or
+/// the internal abort token) fires, the worker abandons its remaining range
+/// and exits.  A panicking task is caught here: the worker trips `abort`
+/// and reports a [`TaskError`] instead of unwinding through the join.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<S, O, I, F>(
     me: usize,
     queues: &[RangeQueue],
     grain: u32,
     cancel: Option<&CancelToken>,
+    abort: &CancelToken,
     init: &I,
     step: &F,
     steals: &AtomicUsize,
-) -> WorkerResult<O, S>
+) -> Result<WorkerResult<O, S>, TaskError>
 where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> O + Sync,
 {
-    let mut state = init();
+    let mut state = match catch_unwind(AssertUnwindSafe(init)) {
+        Ok(s) => s,
+        Err(p) => {
+            abort.cancel();
+            return Err(TaskError {
+                worker: me,
+                index: None,
+                payload: payload_to_string(p),
+            });
+        }
+    };
+    let stop = || cancel.is_some_and(CancelToken::is_cancelled) || abort.is_cancelled();
     let mut out = Vec::new();
     let cpu_start = thread_cpu_ns();
     let mut wall_busy = Duration::ZERO;
     'work: loop {
         while let Some((a, b)) = queues[me].claim(grain) {
             let t0 = Instant::now();
-            for i in a..b {
-                if cancel.is_some_and(CancelToken::is_cancelled) {
-                    wall_busy += t0.elapsed();
-                    break 'work;
+            // Track the in-flight index so a panic anywhere in the block is
+            // attributed to the task that raised it.
+            let current = Cell::new(a);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                for i in a..b {
+                    if stop() {
+                        return false;
+                    }
+                    current.set(i);
+                    faults::fault_point("task", i as usize);
+                    out.push((i, step(&mut state, i as usize)));
                 }
-                out.push((i, step(&mut state, i as usize)));
-            }
+                true
+            }));
             wall_busy += t0.elapsed();
+            match run {
+                Ok(true) => {}
+                Ok(false) => break 'work,
+                Err(p) => {
+                    abort.cancel();
+                    return Err(TaskError {
+                        worker: me,
+                        index: Some(current.get() as usize),
+                        payload: payload_to_string(p),
+                    });
+                }
+            }
         }
-        if cancel.is_some_and(CancelToken::is_cancelled) {
+        if stop() {
             break 'work;
         }
         // Own queue dry: look for the richest victim.
@@ -470,7 +679,7 @@ where
         (Some(a), Some(b)) if b >= a => Duration::from_nanos(b - a),
         _ => wall_busy,
     };
-    (out, state, busy)
+    Ok((out, state, busy))
 }
 
 #[cfg(test)]
@@ -628,5 +837,113 @@ mod tests {
         assert_eq!(outcome.outputs.len(), 300);
         assert!(!outcome.states.is_empty() && outcome.states.len() <= 3);
         assert_eq!(outcome.worker_busy.len(), outcome.states.len());
+    }
+
+    #[test]
+    fn task_panic_surfaces_as_task_error_and_runtime_stays_reusable() {
+        for threads in [1, 2, 4] {
+            let rt = Runtime::new(threads);
+            let err = rt
+                .try_map_with_cancel(1000, &CancelToken::new(), || (), |(), i| {
+                    if i == 137 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .expect_err("task 137 panics");
+            assert_eq!(err.index, Some(137), "threads={threads}");
+            assert!(err.worker < threads, "threads={threads}: {err:?}");
+            assert!(err.payload.contains("boom at 137"), "{err:?}");
+            // The runtime serves the next map on the same instance.
+            let again = rt
+                .try_map_with_cancel(100, &CancelToken::new(), || (), |(), i| i * 2)
+                .expect("fault-free retry succeeds");
+            assert_eq!(again.outputs.iter().flatten().count(), 100);
+        }
+    }
+
+    #[test]
+    fn init_panic_surfaces_with_no_index() {
+        for threads in [1, 3] {
+            let rt = Runtime::new(threads);
+            let err = rt
+                .try_map_with_cancel(
+                    64,
+                    &CancelToken::new(),
+                    || -> usize { panic!("init failed") },
+                    |s, _| *s,
+                )
+                .expect_err("init panics");
+            assert_eq!(err.index, None, "threads={threads}");
+            assert!(err.payload.contains("init failed"));
+        }
+    }
+
+    #[test]
+    fn panic_aborts_remaining_work_fail_fast() {
+        // After the panic trips the abort token, siblings stop claiming:
+        // far fewer than all indices execute.
+        let rt = Runtime::new(4);
+        let executed = AtomicUsize::new(0);
+        let err = rt
+            .try_map_with_cancel(100_000, &CancelToken::new(), || (), |(), i| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    panic!("first task dies");
+                }
+                i
+            })
+            .expect_err("task 0 panics");
+        assert_eq!(err.index, Some(0));
+        assert!(
+            executed.load(Ordering::Relaxed) < 100_000,
+            "abort must skip most of the map"
+        );
+    }
+
+    #[test]
+    fn infallible_map_reraises_on_caller_after_clean_join() {
+        let rt = Runtime::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.map(64, |i| if i == 7 { panic!("inner") } else { i });
+        }))
+        .expect_err("panic re-raised on caller");
+        let msg = payload_to_string(caught);
+        assert!(msg.contains("task 7 panicked"), "{msg}");
+        assert!(msg.contains("inner"), "{msg}");
+        // Reusable afterwards.
+        assert_eq!(rt.map(10, |i| i).outputs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn global_runtime_survives_a_task_panic() {
+        let rt = Runtime::global();
+        let _ = rt.try_map_with_cancel(256, &CancelToken::new(), || (), |(), i| {
+            if i % 2 == 0 {
+                panic!("even tasks die");
+            }
+            i
+        });
+        let outcome = rt
+            .try_map_with_cancel(256, &CancelToken::new(), || (), |(), i| i + 1)
+            .expect("global runtime reusable after panic");
+        assert_eq!(outcome.outputs.iter().flatten().count(), 256);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_task_errors() {
+        let _guard = faults::install(faults::FaultPlan::new(1234, 0.05));
+        let rt = Runtime::new(4);
+        let mut saw_error = false;
+        for _ in 0..20 {
+            match rt.try_map_with_cancel(64, &CancelToken::new(), || (), |(), i| i) {
+                Ok(outcome) => assert_eq!(outcome.outputs.len(), 64),
+                Err(e) => {
+                    assert!(e.payload.contains("injected fault"), "{e:?}");
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error, "5% fault rate over 20×64 tasks must fire");
     }
 }

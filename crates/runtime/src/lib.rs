@@ -42,9 +42,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod budget;
 mod cancel;
 mod executor;
+pub mod faults;
 
+pub use budget::{BudgetStop, ExecBudget};
 pub use cancel::CancelToken;
-pub use executor::{MapOutcome, Runtime};
+pub use executor::{MapOutcome, Runtime, TaskError};
