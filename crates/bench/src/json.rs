@@ -158,6 +158,34 @@ pub struct ChaosMeasurement {
     pub matches: usize,
 }
 
+/// One counting-pushdown workload (`experiments bench --count`).
+///
+/// Rows come in before/after pairs on the same workload: `enumerate` vs
+/// `count` time one sequential query execution through enumeration and
+/// through `PreparedQuery::count` (threshold early-exit); `mine-enumerate`
+/// vs `mine-count` time the Exp-3 QGAR mining workload at 4 threads with
+/// support/confidence counting enumerating vs pushed down.  The harness
+/// asserts the counting run's accepted foci (resp. mined rules) equal the
+/// enumerating run's before recording a row, so `matches` is the shared
+/// correctness fingerprint of each pair.
+#[derive(Debug, Clone)]
+pub struct CountMeasurement {
+    /// Workload name (e.g. `pokec-like/Q3(p=2)`).
+    pub workload: String,
+    /// `enumerate`, `count`, `mine-enumerate`, or `mine-count`.
+    pub mode: String,
+    /// Best-of-N wall-clock time.
+    pub seconds: f64,
+    /// Focus matches (query rows) or mined rules (mining rows).
+    pub matches: usize,
+    /// Quantifier verdicts proven before the full child count was known
+    /// (zero on enumerating rows).
+    pub threshold_exits: usize,
+    /// Candidate children probed by counting intersections (zero on
+    /// enumerating rows).
+    pub children_counted: usize,
+}
+
 /// One labeled measurement run (e.g. `baseline` or `current`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchRun {
@@ -183,6 +211,9 @@ pub struct BenchRun {
     /// Chaos / fault-isolation section (empty unless the harness ran with
     /// `--chaos`).
     pub chaos: Vec<ChaosMeasurement>,
+    /// Counting-pushdown section (empty unless the harness ran with
+    /// `--count`).
+    pub count: Vec<CountMeasurement>,
 }
 
 /// A whole `BENCH_*.json` document.
@@ -253,12 +284,14 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
         );
         out.push_str(if i + 1 < run.parallel.len() { ",\n" } else { "\n" });
     }
-    // The engine, incremental and chaos sections are omitted entirely when
-    // empty so documents from earlier harness versions render identically.
+    // The engine, incremental, chaos and count sections are omitted entirely
+    // when empty so documents from earlier harness versions render
+    // identically.
     let has_engine = !run.engine.is_empty();
     let has_incremental = !run.incremental.is_empty();
     let has_chaos = !run.chaos.is_empty();
-    out.push_str(if has_engine || has_incremental || has_chaos {
+    let has_count = !run.count.is_empty();
+    out.push_str(if has_engine || has_incremental || has_chaos || has_count {
         "      ],\n"
     } else {
         "      ]\n"
@@ -278,7 +311,7 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
             );
             out.push_str(if i + 1 < run.engine.len() { ",\n" } else { "\n" });
         }
-        out.push_str(if has_incremental || has_chaos {
+        out.push_str(if has_incremental || has_chaos || has_count {
             "      ],\n"
         } else {
             "      ]\n"
@@ -302,7 +335,11 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
             );
             out.push_str(if i + 1 < run.incremental.len() { ",\n" } else { "\n" });
         }
-        out.push_str(if has_chaos { "      ],\n" } else { "      ]\n" });
+        out.push_str(if has_chaos || has_count {
+            "      ],\n"
+        } else {
+            "      ]\n"
+        });
     }
     if has_chaos {
         out.push_str("      \"chaos\": [\n");
@@ -322,6 +359,24 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
                 m.matches
             );
             out.push_str(if i + 1 < run.chaos.len() { ",\n" } else { "\n" });
+        }
+        out.push_str(if has_count { "      ],\n" } else { "      ]\n" });
+    }
+    if has_count {
+        out.push_str("      \"count\": [\n");
+        for (i, m) in run.count.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"workload\": \"{}\", \"mode\": \"{}\", \"seconds\": {:.6}, \
+                 \"matches\": {}, \"threshold_exits\": {}, \"children_counted\": {}}}",
+                escape(&m.workload),
+                escape(&m.mode),
+                m.seconds,
+                m.matches,
+                m.threshold_exits,
+                m.children_counted
+            );
+            out.push_str(if i + 1 < run.count.len() { ",\n" } else { "\n" });
         }
         out.push_str("      ]\n");
     }
@@ -442,6 +497,7 @@ mod tests {
                     matches: 42,
                 }],
                 chaos: vec![],
+                count: vec![],
             }],
         };
         let json = report.to_json();
@@ -496,23 +552,35 @@ mod tests {
             isolation_seconds: 0.01,
             matches: 1,
         };
-        for mask in 0u8..8 {
+        let count_row = CountMeasurement {
+            workload: "w".into(),
+            mode: "count".into(),
+            seconds: 0.01,
+            matches: 1,
+            threshold_exits: 3,
+            children_counted: 9,
+        };
+        for mask in 0u8..16 {
             let engine = if mask & 1 != 0 { vec![engine_row.clone()] } else { vec![] };
             let incremental = if mask & 2 != 0 { vec![inc_row.clone()] } else { vec![] };
             let chaos = if mask & 4 != 0 { vec![chaos_row.clone()] } else { vec![] };
+            let count = if mask & 8 != 0 { vec![count_row.clone()] } else { vec![] };
             let has_engine = !engine.is_empty();
             let has_incremental = !incremental.is_empty();
             let has_chaos = !chaos.is_empty();
+            let has_count = !count.is_empty();
             let run = BenchRun {
                 engine,
                 incremental,
                 chaos,
+                count,
                 ..base.clone()
             };
             let json = BenchReport { runs: vec![run.clone()] }.to_json();
             assert_eq!(json.contains("\"engine\""), has_engine);
             assert_eq!(json.contains("\"incremental\""), has_incremental);
             assert_eq!(json.contains("\"chaos\""), has_chaos);
+            assert_eq!(json.contains("\"count\""), has_count);
             for (open, close) in [('{', '}'), ('[', ']')] {
                 assert_eq!(
                     json.matches(open).count(),

@@ -39,12 +39,12 @@ pub mod stream;
 pub mod workloads;
 
 pub use json::{
-    BenchReport, BenchRun, ChaosMeasurement, EngineMeasurement, IncrementalMeasurement,
-    ParallelMeasurement,
+    BenchReport, BenchRun, ChaosMeasurement, CountMeasurement, EngineMeasurement,
+    IncrementalMeasurement, ParallelMeasurement,
 };
 pub use perf::{
-    run_bench, run_chaos_section, run_engine_section, run_incremental_section,
-    run_parallel_section, BenchScale,
+    run_bench, run_chaos_section, run_count_section, run_engine_section,
+    run_incremental_section, run_parallel_section, BenchScale,
 };
 pub use report::Table;
 pub use stream::{StreamConfig, UpdateStreamGen};

@@ -15,8 +15,8 @@
 //!   all        everything above
 //!
 //! experiments bench [--smoke] [--parallel] [--engine] [--incremental]
-//!                   [--chaos] [--label NAME] [--commit SHA] [--out PATH]
-//!                   [--append]
+//!                   [--chaos] [--count] [--label NAME] [--commit SHA]
+//!                   [--out PATH] [--append]
 //!
 //!   Runs the fixed-seed perf harness (graph construction + sequential
 //!   QMatch workloads) and writes a BENCH_*.json document with one run.
@@ -31,8 +31,11 @@
 //!   --chaos adds the fault-injection section (seeded panic injection at
 //!   task boundaries: isolation-overhead timing plus completed/faulted
 //!   trial counts, with exact-answer checks on every fault-free run).
-//!   --append splices the run into an existing --out document instead of
-//!   overwriting it.
+//!   --count adds the counting-pushdown section (count-vs-enumerate pairs
+//!   on the sequential matching workloads plus Exp-3 mining at 4 threads
+//!   with and without support counting pushed down, with identical-foci
+//!   and identical-rules checks).  --append splices the run into an
+//!   existing --out document instead of overwriting it.
 //! ```
 
 use std::env;
@@ -43,8 +46,9 @@ use qgp_bench::experiments::{
     exp2_vary_q, exp2_vary_ratio, exp3_qgar,
 };
 use qgp_bench::{
-    run_bench, run_chaos_section, run_engine_section, run_incremental_section,
-    run_parallel_section, BenchReport, BenchScale, Dataset, ExperimentScale,
+    run_bench, run_chaos_section, run_count_section, run_engine_section,
+    run_incremental_section, run_parallel_section, BenchReport, BenchScale, Dataset,
+    ExperimentScale,
 };
 
 fn bench_main(args: &[String]) -> ExitCode {
@@ -56,6 +60,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut engine = false;
     let mut incremental = false;
     let mut chaos = false;
+    let mut count = false;
     let mut append = false;
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +70,7 @@ fn bench_main(args: &[String]) -> ExitCode {
             "--engine" => engine = true,
             "--incremental" => incremental = true,
             "--chaos" => chaos = true,
+            "--count" => count = true,
             "--append" => append = true,
             "--label" => {
                 i += 1;
@@ -102,6 +108,9 @@ fn bench_main(args: &[String]) -> ExitCode {
     }
     if chaos {
         run_chaos_section(&mut run, &scale);
+    }
+    if count {
+        run_count_section(&mut run, &scale);
     }
     for m in &run.graph_construction {
         println!(
@@ -150,6 +159,12 @@ fn bench_main(args: &[String]) -> ExitCode {
         println!(
             "chaos     {:<28} seed={:#x} rate={:.6} {}/{} faulted  isolated {:.3}s  ({} matches)",
             m.workload, m.seed, m.panic_rate, m.faulted, m.trials, m.isolation_seconds, m.matches
+        );
+    }
+    for m in &run.count {
+        println!(
+            "count     {:<28} {:<14} {:.3}s  ({} matches, {} threshold exits, {} children counted)",
+            m.workload, m.mode, m.seconds, m.matches, m.threshold_exits, m.children_counted
         );
     }
     let document = match &out {

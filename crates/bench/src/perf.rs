@@ -18,8 +18,8 @@ use qgp_rules::{mine_qgars_with_report, MiningConfig};
 use qgp_runtime::Runtime;
 
 use crate::json::{
-    time_best_of, BenchRun, ChaosMeasurement, ConstructionMeasurement, EngineMeasurement,
-    IncrementalMeasurement, ParallelMeasurement, QmatchMeasurement,
+    time_best_of, BenchRun, ChaosMeasurement, ConstructionMeasurement, CountMeasurement,
+    EngineMeasurement, IncrementalMeasurement, ParallelMeasurement, QmatchMeasurement,
 };
 use crate::stream::{StreamConfig, UpdateStreamGen};
 use crate::workloads::synthetic_graph;
@@ -567,6 +567,139 @@ pub fn run_chaos_section(run: &mut BenchRun, scale: &BenchScale) {
     );
 }
 
+/// One counting workload: the prepared sequential enumeration baseline vs
+/// `PreparedQuery::count` under threshold early-exit, on the same prepared
+/// query.  Panics when the counting run's accepted foci differ from the
+/// enumerated answer, so a counting bug can never be committed as a
+/// speedup number.
+fn count_case(
+    runs: &mut Vec<CountMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    pattern: &Pattern,
+    iters: usize,
+) {
+    let mut prepared = Engine::new(graph)
+        .prepare(pattern)
+        .expect("library patterns validate");
+    prepared
+        .run(ExecOptions::sequential())
+        .expect("warm-up run succeeds");
+    let (full, elapsed) = best_of(iters, || {
+        prepared
+            .run(ExecOptions::sequential())
+            .expect("sequential runs succeed")
+    });
+    runs.push(CountMeasurement {
+        workload: workload.to_string(),
+        mode: "enumerate".to_string(),
+        seconds: elapsed.as_secs_f64(),
+        matches: full.matches.len(),
+        threshold_exits: 0,
+        children_counted: 0,
+    });
+
+    let (counted, elapsed) = best_of(iters, || {
+        prepared
+            .count(ExecOptions::sequential().count_only())
+            .expect("sequential counts succeed")
+    });
+    assert_eq!(
+        counted.matches().collect::<Vec<_>>(),
+        full.matches,
+        "CountOnly disagrees with enumeration on {workload}"
+    );
+    runs.push(CountMeasurement {
+        workload: workload.to_string(),
+        mode: "count".to_string(),
+        seconds: elapsed.as_secs_f64(),
+        matches: counted.total,
+        threshold_exits: counted.stats.threshold_exits,
+        children_counted: counted.stats.children_counted,
+    });
+}
+
+/// The Exp-3 mining workload at 4 executor threads, with support and
+/// confidence counting enumerating child matches vs pushed down to the
+/// counting path.  Panics when the two mined rule sets differ.
+fn count_mining_case(
+    runs: &mut Vec<CountMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    config: &MiningConfig,
+    iters: usize,
+) {
+    let runtime = Runtime::new(4);
+    let mut fingerprint: Option<Vec<String>> = None;
+    for (mode, count_pushdown) in [("mine-enumerate", false), ("mine-count", true)] {
+        let config = MiningConfig {
+            count_pushdown,
+            ..config.clone()
+        };
+        let ((rules, _report), elapsed) = best_of(iters, || {
+            mine_qgars_with_report(graph, &config, &runtime).expect("mining succeeds")
+        });
+        let names: Vec<String> = rules.iter().map(|r| r.rule.name().to_string()).collect();
+        match &fingerprint {
+            None => fingerprint = Some(names),
+            Some(expected) => assert_eq!(
+                &names, expected,
+                "count-pushdown mining disagrees with enumerating mining on {workload}"
+            ),
+        }
+        runs.push(CountMeasurement {
+            workload: workload.to_string(),
+            mode: mode.to_string(),
+            seconds: elapsed.as_secs_f64(),
+            matches: rules.len(),
+            threshold_exits: 0,
+            children_counted: 0,
+        });
+    }
+}
+
+/// The counting-pushdown section (`--count`): count-vs-enumerate pairs on
+/// the sequential matching workloads, plus the Exp-3 mining workload at 4
+/// threads with and without support counting pushed down.
+pub fn run_count_section(run: &mut BenchRun, scale: &BenchScale) {
+    let pokec = pokec_like(&SocialConfig::with_persons(scale.matching_persons));
+    let yago = yago_like(&KnowledgeConfig::with_persons(scale.matching_persons));
+    count_case(
+        &mut run.count,
+        "pokec-like/Q3(p=2)",
+        &pokec,
+        &library::q3_redmi_negation(2),
+        scale.iters,
+    );
+    count_case(
+        &mut run.count,
+        "pokec-like/Q1(80%)",
+        &pokec,
+        &library::q1_music_club(),
+        scale.iters,
+    );
+    count_case(
+        &mut run.count,
+        "yago2-like/Q4(p=2)",
+        &yago,
+        &library::q4_uk_professors(2),
+        scale.iters,
+    );
+    let mining = MiningConfig {
+        min_support: (pokec.node_count() / 200).max(5),
+        confidence_threshold: 0.5,
+        max_rules: 8,
+        ..MiningConfig::default()
+    };
+    count_mining_case(
+        &mut run.count,
+        "pokec-like/exp3-mining",
+        &pokec,
+        &mining,
+        scale.iters,
+    );
+}
+
 /// Runs the whole harness at the given scale, returning a labeled run.
 pub fn run_bench(label: &str, commit: &str, scale: &BenchScale) -> BenchRun {
     let mut run = BenchRun {
@@ -705,6 +838,38 @@ mod tests {
         for m in &run.incremental {
             assert!(m.batches >= 2, "{}: {} batches", m.workload, m.batches);
             assert!(m.apply_seconds >= 0.0 && m.recompute_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn smoke_count_section_pairs_count_with_enumerate() {
+        let scale = BenchScale {
+            construction_persons: 300,
+            construction_synthetic_nodes: 500,
+            matching_persons: 300,
+            iters: 1,
+        };
+        let mut run = BenchRun::default();
+        run_count_section(&mut run, &scale);
+        // 3 matching workloads × 2 modes + 2 mining rows.  The count-equals-
+        // enumeration and identical-rules asserts live inside the harness;
+        // reaching here means they held for every pair.
+        assert_eq!(run.count.len(), 3 * 2 + 2);
+        for pair in run.count.chunks(2) {
+            assert_eq!(pair[0].workload, pair[1].workload);
+            assert_eq!(
+                pair[0].matches, pair[1].matches,
+                "{}: count-vs-enumerate fingerprints differ",
+                pair[0].workload
+            );
+        }
+        // The counting rows carry the pushdown work counters.
+        for m in run.count.iter().filter(|m| m.mode == "count") {
+            assert!(
+                m.threshold_exits > 0 || m.children_counted > 0 || m.matches == 0,
+                "{}: counting row recorded no counting work",
+                m.workload
+            );
         }
     }
 

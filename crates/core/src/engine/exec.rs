@@ -12,7 +12,7 @@ use qgp_runtime::{CancelToken, ExecBudget, Runtime};
 use super::options::{BudgetPolicy, ExecMode, ExecOptions, Parallelism};
 use super::PreparedQuery;
 use crate::error::MatchError;
-use crate::matching::{MatchSession, MatchStats, QueryAnswer};
+use crate::matching::{CountMode, MatchSession, MatchStats, QueryAnswer};
 
 /// Scheduling telemetry of a parallel or partitioned execution, preserved
 /// so `ParallelAnswer`-style reporting keeps working through the engine.
@@ -34,7 +34,7 @@ pub struct ParallelTelemetry {
 /// execution budget, the internal stop flag the runtime polls (set on user
 /// cancellation, budget exhaustion, *or* when the answer limit is
 /// reached), and the accepted-answer counter.
-struct ExecControl {
+pub(super) struct ExecControl {
     user: Option<CancelToken>,
     budget: Option<ExecBudget>,
     stop: CancelToken,
@@ -43,7 +43,11 @@ struct ExecControl {
 }
 
 impl ExecControl {
-    fn new(limit: Option<usize>, user: Option<CancelToken>, budget: Option<ExecBudget>) -> Self {
+    pub(super) fn new(
+        limit: Option<usize>,
+        user: Option<CancelToken>,
+        budget: Option<ExecBudget>,
+    ) -> Self {
         ExecControl {
             user,
             budget,
@@ -54,14 +58,14 @@ impl ExecControl {
     }
 
     /// The token the work-stealing runtime polls between tasks.
-    fn runtime_token(&self) -> &CancelToken {
+    pub(super) fn runtime_token(&self) -> &CancelToken {
         &self.stop
     }
 
     /// The token polled inside [`MatchSession::decide_cancellable`]: the
     /// user's when present, else the budget's (so a deadline is observed
     /// between verification phases too).
-    fn decide_token(&self) -> Option<&CancelToken> {
+    pub(super) fn decide_token(&self) -> Option<&CancelToken> {
         self.user
             .as_ref()
             .or_else(|| self.budget.as_ref().map(ExecBudget::token))
@@ -70,7 +74,7 @@ impl ExecControl {
     /// Charges one decision against the budget.  `false` means the budget
     /// is out: the stop flag is raised and the candidate must not be
     /// verified.
-    fn charge(&self) -> bool {
+    pub(super) fn charge(&self) -> bool {
         match &self.budget {
             Some(budget) if !budget.charge(1) => {
                 self.stop.cancel();
@@ -82,7 +86,7 @@ impl ExecControl {
 
     /// Should this execution stop scheduling new candidates?  Propagates a
     /// fired user token or exhausted budget into the runtime stop flag.
-    fn should_stop(&self) -> bool {
+    pub(super) fn should_stop(&self) -> bool {
         if self.user.as_ref().is_some_and(CancelToken::is_cancelled)
             || self.budget.as_ref().is_some_and(ExecBudget::is_exhausted)
         {
@@ -93,7 +97,7 @@ impl ExecControl {
     }
 
     /// Was the execution truncated by budget exhaustion?
-    fn budget_exhausted(&self) -> bool {
+    pub(super) fn budget_exhausted(&self) -> bool {
         self.budget.as_ref().is_some_and(ExecBudget::is_exhausted)
     }
 
@@ -101,7 +105,7 @@ impl ExecControl {
     /// first `k` claims succeed (the `fetch_add` arbitrates races) and the
     /// `k`-th claim raises the stop flag so no further candidate is
     /// verified.
-    fn try_accept(&self) -> bool {
+    pub(super) fn try_accept(&self) -> bool {
         match self.limit {
             None => true,
             Some(k) => {
@@ -115,7 +119,7 @@ impl ExecControl {
     }
 
     /// Tokens are latched, so observing the user token directly is exact.
-    fn was_cancelled(&self) -> bool {
+    pub(super) fn was_cancelled(&self) -> bool {
         self.user.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 }
@@ -171,6 +175,9 @@ enum Inner<'q, 'g> {
         cancel: Option<CancelToken>,
         budget: Option<ExecBudget>,
         fail_on_budget: bool,
+        /// When set, decisions run through the counting path (identical
+        /// accepted set, aggregate-pushdown work profile).
+        count: Option<CountMode>,
         truncated: bool,
         cancelled: bool,
         done: bool,
@@ -198,6 +205,7 @@ impl<'q, 'g> Iterator for Matches<'q, 'g> {
                 limit,
                 cancel,
                 budget,
+                count,
                 truncated,
                 cancelled,
                 done,
@@ -222,7 +230,13 @@ impl<'q, 'g> Iterator for Matches<'q, 'g> {
                     let token = cancel
                         .as_ref()
                         .or_else(|| budget.as_ref().map(ExecBudget::token));
-                    match session.decide_cancellable(vx, token) {
+                    let decision = match *count {
+                        None => session.decide_cancellable(vx, token),
+                        Some(mode) => session
+                            .decide_count_cancellable(vx, mode, token)
+                            .map(|(d, _)| d),
+                    };
+                    match decision {
                         None => {
                             // Stopped mid-verification: by the user's token
                             // when one is attached, else by the budget's.
@@ -359,7 +373,7 @@ impl<'q, 'g> Matches<'q, 'g> {
 
 /// The deterministic candidate list of one execution: the session's sorted
 /// focus candidates, optionally intersected with a restriction set.
-fn candidate_list(session: &MatchSession<'_>, restrict: Option<&[NodeId]>) -> Vec<NodeId> {
+pub(super) fn candidate_list(session: &MatchSession<'_>, restrict: Option<&[NodeId]>) -> Vec<NodeId> {
     match restrict {
         None => session.focus_candidates().to_vec(),
         Some(r) => {
@@ -408,6 +422,7 @@ fn execute_sequential<'q, 'g>(
             cancel: opts.cancel.clone(),
             budget: opts.budget.clone(),
             fail_on_budget: opts.on_budget == BudgetPolicy::Fail,
+            count: opts.count,
             truncated: false,
             cancelled: false,
             done: false,
@@ -417,7 +432,10 @@ fn execute_sequential<'q, 'g>(
 
 /// Resolves a [`Parallelism`] into a usable executor (owning a dedicated
 /// one when asked for explicit thread counts).
-fn resolve_runtime<'a>(parallelism: Parallelism<'a>, owned: &'a mut Option<Runtime>) -> &'a Runtime {
+pub(super) fn resolve_runtime<'a>(
+    parallelism: Parallelism<'a>,
+    owned: &'a mut Option<Runtime>,
+) -> &'a Runtime {
     match parallelism {
         Parallelism::Global => Runtime::global(),
         Parallelism::On(rt) => rt,
@@ -433,6 +451,7 @@ fn execute_parallel<'q, 'g>(
     let graph = pq.graph;
     let compiled = Arc::clone(&pq.compiled);
     let config = opts.config;
+    let count = opts.count;
     // The cached session provides the (deterministic, sorted) candidate
     // list; its build cost — if this execution triggered it — lands in this
     // execution's stats.
@@ -453,7 +472,13 @@ fn execute_parallel<'q, 'g>(
                 if ctl.should_stop() || !ctl.charge() {
                     return None;
                 }
-                match session.decide_cancellable(candidates[i], ctl.decide_token()) {
+                let decision = match count {
+                    None => session.decide_cancellable(candidates[i], ctl.decide_token()),
+                    Some(mode) => session
+                        .decide_count_cancellable(candidates[i], mode, ctl.decide_token())
+                        .map(|(d, _)| d),
+                };
+                match decision {
                     Some(true) if ctl.try_accept() => Some(candidates[i]),
                     _ => None,
                 }
@@ -516,6 +541,7 @@ fn execute_partitioned<'q, 'g>(
     }
     let compiled = Arc::clone(&pq.compiled);
     let config = opts.config;
+    let count = opts.count;
     let n = fragments.len();
 
     // Restriction is in global node ids; normalize once for binary search.
@@ -595,7 +621,12 @@ fn execute_partitioned<'q, 'g>(
                     return None;
                 }
                 let t0 = Instant::now();
-                let decision = session.decide_cancellable(local, ctl.decide_token());
+                let decision = match count {
+                    None => session.decide_cancellable(local, ctl.decide_token()),
+                    Some(mode) => session
+                        .decide_count_cancellable(local, mode, ctl.decide_token())
+                        .map(|(d, _)| d),
+                };
                 fragment_busy[f] += t0.elapsed();
                 match decision {
                     Some(true) if ctl.try_accept() => Some(fragments[f].to_global(local)),

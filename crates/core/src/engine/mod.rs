@@ -57,14 +57,18 @@
 // restructure, or return a typed error instead.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod count;
 mod exec;
 mod options;
 mod view;
 
+pub use count::{CountAnswer, FocusCount};
 pub use exec::{Matches, ParallelTelemetry};
 pub use options::{BudgetPolicy, ExecMode, ExecOptions, Parallelism};
 pub use qgp_runtime::{BudgetStop, CancelToken, ExecBudget, TaskError};
 pub use view::{MatchView, ViewDelta, ViewError};
+
+pub use crate::matching::CountMode;
 
 use std::sync::Arc;
 
@@ -175,6 +179,22 @@ impl<'g> PreparedQuery<'g> {
     /// [`QueryAnswer::truncated`] set.
     pub fn run(&mut self, opts: ExecOptions<'_>) -> Result<QueryAnswer, MatchError> {
         self.execute(opts)?.try_into_answer()
+    }
+
+    /// Executes the prepared query as a *counting* query: which foci match,
+    /// each with its witness count, without materializing child matches.
+    ///
+    /// The accepted focus set equals [`PreparedQuery::run`]'s on the same
+    /// options; only the work differs — every quantifier is decided by an
+    /// early-exit intersection over ranked adjacency slices, and trivially
+    /// shaped negated edges skip session construction entirely.  The
+    /// [`CountMode`] is taken from [`ExecOptions::count`]
+    /// ([`CountMode::ThresholdOnly`] when unset; use
+    /// [`ExecOptions::count_exact`] for exact witness cardinalities).
+    /// `limit`, `restrict_to`, cancellation and budgets compose exactly as
+    /// they do for [`PreparedQuery::execute`], in all three [`ExecMode`]s.
+    pub fn count(&mut self, opts: ExecOptions<'_>) -> Result<CountAnswer, MatchError> {
+        count::count(self, opts)
     }
 
     /// Materializes the current answer as a live [`MatchView`] that

@@ -12,7 +12,7 @@
 use qgp_graph::{Fragment, NodeId};
 use qgp_runtime::{CancelToken, ExecBudget, Runtime};
 
-use crate::matching::MatchConfig;
+use crate::matching::{CountMode, MatchConfig};
 
 /// What an execution does when its [`ExecBudget`] runs out (deadline
 /// passed or decision cap consumed) before the query completes.
@@ -120,6 +120,13 @@ pub struct ExecOptions<'a> {
     pub budget: Option<ExecBudget>,
     /// Policy applied when [`ExecOptions::budget`] is exhausted.
     pub on_budget: BudgetPolicy,
+    /// Aggregate pushdown: when set, per-candidate decisions run through
+    /// the counting path ([`MatchSession::decide_count`](crate::matching::MatchSession::decide_count))
+    /// instead of enumerating child matches — the accepted set is identical,
+    /// only the work differs.  [`PreparedQuery::count`](super::PreparedQuery::count)
+    /// uses this as its [`CountMode`] (defaulting to
+    /// [`CountMode::ThresholdOnly`] when unset).
+    pub count: Option<CountMode>,
 }
 
 impl<'a> ExecOptions<'a> {
@@ -239,6 +246,23 @@ impl<'a> ExecOptions<'a> {
         self.on_budget = policy;
         self
     }
+
+    /// Routes decisions through the counting path with threshold early-exit
+    /// ([`CountMode::ThresholdOnly`]): each quantifier stops the moment its
+    /// verdict is proven, and witness counts are sufficient lower bounds.
+    /// The cheapest way to answer "which foci match / how many" — the mode
+    /// QGAR support counting runs under.
+    pub fn count_only(mut self) -> Self {
+        self.count = Some(CountMode::ThresholdOnly);
+        self
+    }
+
+    /// Routes decisions through the counting path with exact per-focus
+    /// witness cardinalities ([`CountMode::Exact`]).
+    pub fn count_exact(mut self) -> Self {
+        self.count = Some(CountMode::Exact);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -278,5 +302,15 @@ mod tests {
             .on_budget(BudgetPolicy::Fail);
         assert_eq!(o.budget.as_ref().and_then(ExecBudget::decision_cap), Some(10));
         assert_eq!(o.on_budget, BudgetPolicy::Fail);
+
+        assert_eq!(ExecOptions::sequential().count, None);
+        assert_eq!(
+            ExecOptions::sequential().count_only().count,
+            Some(CountMode::ThresholdOnly)
+        );
+        assert_eq!(
+            ExecOptions::parallel().count_exact().count,
+            Some(CountMode::Exact)
+        );
     }
 }

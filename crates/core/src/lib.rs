@@ -56,11 +56,11 @@ pub mod matching;
 pub mod pattern;
 
 pub use engine::{
-    CancelToken, Engine, ExecMode, ExecOptions, Matches, ParallelTelemetry, Parallelism,
-    PreparedQuery,
+    CancelToken, CountAnswer, Engine, ExecMode, ExecOptions, FocusCount, Matches,
+    ParallelTelemetry, Parallelism, PreparedQuery,
 };
 pub use error::{MatchError, PatternError};
-pub use matching::{conventional_match, MatchConfig, MatchStats, QueryAnswer};
+pub use matching::{conventional_match, CountMode, MatchConfig, MatchStats, QueryAnswer};
 #[allow(deprecated)]
 pub use matching::{quantified_match, quantified_match_restricted, quantified_match_with};
 pub use pattern::{CountingQuantifier, Pattern, PatternBuilder, PatternEdgeId, PatternNodeId};

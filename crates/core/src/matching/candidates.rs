@@ -137,6 +137,14 @@ impl CandidateSets {
     pub fn node_count(&self) -> usize {
         self.sets.len()
     }
+
+    /// Takes the sorted vectors back out.  This is how the exact-decision
+    /// path recycles its per-focus restricted sets: the vectors (and their
+    /// capacity) return to the accumulator's scratch instead of being freed
+    /// once per focus candidate.
+    pub fn into_sets(self) -> Vec<Vec<NodeId>> {
+        self.sets
+    }
 }
 
 /// Whether quantifier-aware degree pruning is applied while building the

@@ -11,6 +11,44 @@
 
 use crate::pattern::Pattern;
 
+/// A positified pattern `Π(Q^{+e})` trivial enough to decide straight off
+/// graph adjacency: two nodes, one existential edge out of the focus.  For
+/// this shape, `vx ∈ Π(Q^{+e})(x_o, G)` reduces to "does `vx` carry the
+/// focus label and have at least one correctly-labelled out-neighbour other
+/// than itself" — the counting decision path answers that from the CSR
+/// slice without ever building a child [`MatchSession`](super::MatchSession).
+#[derive(Debug, Clone)]
+pub(crate) struct TrivialShape {
+    /// Label required of the focus node.
+    pub(crate) focus_label: String,
+    /// Label required of the single child node.
+    pub(crate) child_label: String,
+    /// Label of the single (existential) edge.
+    pub(crate) edge_label: String,
+}
+
+impl TrivialShape {
+    /// Recognizes the trivial shape, or `None` when `pattern` needs the full
+    /// session machinery.
+    fn of(pattern: &Pattern) -> Option<TrivialShape> {
+        if pattern.node_count() != 2 || pattern.edge_count() != 1 {
+            return None;
+        }
+        let (_, edge) = pattern.edges().next()?;
+        if edge.from != pattern.focus()
+            || edge.to == pattern.focus()
+            || !edge.quantifier.is_existential()
+        {
+            return None;
+        }
+        Some(TrivialShape {
+            focus_label: pattern.node(edge.from).label.clone(),
+            child_label: pattern.node(edge.to).label.clone(),
+            edge_label: edge.label.clone(),
+        })
+    }
+}
+
 /// Graph-independent compilation of one QGP: the pattern itself plus every
 /// derived pattern the matching pipeline needs.
 #[derive(Debug, Clone)]
@@ -23,6 +61,10 @@ pub(crate) struct CompiledPattern {
     /// [`Pattern::negated_edges`] order — the patterns whose matches the
     /// set-difference semantics of negation subtracts.
     pub(crate) positified: Vec<Pattern>,
+    /// For each positified pattern, its [`TrivialShape`] when the counting
+    /// decision path can bypass the session machinery for it (same order as
+    /// [`CompiledPattern::positified`]).
+    pub(crate) trivial_positified: Vec<Option<TrivialShape>>,
     /// The pattern radius (longest shortest path from the focus), the
     /// quantity a d-hop partition must dominate.
     pub(crate) radius: usize,
@@ -36,15 +78,17 @@ impl CompiledPattern {
     /// [`Pattern::validate`] first.
     pub(crate) fn compile(pattern: &Pattern) -> Self {
         let pi = pattern.pi().pattern;
-        let positified = pattern
+        let positified: Vec<Pattern> = pattern
             .negated_edges()
             .into_iter()
             .map(|e| pattern.pi_positified(e).pattern)
             .collect();
+        let trivial_positified = positified.iter().map(TrivialShape::of).collect();
         CompiledPattern {
             pattern: pattern.clone(),
             pi,
             positified,
+            trivial_positified,
             radius: pattern.radius(),
         }
     }
@@ -72,5 +116,28 @@ mod tests {
         let q2 = library::q2_redmi_universal();
         let c = CompiledPattern::compile(&q2);
         assert!(c.positified.is_empty());
+        assert!(c.trivial_positified.is_empty());
+    }
+
+    #[test]
+    fn trivial_shape_recognized_only_for_two_node_positified_patterns() {
+        use crate::pattern::PatternBuilder;
+        // `x —(follow = 0)→ z` positifies to the trivial two-node shape.
+        let mut b = PatternBuilder::new();
+        let x = b.node("person");
+        let z = b.node("spammer");
+        b.negated_edge(x, z, "follow");
+        b.focus(x);
+        let q = b.build().expect("two-node negation is well-formed");
+        let c = CompiledPattern::compile(&q);
+        assert_eq!(c.trivial_positified.len(), 1);
+        let shape = c.trivial_positified[0].as_ref().expect("trivial shape");
+        assert_eq!(shape.focus_label, "person");
+        assert_eq!(shape.child_label, "spammer");
+        assert_eq!(shape.edge_label, "follow");
+
+        // Q3's positified pattern keeps all four nodes — not trivial.
+        let c3 = CompiledPattern::compile(&library::q3_redmi_negation(2));
+        assert!(c3.trivial_positified.iter().all(Option::is_none));
     }
 }

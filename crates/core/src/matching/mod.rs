@@ -31,5 +31,5 @@ pub use qmatch::{conventional_match, QueryAnswer};
 // new code goes through `crate::engine`.
 #[allow(deprecated)]
 pub use qmatch::{quantified_match, quantified_match_restricted, quantified_match_with};
-pub use session::MatchSession;
+pub use session::{CountMode, MatchSession};
 pub use stats::MatchStats;

@@ -39,9 +39,10 @@ use super::candidates::{build_candidates, CandidateFilter, CandidateSets};
 use super::config::MatchConfig;
 use super::generic::{IsomorphismEngine, SearchOrder};
 use super::resolved::ResolvedPattern;
+use super::session::CountMode;
 use super::simulation::refine_by_simulation;
 use super::stats::MatchStats;
-use crate::pattern::Pattern;
+use crate::pattern::{CmpOp, CountingQuantifier, Pattern};
 
 /// Result of matching a positive pattern.
 #[derive(Debug, Clone, Default)]
@@ -107,6 +108,12 @@ struct SessionInner {
     /// Node-id universe of the graph the session was built for, guarding the
     /// candidate bitmap probes against out-of-range ids.
     universe: usize,
+    /// Is the pattern a single quantified edge out of the focus (two nodes,
+    /// one edge)?  Then a counting decision reduces to one ranked
+    /// intersection of the focus's CSR child slice with `C(e.to)` — no
+    /// enumeration, no accumulator, no good sets.  This shape covers every
+    /// antecedent and consequent the QGAR miner evaluates.
+    single_focus_edge: bool,
 }
 
 impl PositiveSession {
@@ -153,12 +160,17 @@ impl PositiveSession {
             }
             let order = SearchOrder::new(&rp);
             let acc = CounterAccumulator::new(&rp, &candidates);
+            let single_focus_edge = rp.node_count() == 2
+                && rp.edges.len() == 1
+                && rp.edges[0].from == rp.focus
+                && rp.edges[0].to != rp.focus;
             Some(SessionInner {
                 rp,
                 order,
                 candidates,
                 acc,
                 universe: graph.node_count(),
+                single_focus_edge,
             })
         })();
         PositiveSession {
@@ -195,8 +207,146 @@ impl PositiveSession {
             candidates: &inner.candidates,
             config: &self.config,
         };
-        verifier.verify(vx, &mut inner.acc, stats)
+        verifier.decide(vx, &mut inner.acc, stats, None).0
     }
+
+    /// The counting decision for `vx`: `(vx ∈ Π(Q)(x_o, G), witnesses)`,
+    /// where `witnesses` is the distinct-children counter of the focus's
+    /// first out-edge (`1`/`0` when the focus has none).  Under
+    /// [`CountMode::ThresholdOnly`] the count stops at the verdict and is a
+    /// sufficient lower bound; under [`CountMode::Exact`] it is the exact
+    /// cardinality.
+    ///
+    /// Single-quantified-edge patterns are decided by a ranked intersection
+    /// over the focus's CSR child slice — no isomorphism enumeration, no
+    /// counter accumulation, no good-set construction.  Other shapes fall
+    /// back to the enumerating verifier with counting-specific early exits.
+    pub fn count(
+        &mut self,
+        graph: &Graph,
+        vx: NodeId,
+        mode: CountMode,
+        stats: &mut MatchStats,
+    ) -> (bool, usize) {
+        let Some(inner) = &mut self.inner else {
+            return (false, 0);
+        };
+        if inner.single_focus_edge {
+            return count_single_edge(graph, inner, vx, mode, stats);
+        }
+        let verifier = CandidateVerifier {
+            graph,
+            rp: &inner.rp,
+            order: &inner.order,
+            candidates: &inner.candidates,
+            config: &self.config,
+        };
+        verifier.decide(vx, &mut inner.acc, stats, Some(mode))
+    }
+}
+
+/// The aggregate-pushdown fast path: decides a two-node, one-edge pattern
+/// `x_o -e-> y` for focus candidate `vx` by counting
+/// `|out(vx, label(e)) ∩ C(y) \ {vx}|` against `f(e)` with the denominator
+/// `|Mₑ(vx)|`, instead of enumerating isomorphisms.  Exactness: for this
+/// shape an isomorphism pinning the focus to `vx` exists per candidate child
+/// independently (injectivity only excludes `vx` itself), so the distinct
+/// intersection size *is* the counter `c(vx, e)` the enumerating verifier
+/// would accumulate, and the decision is `f(e)`'s check plus the existence
+/// requirement of at least one witness.
+///
+/// Under [`CountMode::ThresholdOnly`] the scan stops the moment the verdict
+/// is decided: a monotone threshold reached, too few children remaining to
+/// reach it, or an equality ceiling overshot (each counted in
+/// [`MatchStats::threshold_exits`]).
+fn count_single_edge(
+    graph: &Graph,
+    inner: &SessionInner,
+    vx: NodeId,
+    mode: CountMode,
+    stats: &mut MatchStats,
+) -> (bool, usize) {
+    stats.focus_verified += 1;
+    let e = &inner.rp.edges[0];
+    let q = e.quantifier;
+    let children = graph.out_neighbors_with_label_slice(vx, e.label);
+    let total = children.len();
+    let target = q.min_required(total);
+    let monotone = q.is_monotone();
+    if !monotone && !q.check(target, total) {
+        // Equality target unattainable for this denominator (e.g. `= 50%`
+        // of 5 children): no count can satisfy the quantifier.
+        stats.threshold_exits += 1;
+        return (false, 0);
+    }
+    // An isomorphism must exist even when the numeric threshold is vacuous.
+    let need = target.max(1);
+    let threshold = mode == CountMode::ThresholdOnly;
+    if threshold && need > total {
+        stats.threshold_exits += 1;
+        return (false, 0);
+    }
+
+    let cand = inner.candidates.set(e.to);
+    let mut count = 0usize;
+    // Probe the smaller side: galloping binary searches of each candidate
+    // into the sorted CSR slice when `C(e.to)` is much smaller than the
+    // child list, branchless bitmap probes of each child otherwise.
+    if cand.len() * 8 < total {
+        for (i, &c) in cand.iter().enumerate() {
+            if c == vx {
+                continue;
+            }
+            stats.children_counted += 1;
+            if children.binary_search(&c).is_ok() {
+                count += 1;
+                if threshold {
+                    if monotone && count >= need {
+                        stats.threshold_exits += 1;
+                        return (true, count);
+                    }
+                    if !monotone && count > target {
+                        stats.threshold_exits += 1;
+                        return (false, count);
+                    }
+                }
+            }
+            if threshold && count + (cand.len() - i - 1) < need {
+                stats.threshold_exits += 1;
+                return (false, count);
+            }
+        }
+    } else {
+        let mut prev: Option<NodeId> = None;
+        for (i, &c) in children.iter().enumerate() {
+            // Parallel edges repeat a child in the slice; count distinct.
+            if prev == Some(c) {
+                continue;
+            }
+            prev = Some(c);
+            if c != vx {
+                stats.children_counted += 1;
+                if inner.candidates.contains(e.to, c) {
+                    count += 1;
+                    if threshold {
+                        if monotone && count >= need {
+                            stats.threshold_exits += 1;
+                            return (true, count);
+                        }
+                        if !monotone && count > target {
+                            stats.threshold_exits += 1;
+                            return (false, count);
+                        }
+                    }
+                }
+            }
+            if threshold && count + (total - i - 1) < need {
+                stats.threshold_exits += 1;
+                return (false, count);
+            }
+        }
+    }
+    (count >= 1 && q.check(count, total), count)
 }
 
 /// Per-focus verification machinery.
@@ -209,15 +359,30 @@ struct CandidateVerifier<'a> {
 }
 
 impl<'a> CandidateVerifier<'a> {
-    /// Decides whether `vx ∈ Π(Q)(x_o, G)`.
-    fn verify(&self, vx: NodeId, acc: &mut CounterAccumulator, stats: &mut MatchStats) -> bool {
+    /// Decides whether `vx ∈ Π(Q)(x_o, G)`, optionally in counting mode.
+    ///
+    /// With `counting = None` this is the historical `verify` semantics and
+    /// only the boolean of the returned pair is meaningful.  With
+    /// `counting = Some(mode)` the second component is the witness count of
+    /// the focus's first out-edge (see [`PositiveSession::count`]), early
+    /// acceptance is disabled under [`CountMode::Exact`] so the counters are
+    /// complete, and `Count`-equality quantifiers on focus out-edges reject
+    /// as soon as their counter overshoots the target (sound: distinct
+    /// counters only grow).
+    fn decide(
+        &self,
+        vx: NodeId,
+        acc: &mut CounterAccumulator,
+        stats: &mut MatchStats,
+        counting: Option<CountMode>,
+    ) -> (bool, usize) {
         // Focus-level upper-bound pruning: for every out-edge of the focus,
         // the number of candidate children reachable from `vx` bounds the
         // counter from above; if that bound already fails the quantifier, the
         // candidate is discarded without search (Example 5 of the paper).
         if self.config.use_upper_bound_pruning && !self.focus_upper_bounds_feasible(vx) {
             stats.pruned_by_upper_bound += 1;
-            return false;
+            return (false, 0);
         }
         stats.focus_verified += 1;
 
@@ -226,41 +391,107 @@ impl<'a> CandidateVerifier<'a> {
             .edges
             .iter()
             .all(|e| e.quantifier.is_monotone() || e.quantifier.is_existential());
-        let early_accept = self.config.early_accept && all_monotone;
+        let early_accept =
+            self.config.early_accept && all_monotone && counting != Some(CountMode::Exact);
+
+        // Equality ceilings for the counting overshoot exit.
+        let overshoot_edges: Vec<(usize, usize)> = if counting == Some(CountMode::ThresholdOnly) {
+            self.rp.out_edges[self.rp.focus]
+                .iter()
+                .filter_map(|&eidx| match self.rp.edges[eidx].quantifier {
+                    CountingQuantifier::Count {
+                        op: CmpOp::Eq,
+                        value,
+                    } => Some((eidx, value as usize)),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         acc.reset();
         let engine = IsomorphismEngine::new(self.graph, self.rp, self.order, self.candidates);
+        let mut overshot = false;
         let accepted_early = engine.enumerate_with_focus(vx, stats, |assignment| {
             acc.record(self.rp, self.candidates, assignment);
+            if !overshoot_edges.is_empty() {
+                let rank = acc.assigned_rank(self.rp.focus);
+                if overshoot_edges
+                    .iter()
+                    .any(|&(eidx, cap)| acc.count(eidx, rank) > cap)
+                {
+                    overshot = true;
+                    return ControlFlow::Break(());
+                }
+            }
             if early_accept && self.assignment_is_good(acc, assignment) {
                 ControlFlow::Break(())
             } else {
                 ControlFlow::Continue(())
             }
         });
+        if overshot {
+            stats.threshold_exits += 1;
+            return (false, self.focus_witnesses(acc, vx, false));
+        }
         if accepted_early {
-            return true;
+            if counting.is_some() {
+                stats.threshold_exits += 1;
+            }
+            return (true, self.focus_witnesses(acc, vx, true));
         }
         if acc.no_participants(self.rp.focus) {
             // No isomorphism maps the focus to vx at all.
-            return false;
+            return (false, 0);
+        }
+
+        // Decide the focus itself before building any good set: a focus
+        // whose own counters fail (the common rejection) costs two rank
+        // lookups and no allocation.
+        let Some(focus_rank) = self.candidates.rank(self.rp.focus, vx) else {
+            return (false, 0);
+        };
+        if !acc.is_participant(self.rp.focus, focus_rank)
+            || !self.node_is_good(acc, self.rp.focus, focus_rank, vx)
+        {
+            return (false, self.focus_witnesses(acc, vx, false));
         }
 
         // Exact decision from the accumulated counters: restrict every
         // pattern node to its "good" candidates (those whose counters satisfy
         // every out-edge quantifier) and ask whether an isomorphism survives.
-        let good = self.good_sets(acc);
-        if good[self.rp.focus].binary_search(&vx).is_err() {
-            return false;
+        // The per-node vectors come from (and return to) the accumulator's
+        // scratch, so this allocates nothing once the scratch is warm.
+        let mut good = acc.take_good_scratch();
+        self.fill_good_sets(acc, &mut good);
+        let found = if good.iter().any(Vec::is_empty) {
+            false
+        } else {
+            // Sparse sets: the restricted existence check touches a handful
+            // of nodes, so universe-sized bitmaps would cost O(V) per focus.
+            let restricted = CandidateSets::from_sorted_sets_sparse(good);
+            let engine = IsomorphismEngine::new(self.graph, self.rp, self.order, &restricted);
+            let found = engine.enumerate_with_focus(vx, stats, |_| ControlFlow::Break(()));
+            good = restricted.into_sets();
+            found
+        };
+        acc.restore_good_scratch(good);
+        (found, self.focus_witnesses(acc, vx, found))
+    }
+
+    /// The witness count reported by counting decisions: the distinct
+    /// children accumulated for the focus's first out-edge, or the decision
+    /// itself (`1`/`0`) when the focus has no out-edge to count along.
+    fn focus_witnesses(&self, acc: &CounterAccumulator, vx: NodeId, matched: bool) -> usize {
+        match self.rp.out_edges[self.rp.focus].first() {
+            Some(&eidx) => self
+                .candidates
+                .rank(self.rp.focus, vx)
+                .map(|rank| acc.count(eidx, rank))
+                .unwrap_or(0),
+            None => usize::from(matched),
         }
-        if good.iter().any(Vec::is_empty) {
-            return false;
-        }
-        // Sparse sets: the restricted existence check touches a handful of
-        // nodes, so universe-sized bitmaps would cost O(V) per focus here.
-        let restricted = CandidateSets::from_sorted_sets_sparse(good);
-        let engine = IsomorphismEngine::new(self.graph, self.rp, self.order, &restricted);
-        engine.enumerate_with_focus(vx, stats, |_| ControlFlow::Break(()))
     }
 
     /// Checks that each out-edge of the focus can still reach its threshold
@@ -309,23 +540,22 @@ impl<'a> CandidateVerifier<'a> {
         true
     }
 
-    /// The good candidate set per pattern node, computed from the final
-    /// counters.  Participants are visited in rank order, so each returned
-    /// vector is sorted by node id — ready for
-    /// [`CandidateSets::from_sorted_sets`] with no hashing or re-sort.
-    fn good_sets(&self, acc: &CounterAccumulator) -> Vec<Vec<NodeId>> {
-        (0..self.rp.node_count())
-            .map(|u| {
-                let mut good = Vec::new();
-                acc.for_each_participant(u, |rank| {
-                    let v = self.candidates.set(u)[rank];
-                    if self.node_is_good(acc, u, rank, v) {
-                        good.push(v);
-                    }
-                });
-                good
-            })
-            .collect()
+    /// Fills `good` with the good candidate set per pattern node, computed
+    /// from the final counters.  Participants are visited in rank order, so
+    /// each vector comes out sorted by node id — ready for
+    /// [`CandidateSets::from_sorted_sets_sparse`] with no hashing or
+    /// re-sort.  `good` is the accumulator's reusable scratch: the vectors
+    /// are cleared, not reallocated, per focus candidate.
+    fn fill_good_sets(&self, acc: &CounterAccumulator, good: &mut [Vec<NodeId>]) {
+        for (u, set) in good.iter_mut().enumerate() {
+            set.clear();
+            acc.for_each_participant(u, |rank| {
+                let v = self.candidates.set(u)[rank];
+                if self.node_is_good(acc, u, rank, v) {
+                    set.push(v);
+                }
+            });
+        }
     }
 }
 
@@ -352,6 +582,11 @@ struct CounterAccumulator {
     children_touched: Vec<(u32, u32)>,
     /// Rank of the most recently recorded assignment, per pattern node.
     assigned_ranks: Vec<u32>,
+    /// Reusable per-node vectors for the exact-decision good sets; taken
+    /// with [`CounterAccumulator::take_good_scratch`] and put back after the
+    /// restricted existence check, so the per-focus `Vec<Vec<NodeId>>`
+    /// allocation is paid once per session instead of once per focus.
+    good_scratch: Vec<Vec<NodeId>>,
 }
 
 impl CounterAccumulator {
@@ -368,6 +603,7 @@ impl CounterAccumulator {
                 .collect(),
             children_touched: Vec::new(),
             assigned_ranks: vec![0; rp.node_count()],
+            good_scratch: vec![Vec::new(); rp.node_count()],
         }
     }
 
@@ -426,6 +662,24 @@ impl CounterAccumulator {
     #[inline]
     fn no_participants(&self, u: usize) -> bool {
         self.participants[u].is_empty()
+    }
+
+    /// Did some isomorphism bind pattern node `u` to the candidate at
+    /// `rank`?
+    #[inline]
+    fn is_participant(&self, u: usize, rank: usize) -> bool {
+        self.participants[u].contains(rank)
+    }
+
+    /// Takes the good-set scratch (one vector per pattern node; contents
+    /// stale — [`CandidateVerifier::fill_good_sets`] clears each).
+    fn take_good_scratch(&mut self) -> Vec<Vec<NodeId>> {
+        std::mem::take(&mut self.good_scratch)
+    }
+
+    /// Returns the good-set vectors (and their capacity) to the scratch.
+    fn restore_good_scratch(&mut self, scratch: Vec<Vec<NodeId>>) {
+        self.good_scratch = scratch;
     }
 
     /// Visits every participant rank of pattern node `u` in ascending order.

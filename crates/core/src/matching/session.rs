@@ -32,11 +32,32 @@ use qgp_graph::{Graph, NodeId};
 use qgp_runtime::CancelToken;
 
 use super::candidates::CandidateFilter;
-use super::compiled::CompiledPattern;
+use super::compiled::{CompiledPattern, TrivialShape};
 use super::config::MatchConfig;
 use super::quantified::PositiveSession;
 use super::stats::MatchStats;
 use crate::pattern::Pattern;
+
+/// How a counting decision treats witness counts — the aggregate-pushdown
+/// knob behind [`ExecOptions::count_only`](crate::engine::ExecOptions::count_only).
+///
+/// Either mode returns the exact *decision* (the same boolean
+/// [`MatchSession::decide`] computes); they differ only in how far the
+/// per-focus witness count is carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CountMode {
+    /// Stop counting each quantifier the moment its verdict is decided:
+    /// `≥ p` proven, the threshold unreachable from the children remaining,
+    /// or an equality ceiling overshot.  Witness counts are sufficient lower
+    /// bounds — the cheapest way to answer "does focus `v` clear its
+    /// quantifier" (the default).
+    #[default]
+    ThresholdOnly,
+    /// Count every witness: per-focus counts are exact cardinalities
+    /// (`|Mₑ(v_x, v, Q)|` of the focus's first out-edge), at the cost of
+    /// scanning each child list to the end.
+    Exact,
+}
 
 /// The graph-independent state of one matching session: candidate sets,
 /// search order, counter scratch and lazily-built negation sessions.  Every
@@ -173,6 +194,78 @@ impl SessionCore {
         Some(positive && !excluded)
     }
 
+    /// The counting decision for `vx`: `(vx ∈ Q(x_o, G), witnesses)` without
+    /// materializing child matches.  See [`MatchSession::decide_count`] for
+    /// semantics; `None` means the cancellation token fired first.
+    pub fn decide_count_cancellable(
+        &mut self,
+        graph: &Graph,
+        vx: NodeId,
+        mode: CountMode,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(bool, usize)> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
+        if !self.positive.is_focus_candidate(vx) {
+            return Some((false, 0));
+        }
+        self.stats.focus_candidates += 1;
+        let (positive, witnesses) = self.positive.count(graph, vx, mode, &mut self.stats);
+        if positive && self.config.incremental_negation {
+            self.stats.reused_from_cache += self.compiled.positified.len();
+        }
+        if !positive && self.config.incremental_negation {
+            return Some((false, witnesses));
+        }
+        let mut excluded = false;
+        for k in 0..self.compiled.positified.len() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return None;
+            }
+            // Short-circuit trivial positified patterns straight off the
+            // graph adjacency — no child session is ever built for them.
+            if self.negated[k].is_none() {
+                if let Some(shape) = &self.compiled.trivial_positified[k] {
+                    if trivial_positified_hit(graph, shape, vx) {
+                        excluded = true;
+                        if self.config.incremental_negation {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+            }
+            let pattern = &self.compiled.positified[k];
+            let config = &self.config;
+            let filter = self.filter;
+            let stats = &mut self.stats;
+            let neg = match &mut self.negated[k] {
+                Some(session) => session,
+                slot => {
+                    *slot = Some(PositiveSession::with_filter(
+                        graph, pattern, config, filter, stats,
+                    ));
+                    slot.as_mut().expect("just inserted")
+                }
+            };
+            if neg.is_focus_candidate(vx) {
+                stats.focus_candidates += 1;
+                // Membership in `Π(Q^{+e})` is all the set-difference
+                // semantics needs — decide it through the counting path
+                // (threshold-only: existence short-circuits at the first
+                // witness) instead of enumerating child matches.
+                if neg.count(graph, vx, CountMode::ThresholdOnly, stats).0 {
+                    excluded = true;
+                    if self.config.incremental_negation {
+                        break;
+                    }
+                }
+            }
+        }
+        Some((positive && !excluded, witnesses))
+    }
+
     /// Work counters accumulated so far (including session construction).
     pub fn stats(&self) -> MatchStats {
         self.stats
@@ -182,6 +275,28 @@ impl SessionCore {
     pub fn take_stats(&mut self) -> MatchStats {
         std::mem::take(&mut self.stats)
     }
+}
+
+/// Decides `vx ∈ Π(Q^{+e})(x_o, G)` for a [`TrivialShape`] positified
+/// pattern straight off the CSR adjacency.  For the two-node existential
+/// shape this is exactly what session-based verification computes: the focus
+/// must carry the focus label, and injectivity excludes only `vx` itself
+/// from the child role.  A label absent from the graph's label set can match
+/// nothing, so the decision is `false`.
+fn trivial_positified_hit(graph: &Graph, shape: &TrivialShape, vx: NodeId) -> bool {
+    let labels = graph.labels();
+    let (Some(focus_label), Some(child_label), Some(edge_label)) = (
+        labels.node_label(&shape.focus_label),
+        labels.node_label(&shape.child_label),
+        labels.edge_label(&shape.edge_label),
+    ) else {
+        return false;
+    };
+    graph.node_label(vx) == focus_label
+        && graph
+            .out_neighbors_with_label_slice(vx, edge_label)
+            .iter()
+            .any(|&c| c != vx && graph.node_label(c) == child_label)
 }
 
 /// A reusable matching session for one (pattern, graph) pair, deciding
@@ -260,6 +375,34 @@ impl<'g> MatchSession<'g> {
     /// session's (immutable) candidate state.
     pub fn decide_cancellable(&mut self, vx: NodeId, cancel: Option<&CancelToken>) -> Option<bool> {
         self.core.decide_cancellable(self.graph, vx, cancel)
+    }
+
+    /// The counting decision for `vx`: the same boolean
+    /// [`MatchSession::decide`] computes, paired with the witness count of
+    /// the focus's first out-edge — *without* materializing child matches.
+    ///
+    /// Under [`CountMode::ThresholdOnly`] every quantifier stops at its
+    /// verdict (the witness count is a sufficient lower bound); under
+    /// [`CountMode::Exact`] the count is the exact number of distinct
+    /// children matched by that edge.  Negated edges are decided as set
+    /// membership in `Π(Q^{+e})` — existence short-circuits at the first
+    /// witness, and trivial two-node positified patterns are answered from
+    /// the adjacency lists without building a child session at all.
+    pub fn decide_count(&mut self, vx: NodeId, mode: CountMode) -> (bool, usize) {
+        self.core
+            .decide_count_cancellable(self.graph, vx, mode, None)
+            .unwrap_or((false, 0))
+    }
+
+    /// [`MatchSession::decide_count`] with cooperative cancellation; `None`
+    /// means the token fired before the decision was reached.
+    pub fn decide_count_cancellable(
+        &mut self,
+        vx: NodeId,
+        mode: CountMode,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(bool, usize)> {
+        self.core.decide_count_cancellable(self.graph, vx, mode, cancel)
     }
 
     /// Work counters accumulated so far (including session construction).

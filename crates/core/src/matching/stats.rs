@@ -31,6 +31,17 @@ pub struct MatchStats {
     /// stays bounded by `threads × fragments` instead of growing with the
     /// number of work chunks.
     pub sessions_built: usize,
+    /// Counting-mode decisions concluded by a threshold argument before the
+    /// scan or enumeration finished: the quantifier was proven satisfied
+    /// (`count ≥ min_required`), proven unreachable (too few children
+    /// remain), or overshot an equality ceiling.  Zero outside the counting
+    /// decision path.
+    pub threshold_exits: usize,
+    /// Child probes performed by the counting fast path's ranked-slice
+    /// intersections.  Together with [`MatchStats::threshold_exits`] this
+    /// shows how much enumeration the aggregate pushdown avoided: compare
+    /// against `verifications` on the same workload without counting.
+    pub children_counted: usize,
 }
 
 impl MatchStats {
@@ -51,6 +62,8 @@ impl AddAssign for MatchStats {
         self.pruned_by_simulation += rhs.pruned_by_simulation;
         self.reused_from_cache += rhs.reused_from_cache;
         self.sessions_built += rhs.sessions_built;
+        self.threshold_exits += rhs.threshold_exits;
+        self.children_counted += rhs.children_counted;
     }
 }
 
@@ -76,6 +89,8 @@ impl Sub for MatchStats {
                 .saturating_sub(rhs.pruned_by_simulation),
             reused_from_cache: self.reused_from_cache.saturating_sub(rhs.reused_from_cache),
             sessions_built: self.sessions_built.saturating_sub(rhs.sessions_built),
+            threshold_exits: self.threshold_exits.saturating_sub(rhs.threshold_exits),
+            children_counted: self.children_counted.saturating_sub(rhs.children_counted),
         }
     }
 }
@@ -114,6 +129,8 @@ mod tests {
             pruned_by_simulation: 7,
             reused_from_cache: 8,
             sessions_built: 9,
+            threshold_exits: 10,
+            children_counted: 11,
         };
         a += a;
         assert_eq!(a.initial_candidates, 2);
@@ -125,6 +142,8 @@ mod tests {
         assert_eq!(a.pruned_by_simulation, 14);
         assert_eq!(a.reused_from_cache, 16);
         assert_eq!(a.sessions_built, 18);
+        assert_eq!(a.threshold_exits, 20);
+        assert_eq!(a.children_counted, 22);
         assert_eq!(MatchStats::new(), MatchStats::default());
     }
 }

@@ -39,23 +39,41 @@ pub struct RuleEvaluation {
     pub stats: MatchStats,
 }
 
-/// Runs one pattern sequentially through the engine.
+/// Runs one pattern sequentially through the engine.  With `counting` the
+/// decision for every focus candidate runs through the aggregate-pushdown
+/// path ([`PreparedQuery::count`](qgp_core::engine::PreparedQuery::count)):
+/// the matched foci are identical, but no child match is ever materialized —
+/// the per-candidate saving Exp-3 support counting lives on.
 fn run_sequential(
     graph: &Graph,
     pattern: &Pattern,
     config: &MatchConfig,
+    counting: bool,
 ) -> Result<QueryAnswer, RuleError> {
+    let opts = ExecOptions::sequential().with_config(*config);
     Engine::new(graph)
         .prepare(pattern)
-        .and_then(|mut prepared| prepared.run(ExecOptions::sequential().with_config(*config)))
+        .and_then(|mut prepared| {
+            if counting {
+                prepared.count(opts.count_only()).map(|answer| QueryAnswer {
+                    matches: answer.matches().collect(),
+                    stats: answer.stats,
+                    truncated: answer.truncated,
+                })
+            } else {
+                prepared.run(opts)
+            }
+        })
         .map_err(|e| RuleError::InvalidPattern(e.to_string()))
 }
 
-/// Runs one pattern over a d-hop partition through the engine.
+/// Runs one pattern over a d-hop partition through the engine (counting
+/// path when `counting` — see [`run_sequential`]).
 fn run_partitioned(
     pattern: &Pattern,
     partition: &DHopPartition,
     config: &ParallelConfig,
+    counting: bool,
 ) -> Result<QueryAnswer, RuleError> {
     let fragments = partition.fragments();
     let engine = Engine::new(
@@ -72,7 +90,17 @@ fn run_partitioned(
     .with_config(config.match_config);
     engine
         .prepare(pattern)
-        .and_then(|mut prepared| prepared.run(opts))
+        .and_then(|mut prepared| {
+            if counting {
+                prepared.count(opts.count_only()).map(|answer| QueryAnswer {
+                    matches: answer.matches().collect(),
+                    stats: answer.stats,
+                    truncated: answer.truncated,
+                })
+            } else {
+                prepared.run(opts)
+            }
+        })
         .map_err(|e| RuleError::Parallel(e.to_string()))
 }
 
@@ -87,13 +115,15 @@ pub(crate) struct ConsequentEval {
 }
 
 /// Evaluates a consequent pattern once (engine-backed), capturing
-/// everything rule evaluation needs from it.
+/// everything rule evaluation needs from it.  `counting` routes the match
+/// through the aggregate-pushdown path.
 pub(crate) fn evaluate_consequent(
     graph: &Graph,
     consequent: &Pattern,
     config: &MatchConfig,
+    counting: bool,
 ) -> Result<ConsequentEval, RuleError> {
-    let answer = run_sequential(graph, consequent, config)?;
+    let answer = run_sequential(graph, consequent, config, counting)?;
     Ok(ConsequentEval {
         lcwa: lcwa_candidates(graph, consequent),
         answer,
@@ -101,14 +131,15 @@ pub(crate) fn evaluate_consequent(
 }
 
 /// Evaluates a rule against an already-evaluated consequent: only the
-/// antecedent is matched.
+/// antecedent is matched (through the counting path when `counting`).
 pub(crate) fn evaluate_with_consequent(
     graph: &Graph,
     rule: &Qgar,
     consequent: &ConsequentEval,
     config: &MatchConfig,
+    counting: bool,
 ) -> Result<RuleEvaluation, RuleError> {
-    let q1 = run_sequential(graph, rule.antecedent(), config)?;
+    let q1 = run_sequential(graph, rule.antecedent(), config, counting)?;
     let mut stats = q1.stats;
     stats += consequent.answer.stats;
     Ok(combine(
@@ -120,26 +151,32 @@ pub(crate) fn evaluate_with_consequent(
 }
 
 /// `garMatch`: sequential evaluation of a QGAR (Corollary 11(1)).
+///
+/// Support and confidence are *counting* aggregates, so both patterns are
+/// decided through the engine's aggregate-pushdown path: identical matched
+/// foci, no child-match materialization (compare
+/// [`RuleEvaluation::stats`]'s `threshold_exits` against `verifications`).
 pub fn evaluate_rule(
     graph: &Graph,
     rule: &Qgar,
     config: &MatchConfig,
 ) -> Result<RuleEvaluation, RuleError> {
-    let consequent = evaluate_consequent(graph, rule.consequent(), config)?;
-    evaluate_with_consequent(graph, rule, &consequent, config)
+    let consequent = evaluate_consequent(graph, rule.consequent(), config, true)?;
+    evaluate_with_consequent(graph, rule, &consequent, config, true)
 }
 
 /// `dgarMatch`: parallel evaluation of a QGAR over a d-hop preserving
 /// partition (Corollary 11(2)).  The partition's `d` must be at least the
-/// rule's radius.
+/// rule's radius.  Both patterns run through the counting path, like
+/// [`evaluate_rule`].
 pub fn evaluate_rule_parallel(
     graph: &Graph,
     rule: &Qgar,
     partition: &DHopPartition,
     config: &ParallelConfig,
 ) -> Result<RuleEvaluation, RuleError> {
-    let q1 = run_partitioned(rule.antecedent(), partition, config)?;
-    let q2 = run_partitioned(rule.consequent(), partition, config)?;
+    let q1 = run_partitioned(rule.antecedent(), partition, config, true)?;
+    let q2 = run_partitioned(rule.consequent(), partition, config, true)?;
     let mut stats = q1.stats;
     stats += q2.stats;
     let lcwa = lcwa_candidates(graph, rule.consequent());

@@ -39,6 +39,14 @@ pub struct MiningConfig {
     pub ratio_step: f64,
     /// Matcher configuration used for rule evaluation.
     pub match_config: MatchConfig,
+    /// Route support/confidence counting through the engine's aggregate
+    /// pushdown ([`qgp_core::engine::PreparedQuery::count`]): every seed
+    /// pair and strengthening-ladder rung decides candidates by early-exit
+    /// counting instead of materializing child matches.  The mined rules are
+    /// identical either way (the decision per focus is the same boolean);
+    /// `false` restores the enumerating evaluation, which `experiments
+    /// bench --count` uses as its before/after baseline.
+    pub count_pushdown: bool,
 }
 
 impl Default for MiningConfig {
@@ -51,6 +59,7 @@ impl Default for MiningConfig {
             max_rules: 20,
             ratio_step: 10.0,
             match_config: MatchConfig::qmatch(),
+            count_pushdown: true,
         }
     }
 }
@@ -138,7 +147,7 @@ pub fn mine_qgars_with_report(
         .iter()
         .map(|seed| {
             let pattern = consequent_pattern(config, seed)?;
-            evaluate_consequent(graph, &pattern, &config.match_config).ok()
+            evaluate_consequent(graph, &pattern, &config.match_config, config.count_pushdown).ok()
         })
         .collect();
 
@@ -152,7 +161,14 @@ pub fn mine_qgars_with_report(
         let consequent_seed = &seeds[j];
         let rule = seed_rule(config, antecedent_seed, consequent_seed)?;
         let consequent = consequents[j].as_ref()?;
-        let eval = evaluate_with_consequent(graph, &rule, consequent, &config.match_config).ok()?;
+        let eval = evaluate_with_consequent(
+            graph,
+            &rule,
+            consequent,
+            &config.match_config,
+            config.count_pushdown,
+        )
+        .ok()?;
         if eval.support < config.min_support || eval.confidence < config.confidence_threshold {
             return None;
         }
@@ -309,8 +325,13 @@ fn strengthen(
         let Ok(rule) = Qgar::new(name, antecedent, consequent_p) else {
             break;
         };
-        let Ok(eval) = evaluate_with_consequent(graph, &rule, consequent, &config.match_config)
-        else {
+        let Ok(eval) = evaluate_with_consequent(
+            graph,
+            &rule,
+            consequent,
+            &config.match_config,
+            config.count_pushdown,
+        ) else {
             break;
         };
         if eval.support < config.min_support || eval.confidence < config.confidence_threshold {
@@ -447,6 +468,30 @@ mod tests {
             }
             assert!(report.pairs_explored > 0);
             assert!(!report.worker_busy.is_empty());
+        }
+    }
+
+    #[test]
+    fn count_pushdown_mines_identical_rules() {
+        let g = regular_graph(15);
+        let pushed_config = MiningConfig {
+            min_support: 2,
+            confidence_threshold: 0.3,
+            ..MiningConfig::default()
+        };
+        let enumerating_config = MiningConfig {
+            count_pushdown: false,
+            ..pushed_config.clone()
+        };
+        let pushed = mine_qgars(&g, &pushed_config).unwrap();
+        let enumerated = mine_qgars(&g, &enumerating_config).unwrap();
+        assert!(!pushed.is_empty());
+        assert_eq!(pushed.len(), enumerated.len());
+        for (a, b) in pushed.iter().zip(&enumerated) {
+            assert_eq!(a.rule.name(), b.rule.name());
+            assert_eq!(a.evaluation.support, b.evaluation.support);
+            assert!((a.evaluation.confidence - b.evaluation.confidence).abs() < 1e-12);
+            assert_eq!(a.strengthened_to, b.strengthened_to);
         }
     }
 

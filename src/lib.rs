@@ -100,8 +100,9 @@ pub use qgp_runtime as runtime;
 // The one execution surface, flattened to the root so the quickstart needs
 // a single `use` line.
 pub use qgp_core::engine::{
-    BudgetPolicy, BudgetStop, CancelToken, Engine, ExecBudget, ExecMode, ExecOptions, Matches,
-    MatchView, ParallelTelemetry, Parallelism, PreparedQuery, TaskError, ViewDelta, ViewError,
+    BudgetPolicy, BudgetStop, CancelToken, CountAnswer, CountMode, Engine, ExecBudget, ExecMode,
+    ExecOptions, FocusCount, Matches, MatchView, ParallelTelemetry, Parallelism, PreparedQuery,
+    TaskError, ViewDelta, ViewError,
 };
 pub use qgp_core::matching::{MatchConfig, MatchStats, QueryAnswer};
 pub use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
