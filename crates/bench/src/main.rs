@@ -38,6 +38,8 @@
 //!   existing --out document instead of overwriting it.
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::process::ExitCode;
 

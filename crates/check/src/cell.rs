@@ -1,0 +1,79 @@
+//! [`RaceCell`]: plain-data accesses the race detector can see.
+//!
+//! Model atomics are always well-defined — the interesting question for a
+//! lock-free protocol is whether the *non-atomic* data it publishes is
+//! properly ordered.  `RaceCell<T>` stands in for such data in model tests:
+//! reads and writes are scheduled operations checked against the vector
+//! clocks, and two accesses (at least one a write) that are not ordered by
+//! happens-before fail the execution with [`FailureKind::DataRace`].
+//!
+//! Outside a model execution the cell is just a mutex-protected value, so
+//! tests using it still compile and run (raceless) under plain `cargo test`.
+//!
+//! [`FailureKind::DataRace`]: crate::FailureKind::DataRace
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Mutex, PoisonError};
+
+use crate::sched;
+
+/// A value whose accesses are checked for data races under the model
+/// scheduler.  See the module docs.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    data: Mutex<T>,
+    /// Epoch-tagged location id, assigned lazily by the scheduler.
+    id: AtomicU64,
+    label: &'static str,
+}
+
+impl<T: Clone> RaceCell<T> {
+    /// A cell labelled `"cell"` in race reports.
+    pub fn new(value: T) -> Self {
+        Self::named("cell", value)
+    }
+
+    /// A cell carrying `label` in race reports.
+    pub fn named(label: &'static str, value: T) -> Self {
+        Self {
+            data: Mutex::new(value),
+            id: AtomicU64::new(0),
+            label,
+        }
+    }
+
+    /// Reads the value.  A scheduled operation under the model; fails the
+    /// execution if unordered with the latest write.
+    pub fn read(&self) -> T {
+        let modeled = sched::with_op(|st, tid| {
+            let cid = st.cell_loc(&self.id, self.label);
+            st.cell_read(tid, cid);
+            self.data
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+        });
+        match modeled {
+            Some(v) => v,
+            None => self
+                .data
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// Writes the value.  A scheduled operation under the model; fails the
+    /// execution if unordered with any other access since the last ordered
+    /// write.
+    pub fn write(&self, value: T) {
+        let modeled = sched::with_op(|st, tid| {
+            let cid = st.cell_loc(&self.id, self.label);
+            st.cell_write(tid, cid);
+            *self.data.lock().unwrap_or_else(PoisonError::into_inner) = value.clone();
+        });
+        if modeled.is_none() {
+            *self.data.lock().unwrap_or_else(PoisonError::into_inner) = value;
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `qgp-check`: a deterministic concurrency model checker for the QGP
+//! stack, in the spirit of `loom`/`shuttle` but dependency-free (the build
+//! is offline) and safe-Rust only.
+//!
+//! ## How it works
+//!
+//! A test body runs under [`explore`]: its threads (spawned through
+//! [`scope`]) are real OS threads, but every synchronization operation on
+//! the model primitives in [`sync`] is a *scheduling point* — the scheduler
+//! serializes operations and decides, at each point, which thread runs
+//! next.  Decisions come from a seeded splitmix64 stream (reproducible:
+//! same seed → same schedule) or from a depth-first enumeration of all
+//! branch points (bounded exhaustive search for small cases).
+//!
+//! Per-thread vector clocks track happens-before through the *declared*
+//! memory orderings: a `Release` store publishes the writer's clock, an
+//! `Acquire` load joins it, a `Relaxed` access publishes/joins nothing.
+//! Non-atomic data stands in as [`RaceCell`]s, whose accesses are checked
+//! against those clocks — two unordered conflicting accesses fail the
+//! execution with a [`FailureKind::DataRace`] and a reproducible seed or
+//! schedule.  Deadlocks (every live thread blocked) and livelocks (step
+//! budget) are reported the same way.
+//!
+//! Off a model thread every primitive passes through to `std` with the
+//! caller's ordering, so code ported onto these types behaves identically
+//! in production builds.
+//!
+//! ## Using it
+//!
+//! The QGP runtime routes its primitives here via the `qgp_runtime::sync`
+//! facade when built with `--features model`; the model test suites live in
+//! `crates/runtime/tests/model_*.rs`.  See `docs/ANALYSIS.md` for how to
+//! run them, replay a failing seed, and what the checker does and does not
+//! verify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod clock;
+mod explore;
+mod sched;
+pub mod sync;
+mod thread;
+mod time;
+
+pub use cell::RaceCell;
+pub use explore::{check, explore, Config, Report};
+pub use sched::{Failure, FailureKind};
+pub use thread::{scope, sleep, yield_now, Scope, ScopedJoinHandle};
+pub use time::now;

@@ -1,0 +1,91 @@
+//! Model-aware drop-ins for `std::thread` scoped spawning, sleep and yield.
+//!
+//! Spawn and join are scheduled operations with the usual happens-before
+//! edges (parent-at-spawn ≤ child; child-at-finish ≤ joiner).  `sleep`
+//! advances virtual time instead of blocking, and `yield_now` is a pure
+//! scheduling point.  Off a model thread everything passes through to
+//! `std::thread`.
+//!
+//! One contract beyond `std`: a model thread spawned through [`Scope::spawn`]
+//! must be joined through its [`ScopedJoinHandle`] before the scope closure
+//! returns.  Relying on the scope's implicit join would block the spawning
+//! thread at the OS level without telling the scheduler, and the execution
+//! would hang.
+
+use std::time::Duration;
+
+use crate::sched;
+
+/// As [`std::thread::scope`], with model-aware spawning.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|inner| f(&Scope { inner }))
+}
+
+/// As [`std::thread::Scope`]; created by [`scope`].
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// As `std::thread::Scope::spawn`.  On a model thread the child is
+    /// registered with the scheduler and inherits the parent's clock.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match sched::register_child() {
+            Some(tid) => ScopedJoinHandle {
+                inner: self.inner.spawn(move || sched::run_model_thread(tid, f)),
+                model: Some(tid),
+            },
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                model: None,
+            },
+        }
+    }
+}
+
+/// As [`std::thread::ScopedJoinHandle`]; created by [`Scope::spawn`].
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<usize>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// As `std`: waits for the child and returns its result, or the panic
+    /// payload if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.model {
+            // Blocks in model time first; the OS-level join below then
+            // completes without further scheduling.
+            sched::join_model_thread(tid);
+        }
+        self.inner.join()
+    }
+}
+
+/// As [`std::thread::sleep`]; on a model thread it advances virtual time by
+/// `dur` instead of blocking.
+pub fn sleep(dur: Duration) {
+    let modeled = sched::with_op(|_, _| {
+        crate::time::advance(dur.as_nanos().min(u128::from(u64::MAX)) as u64);
+    });
+    if modeled.is_none() {
+        std::thread::sleep(dur);
+    }
+}
+
+/// As [`std::thread::yield_now`]; on a model thread it is a pure scheduling
+/// point.
+pub fn yield_now() {
+    if sched::with_op(|_, _| ()).is_none() {
+        std::thread::yield_now();
+    }
+}

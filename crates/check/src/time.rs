@@ -1,0 +1,39 @@
+//! Virtual time for model executions.
+//!
+//! Real wall clocks are nondeterministic, so model-checked code must never
+//! branch on `Instant::now()` (the lint enforces this).  Instead, the
+//! scheduler advances a global virtual clock by one microsecond per
+//! scheduled operation, and [`now`] reports it as an `Instant` anchored at a
+//! process-wide epoch.  Deadline logic (e.g. `CancelToken::with_deadline`)
+//! then trips after a deterministic number of operations.
+//!
+//! Outside a model thread, [`now`] is exactly `Instant::now()`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Virtual nanoseconds elapsed across all model executions.  Monotone and
+/// global: executions never observe time going backwards.
+static VTIME: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Advances virtual time; called by the scheduler once per operation and by
+/// modeled `sleep`.
+pub(crate) fn advance(nanos: u64) {
+    VTIME.fetch_add(nanos, Ordering::SeqCst);
+}
+
+/// The current time: virtual (operation-counted) on a model thread, real
+/// everywhere else.
+pub fn now() -> Instant {
+    if crate::sched::in_model_thread() {
+        epoch() + Duration::from_nanos(VTIME.load(Ordering::SeqCst))
+    } else {
+        Instant::now()
+    }
+}

@@ -2,7 +2,7 @@
 //! whole-graph parallel path, and the partitioned (`PQMatch`-style) path,
 //! all driving the same [`MatchSession::decide_cancellable`] semantics.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use qgp_runtime::sync::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

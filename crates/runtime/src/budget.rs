@@ -14,11 +14,11 @@
 //! Clones share one ledger: charging any clone charges them all, which is
 //! what lets a parallel fan-out enforce a single global cap.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
+use crate::sync::{self, AtomicU64, Ordering};
 
 /// Why a budget stopped an execution early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +60,7 @@ impl ExecBudget {
 
     /// A budget that expires `timeout` from now.
     pub fn with_timeout(timeout: Duration) -> Self {
-        Self::with_deadline(Instant::now() + timeout)
+        Self::with_deadline(sync::now() + timeout)
     }
 
     /// Caps the number of decisions this budget will fund.
@@ -82,6 +82,12 @@ impl ExecBudget {
         if self.token.is_cancelled() {
             return false;
         }
+        // relaxed: the ledger is a pure counter — no data is published
+        // through `used`.  Cross-thread trip visibility flows through the
+        // token instead: this fetch_add happens-before the `cancel()`
+        // (Release) below on the tripping thread, so any thread that
+        // observes the trip via `is_cancelled()` (Acquire) also observes
+        // `used > max`.  Pinned by tests/model_budget.rs.
         let prior = self.used.fetch_add(n, Ordering::Relaxed);
         match self.max_decisions {
             Some(max) if prior.saturating_add(n) > max => {
@@ -105,6 +111,10 @@ impl ExecBudget {
         }
         if self
             .max_decisions
+            // relaxed: only reached after `is_cancelled()` returned true —
+            // that Acquire load synchronizes with the tripping thread's
+            // Release `cancel()`, which its crossing fetch_add precedes, so
+            // an exhausted ledger is already visible here (model-pinned).
             .is_some_and(|max| self.used.load(Ordering::Relaxed) > max)
         {
             return Some(BudgetStop::DecisionsExhausted);
@@ -112,7 +122,7 @@ impl ExecBudget {
         if self
             .token
             .deadline()
-            .is_some_and(|deadline| Instant::now() >= deadline)
+            .is_some_and(|deadline| sync::now() >= deadline)
         {
             return Some(BudgetStop::DeadlineExpired);
         }
@@ -121,6 +131,9 @@ impl ExecBudget {
 
     /// Decisions charged so far (across all clones).
     pub fn decisions_used(&self) -> u64 {
+        // relaxed: a monotonic statistics read; callers wanting an exact
+        // figure read it after joining the charging threads, and the value
+        // itself publishes nothing.
         self.used.load(Ordering::Relaxed)
     }
 

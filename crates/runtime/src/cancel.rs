@@ -7,9 +7,10 @@
 //! shared state is ever left half-updated and every runtime, session and
 //! prepared query remains reusable after a cancelled run.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::{self, AtomicBool, Ordering};
 
 /// A cheaply cloneable cancellation/deadline token.
 ///
@@ -46,7 +47,7 @@ impl CancelToken {
 
     /// A token with a deadline `timeout` from now.
     pub fn with_timeout(timeout: Duration) -> Self {
-        Self::with_deadline(Instant::now() + timeout)
+        Self::with_deadline(sync::now() + timeout)
     }
 
     /// Requests cancellation.  Idempotent; visible to every clone.
@@ -60,7 +61,7 @@ impl CancelToken {
             return true;
         }
         match self.inner.deadline {
-            Some(deadline) if Instant::now() >= deadline => {
+            Some(deadline) if sync::now() >= deadline => {
                 self.inner.cancelled.store(true, Ordering::Release);
                 true
             }

@@ -1,0 +1,161 @@
+//! The collapsed work-stealing deque: one atomic `(lo, hi)` range.
+//!
+//! This is the executor's Chase-Lev deque reduced to its minimal form for
+//! index-range scheduling: the owner claims grain-sized blocks from the
+//! bottom (`lo`) with a CAS, thieves split off the upper half by moving
+//! `hi` down with a CAS, and a worker that stole a range publishes it into
+//! its own (empty) queue with a release store.  Ranges are disjoint by
+//! construction — they only ever arise from splits of the initial `0..len`
+//! space — so every index is executed exactly once.
+//!
+//! ## Ordering contract (verified by `tests/model_deque.rs`)
+//!
+//! The single-word accounting is correct under any ordering: per-location
+//! coherence already guarantees claims and steals hand out disjoint
+//! sub-ranges.  What *does* need ordering is publication: when a thief
+//! installs a stolen range and later task data is read through it, the
+//! install's `Release` paired with the next reader's `Acquire` is the edge
+//! that makes prior writes visible.  The mutation self-test (`--cfg
+//! qgp_mutate`, CI job `check`) weakens exactly that store and asserts the
+//! model checker reports the resulting race — proving the checker still
+//! guards this contract.
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// Ordering of [`RangeQueue::install`]'s publishing store.  `Release` pairs
+/// with the `Acquire` loads in [`RangeQueue::claim`]/[`RangeQueue::len`] to
+/// publish everything that happened before the steal.
+#[cfg(not(qgp_mutate))]
+const INSTALL_ORDER: Ordering = Ordering::Release;
+/// Mutated install ordering for the checker's self-test: deliberately
+/// wrong, so the model suite must report a publication race.
+// relaxed: qgp_mutate only — the mutation self-test asserts qgp-check
+// catches this weakening; never compiled into production builds.
+#[cfg(qgp_mutate)]
+const INSTALL_ORDER: Ordering = Ordering::Relaxed;
+
+/// One worker's deque: a `(lo, hi)` index range packed into a single atomic
+/// word.  The owner claims grain-sized blocks from `lo`; thieves split off
+/// the upper half by moving `hi` down with one CAS.  See the module docs
+/// for the ordering contract.
+#[derive(Debug)]
+pub struct RangeQueue(AtomicU64);
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl RangeQueue {
+    /// A queue owning the range `lo..hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        RangeQueue(AtomicU64::new(pack(lo, hi)))
+    }
+
+    /// Remaining items in the range.
+    pub fn len(&self) -> u32 {
+        let (lo, hi) = unpack(self.0.load(Ordering::Acquire));
+        hi.saturating_sub(lo)
+    }
+
+    /// Is the range drained?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Installs a freshly stolen range.  Only ever called by the queue's
+    /// owner, and only while the queue is empty, so no work can be lost.
+    /// The release store publishes the steal to the next acquiring reader.
+    pub fn install(&self, lo: u32, hi: u32) {
+        self.0.store(pack(lo, hi), INSTALL_ORDER);
+    }
+
+    /// Owner side: claims up to `grain` items from the bottom of the range.
+    pub fn claim(&self, grain: u32) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let take = grain.min(hi - lo);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(lo + take, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((lo, lo + take)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief side: splits off the upper half of the range, rounded up — a
+    /// single leftover item is stolen whole, so work never serializes
+    /// behind a long task its owner is still executing.
+    pub fn steal_half(&self) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let mid = lo + (hi - lo) / 2;
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(lo, mid),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((mid, hi)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_and_steal_are_disjoint() {
+        let q = RangeQueue::new(0, 100);
+        let (a, b) = q.claim(10).unwrap();
+        assert_eq!((a, b), (0, 10));
+        let (lo, hi) = q.steal_half().unwrap();
+        assert_eq!((lo, hi), (55, 100));
+        assert_eq!(q.len(), 45);
+        assert!(!q.is_empty());
+        // Drain the rest; every index comes out exactly once.
+        let mut seen: Vec<u32> = (a..b).chain(lo..hi).collect();
+        while let Some((x, y)) = q.claim(7) {
+            seen.extend(x..y);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert!(q.steal_half().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn singleton_range_is_stolen_whole() {
+        let q = RangeQueue::new(9, 10);
+        assert_eq!(q.steal_half(), Some((9, 10)));
+        assert!(q.is_empty());
+        assert_eq!(q.claim(4), None);
+    }
+
+    #[test]
+    fn install_replaces_an_empty_queue() {
+        let q = RangeQueue::new(0, 0);
+        assert!(q.is_empty());
+        q.install(20, 30);
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.claim(100), Some((20, 30)));
+    }
+}

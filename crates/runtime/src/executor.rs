@@ -20,12 +20,13 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::cancel::CancelToken;
+use crate::deque::RangeQueue;
 use crate::faults;
+use crate::sync::{self, AtomicUsize, Ordering};
 
 /// Number of executor threads used when `QGP_THREADS` is not set: the
 /// machine's available parallelism.
@@ -62,90 +63,13 @@ fn thread_cpu_ns() -> Option<u64> {
 /// sequential execution path shares.
 fn run_measured<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     let cpu0 = thread_cpu_ns();
-    let t0 = Instant::now();
+    let t0 = sync::now();
     let result = f();
     let busy = match (cpu0, thread_cpu_ns()) {
         (Some(a), Some(b)) if b >= a => Duration::from_nanos(b - a),
-        _ => t0.elapsed(),
+        _ => sync::now().saturating_duration_since(t0),
     };
     (result, busy)
-}
-
-/// One worker's deque: a `(lo, hi)` index range packed into a single atomic
-/// word.  The owner claims grain-sized blocks from `lo`; thieves split off
-/// the upper half by moving `hi` down with one CAS.  Ranges are disjoint by
-/// construction (they only ever arise from splits of the initial 0..len
-/// space), so every index is executed exactly once.
-struct RangeQueue(AtomicU64);
-
-fn pack(lo: u32, hi: u32) -> u64 {
-    (u64::from(lo) << 32) | u64::from(hi)
-}
-
-fn unpack(v: u64) -> (u32, u32) {
-    ((v >> 32) as u32, v as u32)
-}
-
-impl RangeQueue {
-    fn new(lo: u32, hi: u32) -> Self {
-        RangeQueue(AtomicU64::new(pack(lo, hi)))
-    }
-
-    /// Remaining items in the range.
-    fn len(&self) -> u32 {
-        let (lo, hi) = unpack(self.0.load(Ordering::Acquire));
-        hi.saturating_sub(lo)
-    }
-
-    /// Installs a freshly stolen range.  Only ever called by the queue's
-    /// owner, and only while the queue is empty, so no work can be lost.
-    fn install(&self, lo: u32, hi: u32) {
-        self.0.store(pack(lo, hi), Ordering::Release);
-    }
-
-    /// Owner side: claims up to `grain` items from the bottom of the range.
-    fn claim(&self, grain: u32) -> Option<(u32, u32)> {
-        let mut cur = self.0.load(Ordering::Acquire);
-        loop {
-            let (lo, hi) = unpack(cur);
-            if lo >= hi {
-                return None;
-            }
-            let take = grain.min(hi - lo);
-            match self.0.compare_exchange_weak(
-                cur,
-                pack(lo + take, hi),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return Some((lo, lo + take)),
-                Err(now) => cur = now,
-            }
-        }
-    }
-
-    /// Thief side: splits off the upper half of the range, rounded up — a
-    /// single leftover item is stolen whole, so work never serializes
-    /// behind a long task its owner is still executing.
-    fn steal_half(&self) -> Option<(u32, u32)> {
-        let mut cur = self.0.load(Ordering::Acquire);
-        loop {
-            let (lo, hi) = unpack(cur);
-            if lo >= hi {
-                return None;
-            }
-            let mid = lo + (hi - lo) / 2;
-            match self.0.compare_exchange_weak(
-                cur,
-                pack(lo, mid),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return Some((mid, hi)),
-                Err(now) => cur = now,
-            }
-        }
-    }
 }
 
 /// A panic captured from one task (or one worker's state initializer),
@@ -500,7 +424,7 @@ impl Runtime {
         // workers inherit whether this map participates in an armed plan.
         let inject = faults::thread_participates();
 
-        let results: Vec<Result<WorkerResult<O, S>, TaskError>> = std::thread::scope(|scope| {
+        let results: Vec<Result<WorkerResult<O, S>, TaskError>> = sync::scope(|scope| {
             let queues = &queues;
             let steals = &steals;
             let abort = &abort;
@@ -563,6 +487,9 @@ impl Runtime {
             outputs: slots,
             states,
             worker_busy,
+            // relaxed: read after the scope joined every worker, so all
+            // fetch_adds happen-before this load via the joins; the counter
+            // is statistics, not synchronization.
             steals: steals.load(Ordering::Relaxed),
         })
     }
@@ -614,7 +541,7 @@ where
     let mut wall_busy = Duration::ZERO;
     'work: loop {
         while let Some((a, b)) = queues[me].claim(grain) {
-            let t0 = Instant::now();
+            let t0 = sync::now();
             // Track the in-flight index so a panic anywhere in the block is
             // attributed to the task that raised it.
             let current = Cell::new(a);
@@ -629,7 +556,7 @@ where
                 }
                 true
             }));
-            wall_busy += t0.elapsed();
+            wall_busy += sync::now().saturating_duration_since(t0);
             match run {
                 Ok(true) => {}
                 Ok(false) => break 'work,
@@ -661,6 +588,9 @@ where
             match best {
                 Some((victim, _)) => {
                     if let Some((lo, hi)) = queues[victim].steal_half() {
+                        // relaxed: a monotonic statistics counter — nothing
+                        // is published through it; the caller reads it only
+                        // after joining this worker.
                         steals.fetch_add(1, Ordering::Relaxed);
                         queues[me].install(lo, hi);
                         continue 'work;
@@ -766,24 +696,6 @@ mod tests {
         assert_eq!(parse_threads(Some("nope"), 2), 2);
         assert_eq!(parse_threads(None, 3), 3);
         assert_eq!(parse_threads(None, 0), 1);
-    }
-
-    #[test]
-    fn range_queue_claim_and_steal_are_disjoint() {
-        let q = RangeQueue::new(0, 100);
-        let (a, b) = q.claim(10).unwrap();
-        assert_eq!((a, b), (0, 10));
-        let (lo, hi) = q.steal_half().unwrap();
-        assert_eq!((lo, hi), (55, 100));
-        assert_eq!(q.len(), 45);
-        // Drain the rest; every index comes out exactly once.
-        let mut seen: Vec<u32> = (a..b).chain(lo..hi).collect();
-        while let Some((x, y)) = q.claim(7) {
-            seen.extend(x..y);
-        }
-        seen.sort_unstable();
-        assert_eq!(seen, (0..100).collect::<Vec<_>>());
-        assert!(q.steal_half().is_none());
     }
 
     #[test]

@@ -29,9 +29,10 @@
 //! never perturbed by another test's armed window.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{OnceLock, PoisonError};
 use std::time::Duration;
+
+use crate::sync::{self, AtomicBool, AtomicU64, Mutex, MutexGuard, Ordering};
 
 /// A deterministic fault-injection schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +106,11 @@ thread_local! {
 /// arming test's task tree and never leaks into concurrently running
 /// tests.
 pub fn thread_participates() -> bool {
+    // relaxed: a monotonic arm/disarm flag guarding a slow path.  The armed
+    // plan itself is read under the `active()` mutex (whose hand-over
+    // orders it after `install`'s writes); a stale `false` here only means
+    // one more fault-free task, which the thread-scoping contract allows.
+    // Pinned by tests/model_faults.rs.
     ENABLED.load(Ordering::Relaxed) && PARTICIPATING.with(Cell::get)
 }
 
@@ -179,6 +185,9 @@ fn splitmix64(mut z: u64) -> u64 {
 /// string payload, caught by the executor's isolation layer) or sleep.
 #[inline]
 pub fn fault_point(site: &str, index: usize) {
+    // relaxed: disarmed fast path — must stay a single uncontended load.
+    // A stale read in either direction is benign: `fault_point_slow`
+    // re-reads the plan under the `active()` mutex before acting.
     if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
@@ -197,6 +206,9 @@ fn fault_point_slow(site: &str, index: usize) {
                 a.plan.seed,
                 a.plan.panic_rate,
                 a.plan.delay_rate,
+                // relaxed: performed under the `active()` mutex, which
+                // already totally orders sequence draws; the counter
+                // publishes nothing by itself.
                 a.sequence.fetch_add(1, Ordering::Relaxed),
             ),
             None => return,
@@ -213,7 +225,7 @@ fn fault_point_slow(site: &str, index: usize) {
     if u < panic_rate + delay_rate {
         // A short, seed-derived stall: long enough to shuffle thread
         // interleavings, short enough to keep fault-injected suites fast.
-        std::thread::sleep(Duration::from_micros(roll % 200));
+        sync::sleep(Duration::from_micros(roll % 200));
     }
 }
 

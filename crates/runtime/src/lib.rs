@@ -46,9 +46,12 @@
 
 mod budget;
 mod cancel;
+mod deque;
 mod executor;
 pub mod faults;
+pub mod sync;
 
 pub use budget::{BudgetStop, ExecBudget};
 pub use cancel::CancelToken;
+pub use deque::RangeQueue;
 pub use executor::{MapOutcome, Runtime, TaskError};

@@ -1,0 +1,45 @@
+//! The synchronization facade: the only door to atomics, threads and clocks
+//! for runtime (and engine) code.
+//!
+//! Everything concurrency-relevant in the QGP stack imports its primitives
+//! from here instead of `std` directly (`qgp-lint` rule `facade-only`
+//! enforces it).  Two builds:
+//!
+//! * **Default**: pure re-exports of `std` — zero cost, identical codegen.
+//! * **`--features model`**: the same names resolve to `qgp-check`'s
+//!   model-aware types, whose every access is a deterministic scheduling
+//!   point with vector-clock race detection.  See `crates/check` and
+//!   `docs/ANALYSIS.md`.
+//!
+//! [`now`] replaces `Instant::now()` in model-checked modules: under the
+//! model it reads the scheduler's virtual clock (one microsecond per
+//! operation), so deadline logic explores deterministically instead of
+//! depending on wall time.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "model")]
+pub use qgp_check::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard};
+#[cfg(feature = "model")]
+pub use qgp_check::{scope, sleep, yield_now, Scope, ScopedJoinHandle};
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Mutex, MutexGuard};
+#[cfg(not(feature = "model"))]
+pub use std::thread::{scope, sleep, yield_now, Scope, ScopedJoinHandle};
+
+/// The current time: `Instant::now()` in production builds, the model
+/// scheduler's virtual clock on model threads under `--features model`.
+#[cfg(feature = "model")]
+pub fn now() -> std::time::Instant {
+    qgp_check::now()
+}
+
+/// The current time: `Instant::now()` in production builds, the model
+/// scheduler's virtual clock on model threads under `--features model`.
+#[cfg(not(feature = "model"))]
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,105 @@
+//! Model checks for `CancelToken`: fail-fast visibility, the
+//! deadline-racing-cancel latch, and clean joins of polling workers.
+
+#![cfg(feature = "model")]
+
+use std::time::Duration;
+
+use qgp_check::{explore, scope, Config, RaceCell};
+use qgp_runtime::CancelToken;
+
+/// The cancel edge publishes: data written before `cancel()` (Release) is
+/// race-free for any thread that observed `is_cancelled()` (Acquire).
+/// This is the edge the executor's fail-fast abort and the budget trip
+/// both lean on.
+#[test]
+fn cancel_publishes_prior_writes() {
+    let report = explore(&Config::exhaustive(), || {
+        let token = CancelToken::new();
+        let reason = RaceCell::named("abort-reason", 0u32);
+        scope(|s| {
+            let canceller = {
+                let token = token.clone();
+                let reason = &reason;
+                s.spawn(move || {
+                    reason.write(17);
+                    token.cancel();
+                })
+            };
+            let worker = {
+                let token = token.clone();
+                let reason = &reason;
+                s.spawn(move || {
+                    // A bounded work loop polling the token between units,
+                    // exactly like the executor's workers.
+                    for _ in 0..3 {
+                        if token.is_cancelled() {
+                            assert_eq!(reason.read(), 17);
+                            return;
+                        }
+                    }
+                })
+            };
+            canceller.join().expect("canceller");
+            worker.join().expect("worker");
+        });
+        assert!(token.is_cancelled(), "after the join the flag is visible");
+    });
+    report.expect_ok("cancel_publishes_prior_writes");
+    assert!(report.complete);
+}
+
+/// A deadline expiring concurrently with an explicit `cancel()`: whichever
+/// path latches first, the token reports cancelled exactly once observed
+/// and stays cancelled (the latch never un-trips), and both threads join
+/// cleanly.
+#[test]
+fn deadline_racing_explicit_cancel_latches_once() {
+    let report = explore(&Config::exhaustive(), || {
+        // 3 virtual microseconds ≈ 3 scheduled operations away.
+        let token = CancelToken::with_timeout(Duration::from_micros(3));
+        scope(|s| {
+            let canceller = {
+                let token = token.clone();
+                s.spawn(move || token.cancel())
+            };
+            let poller = {
+                let token = token.clone();
+                s.spawn(move || {
+                    let mut polls = 0u32;
+                    // Terminates regardless of which path trips: the
+                    // explicit cancel or the virtual-time deadline.
+                    while !token.is_cancelled() {
+                        polls += 1;
+                        assert!(polls < 64, "deadline bounds the poll loop");
+                    }
+                    // The latch is sticky whichever path set it.
+                    assert!(token.is_cancelled());
+                })
+            };
+            canceller.join().expect("canceller");
+            poller.join().expect("poller");
+        });
+        assert!(token.is_cancelled());
+        assert!(token.deadline().is_some());
+    });
+    report.expect_ok("deadline_racing_explicit_cancel_latches_once");
+}
+
+/// Clones share one flag: cancelling through any clone is seen by pollers
+/// of every other clone, across threads.
+#[test]
+fn clones_share_the_flag_across_threads() {
+    let report = explore(&Config::exhaustive(), || {
+        let a = CancelToken::new();
+        let b = a.clone();
+        scope(|s| {
+            let t = s.spawn(move || b.cancel());
+            t.join().expect("canceller");
+        });
+        // Join edge: the cancel happens-before this observation.
+        assert!(a.is_cancelled(), "clone's cancel visible after join");
+    });
+    report.expect_ok("clones_share_the_flag_across_threads");
+    assert!(report.complete);
+}

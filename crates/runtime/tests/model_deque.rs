@@ -1,0 +1,167 @@
+//! Model checks for the collapsed work-stealing deque
+//! (`qgp_runtime::RangeQueue`): the claim/steal accounting invariants and
+//! the install-publication ordering contract.
+//!
+//! Run with `cargo test -p qgp-runtime --features model --test model_deque`.
+//! The CI mutation leg additionally sets `RUSTFLAGS="--cfg qgp_mutate"`,
+//! which weakens `install`'s `Release` store to `Relaxed`; the publication
+//! test below then *requires* the checker to report a data race — the
+//! checker's own liveness check.
+
+#![cfg(feature = "model")]
+
+use qgp_check::sync::Mutex;
+use qgp_check::{explore, scope, Config, RaceCell};
+use qgp_runtime::RangeQueue;
+
+/// Owner claims from the bottom, a thief splits the top, both record what
+/// they got: every index comes out exactly once (none lost, none twice).
+/// Small enough to enumerate every interleaving.
+#[test]
+fn owner_and_thief_partition_the_range_exhaustively() {
+    let config = Config {
+        max_executions: 100_000,
+        ..Config::exhaustive()
+    };
+    let report = explore(&config, || {
+        let q = RangeQueue::new(0, 2);
+        // Results come back through the join handles — thread-local
+        // collection keeps the schedule tree small enough to enumerate.
+        let (mine, stolen) = scope(|s| {
+            let owner = s.spawn(|| {
+                let mut v = Vec::new();
+                while let Some((a, b)) = q.claim(1) {
+                    v.extend(a..b);
+                }
+                v
+            });
+            let thief = s.spawn(|| {
+                let mut v = Vec::new();
+                if let Some((a, b)) = q.steal_half() {
+                    v.extend(a..b);
+                }
+                v
+            });
+            (owner.join().expect("owner"), thief.join().expect("thief"))
+        });
+        let mut seen = mine;
+        seen.extend(stolen);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1], "every index exactly once");
+    });
+    report.expect_ok("owner_and_thief_partition_the_range_exhaustively");
+    assert!(report.complete, "2-item case must be fully enumerated");
+    assert!(
+        report.executions > 1,
+        "claim racing steal must branch; got {} executions",
+        report.executions
+    );
+}
+
+/// The same invariant at a larger size with two thieves, seeded: thieves
+/// re-install stolen ranges into their own queues and drain them, which is
+/// exactly the executor's steal path.
+#[test]
+fn two_thieves_and_owner_never_lose_or_duplicate_work() {
+    let report = explore(&Config::seeded(48).from_env(), || {
+        let victim = RangeQueue::new(0, 8);
+        let got = Mutex::new(Vec::new());
+        scope(|s| {
+            let owner = s.spawn(|| {
+                while let Some((a, b)) = victim.claim(2) {
+                    got.lock().expect("got").extend(a..b);
+                }
+            });
+            let thieves: Vec<_> = (0..2)
+                .map(|t| {
+                    let victim = &victim;
+                    let got = &got;
+                    s.spawn(move || {
+                        // Each thief owns an initially empty queue, as in
+                        // the executor.
+                        let own = RangeQueue::new(0, 0);
+                        if let Some((lo, hi)) = victim.steal_half() {
+                            own.install(lo, hi);
+                            while let Some((a, b)) = own.claim(1 + t as u32) {
+                                got.lock().expect("got").extend(a..b);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            owner.join().expect("owner");
+            for t in thieves {
+                t.join().expect("thief");
+            }
+        });
+        let mut seen = got.lock().expect("got").clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>(), "every index exactly once");
+    });
+    report.expect_ok("two_thieves_and_owner_never_lose_or_duplicate_work");
+}
+
+/// A singleton range must be stealable whole: exactly one of owner/thief
+/// gets the item, never both, never neither.
+#[test]
+fn singleton_range_goes_to_exactly_one_side() {
+    let report = explore(&Config::exhaustive(), || {
+        let q = RangeQueue::new(5, 6);
+        let claims = Mutex::new(0u32);
+        scope(|s| {
+            let owner = s.spawn(|| {
+                if let Some((a, b)) = q.claim(3) {
+                    assert_eq!((a, b), (5, 6));
+                    *claims.lock().expect("claims") += 1;
+                }
+            });
+            let thief = s.spawn(|| {
+                if let Some((a, b)) = q.steal_half() {
+                    assert_eq!((a, b), (5, 6), "a leftover item is stolen whole");
+                    *claims.lock().expect("claims") += 1;
+                }
+            });
+            owner.join().expect("owner");
+            thief.join().expect("thief");
+        });
+        assert_eq!(*claims.lock().expect("claims"), 1, "exactly one winner");
+        assert_eq!(q.len(), 0);
+    });
+    report.expect_ok("singleton_range_goes_to_exactly_one_side");
+    assert!(report.complete);
+}
+
+/// The ordering contract `install` exists for: task data written before the
+/// range is published must be visible to whoever claims it.  With the real
+/// `Release` store this passes every interleaving; under the CI mutation
+/// leg (`--cfg qgp_mutate` weakens the store to `Relaxed`) the checker must
+/// report the publication race — if it ever stops doing so, the checker
+/// has rotted and this test fails the mutation job.
+#[test]
+fn install_publishes_task_data_written_before_it() {
+    let report = explore(&Config::exhaustive(), || {
+        let q = RangeQueue::new(0, 0);
+        let payload = RaceCell::named("task-payload", 0u32);
+        scope(|s| {
+            let producer = s.spawn(|| {
+                payload.write(7);
+                q.install(0, 1);
+            });
+            let consumer = s.spawn(|| {
+                if let Some((a, b)) = q.claim(1) {
+                    assert_eq!((a, b), (0, 1));
+                    assert_eq!(payload.read(), 7, "claimed range sees its data");
+                }
+            });
+            producer.join().expect("producer");
+            consumer.join().expect("consumer");
+        });
+    });
+    #[cfg(not(qgp_mutate))]
+    {
+        report.expect_ok("install_publishes_task_data_written_before_it");
+        assert!(report.complete);
+    }
+    #[cfg(qgp_mutate)]
+    report.expect_race("install_publishes_task_data_written_before_it (mutated)");
+}

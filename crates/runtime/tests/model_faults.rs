@@ -1,0 +1,91 @@
+//! Model checks for the fault-injection harness: thread-scoped arming must
+//! never leak to non-participating threads, and `install`/guard-drop
+//! racing an armed worker's fault points must stay deadlock- and
+//! crash-free.
+
+#![cfg(feature = "model")]
+
+use qgp_check::{explore, scope, Config};
+use qgp_runtime::faults::{self, FaultPlan};
+
+/// A plan with panic rate 1.0 is armed while a spawned worker that never
+/// opted in passes fault points: the worker must sail through untouched
+/// (thread-scoped arming), while the arming thread itself fires.
+#[test]
+fn arming_never_leaks_to_non_participating_threads() {
+    let report = explore(&Config::seeded(16).from_env(), || {
+        let guard = faults::install(FaultPlan::new(7, 1.0));
+        scope(|s| {
+            let bystander = s.spawn(|| {
+                // Fresh threads never participate unless the spawner's
+                // participation is handed over explicitly; a panic here
+                // would surface as a property failure.
+                for i in 0..3 {
+                    faults::fault_point("bystander", i);
+                }
+                assert!(!faults::thread_participates());
+            });
+            bystander.join().expect("bystander must be untouched");
+        });
+        // The arming thread does observe the plan.
+        assert!(faults::thread_participates());
+        let fired = std::panic::catch_unwind(|| faults::fault_point("armed", 0)).is_err();
+        assert!(fired, "rate-1.0 plan must fire on the participating thread");
+        drop(guard);
+        // Disarmed: the same call is inert again.
+        faults::fault_point("armed", 1);
+        assert!(!faults::thread_participates());
+    });
+    report.expect_ok("arming_never_leaks_to_non_participating_threads");
+}
+
+/// Guard drop (uninstall) racing a participating worker still inside fault
+/// points: every interleaving must join cleanly — the worker either sees
+/// the armed plan (and rolls its deterministic die) or the disarmed fast
+/// path, never a deadlock or a poisoned state.
+#[test]
+fn uninstall_racing_armed_worker_is_clean() {
+    let report = explore(&Config::seeded(24).from_env(), || {
+        // Rate 0: arming bookkeeping only, no injected panics/delays.
+        let guard = faults::install(FaultPlan::new(3, 0.0));
+        let inherit = faults::thread_participates();
+        scope(|s| {
+            let worker = s.spawn(move || {
+                faults::set_participating(inherit);
+                for i in 0..4 {
+                    faults::fault_point("worker", i);
+                }
+                faults::set_participating(false);
+            });
+            // Disarm while the worker may still be mid-fault-point.
+            drop(guard);
+            worker.join().expect("worker joins cleanly");
+        });
+        // The scope is fully torn down: nothing is armed afterwards.
+        assert!(!faults::thread_participates());
+        faults::fault_point("after", 0);
+    });
+    report.expect_ok("uninstall_racing_armed_worker_is_clean");
+}
+
+/// An armed delay plan sleeps on the virtual clock under the model: fault
+/// points with delay rate 1.0 advance time instead of stalling the
+/// scheduler, and the run still joins deterministically.
+#[test]
+fn delay_faults_use_virtual_time() {
+    let report = explore(&Config::seeded(8).from_env(), || {
+        let _guard = faults::install(FaultPlan::new(11, 0.0).with_delay_rate(1.0));
+        let inherit = faults::thread_participates();
+        scope(|s| {
+            let worker = s.spawn(move || {
+                faults::set_participating(inherit);
+                for i in 0..3 {
+                    faults::fault_point("delayed", i);
+                }
+                faults::set_participating(false);
+            });
+            worker.join().expect("delayed worker joins");
+        });
+    });
+    report.expect_ok("delay_faults_use_virtual_time");
+}

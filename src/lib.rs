@@ -90,6 +90,8 @@
 //! assert!(view.matches().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use qgp_core as core;
 pub use qgp_datasets as datasets;
 pub use qgp_graph as graph;
