@@ -186,6 +186,44 @@ pub struct CountMeasurement {
     pub children_counted: usize,
 }
 
+/// One registered-query serving workload (`experiments bench --serving`).
+///
+/// Each row drives a [`QueryRegistry`] against a `GraphStore` under a
+/// mixed read/update stream: every round the writer applies one seeded
+/// update batch (publishing a new epoch), the server pins the new head
+/// snapshot and serves one request batch against it.  `qps` is total
+/// requests over total serve wall time; `p50_ms`/`p99_ms` are percentiles
+/// of the per-round serve latency.  The harness asserts the final round's
+/// answers equal a one-shot recompute on the head snapshot for every
+/// registered query before recording the row.
+///
+/// [`QueryRegistry`]: qgp_core::engine::QueryRegistry
+#[derive(Debug, Clone)]
+pub struct ServingMeasurement {
+    /// Workload name (e.g. `pokec-like/registered`).
+    pub workload: String,
+    /// Registered queries served each round.
+    pub queries: usize,
+    /// Serve rounds (one writer epoch published before each).
+    pub rounds: usize,
+    /// Requests served per round.
+    pub requests_per_round: usize,
+    /// Writer ops applied per published epoch.
+    pub update_batch: usize,
+    /// Requests per second over the serve phases (updates excluded).
+    pub qps: f64,
+    /// Median per-round serve latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-round serve latency, milliseconds.
+    pub p99_ms: f64,
+    /// Candidate-analysis cache hits over the run (equal-projection
+    /// queries sharing one analysis per epoch).
+    pub cache_hits: u64,
+    /// Final-round matches summed over the registered queries
+    /// (fingerprint; equals the recompute's).
+    pub matches: usize,
+}
+
 /// One labeled measurement run (e.g. `baseline` or `current`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchRun {
@@ -214,6 +252,9 @@ pub struct BenchRun {
     /// Counting-pushdown section (empty unless the harness ran with
     /// `--count`).
     pub count: Vec<CountMeasurement>,
+    /// Registered-query serving section (empty unless the harness ran
+    /// with `--serving`).
+    pub serving: Vec<ServingMeasurement>,
 }
 
 /// A whole `BENCH_*.json` document.
@@ -291,7 +332,8 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
     let has_incremental = !run.incremental.is_empty();
     let has_chaos = !run.chaos.is_empty();
     let has_count = !run.count.is_empty();
-    out.push_str(if has_engine || has_incremental || has_chaos || has_count {
+    let has_serving = !run.serving.is_empty();
+    out.push_str(if has_engine || has_incremental || has_chaos || has_count || has_serving {
         "      ],\n"
     } else {
         "      ]\n"
@@ -311,7 +353,7 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
             );
             out.push_str(if i + 1 < run.engine.len() { ",\n" } else { "\n" });
         }
-        out.push_str(if has_incremental || has_chaos || has_count {
+        out.push_str(if has_incremental || has_chaos || has_count || has_serving {
             "      ],\n"
         } else {
             "      ]\n"
@@ -335,7 +377,7 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
             );
             out.push_str(if i + 1 < run.incremental.len() { ",\n" } else { "\n" });
         }
-        out.push_str(if has_chaos || has_count {
+        out.push_str(if has_chaos || has_count || has_serving {
             "      ],\n"
         } else {
             "      ]\n"
@@ -360,7 +402,11 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
             );
             out.push_str(if i + 1 < run.chaos.len() { ",\n" } else { "\n" });
         }
-        out.push_str(if has_count { "      ],\n" } else { "      ]\n" });
+        out.push_str(if has_count || has_serving {
+            "      ],\n"
+        } else {
+            "      ]\n"
+        });
     }
     if has_count {
         out.push_str("      \"count\": [\n");
@@ -377,6 +423,30 @@ fn render_run(out: &mut String, run: &BenchRun, last: bool) {
                 m.children_counted
             );
             out.push_str(if i + 1 < run.count.len() { ",\n" } else { "\n" });
+        }
+        out.push_str(if has_serving { "      ],\n" } else { "      ]\n" });
+    }
+    if has_serving {
+        out.push_str("      \"serving\": [\n");
+        for (i, m) in run.serving.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"workload\": \"{}\", \"queries\": {}, \"rounds\": {}, \
+                 \"requests_per_round\": {}, \"update_batch\": {}, \"qps\": {:.1}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \
+                 \"matches\": {}}}",
+                escape(&m.workload),
+                m.queries,
+                m.rounds,
+                m.requests_per_round,
+                m.update_batch,
+                m.qps,
+                m.p50_ms,
+                m.p99_ms,
+                m.cache_hits,
+                m.matches
+            );
+            out.push_str(if i + 1 < run.serving.len() { ",\n" } else { "\n" });
         }
         out.push_str("      ]\n");
     }
@@ -498,6 +568,7 @@ mod tests {
                 }],
                 chaos: vec![],
                 count: vec![],
+                serving: vec![],
             }],
         };
         let json = report.to_json();
@@ -560,20 +631,35 @@ mod tests {
             threshold_exits: 3,
             children_counted: 9,
         };
-        for mask in 0u8..16 {
+        let serving_row = ServingMeasurement {
+            workload: "w".into(),
+            queries: 4,
+            rounds: 16,
+            requests_per_round: 8,
+            update_batch: 10,
+            qps: 1234.5,
+            p50_ms: 0.8,
+            p99_ms: 2.5,
+            cache_hits: 12,
+            matches: 3,
+        };
+        for mask in 0u8..32 {
             let engine = if mask & 1 != 0 { vec![engine_row.clone()] } else { vec![] };
             let incremental = if mask & 2 != 0 { vec![inc_row.clone()] } else { vec![] };
             let chaos = if mask & 4 != 0 { vec![chaos_row.clone()] } else { vec![] };
             let count = if mask & 8 != 0 { vec![count_row.clone()] } else { vec![] };
+            let serving = if mask & 16 != 0 { vec![serving_row.clone()] } else { vec![] };
             let has_engine = !engine.is_empty();
             let has_incremental = !incremental.is_empty();
             let has_chaos = !chaos.is_empty();
             let has_count = !count.is_empty();
+            let has_serving = !serving.is_empty();
             let run = BenchRun {
                 engine,
                 incremental,
                 chaos,
                 count,
+                serving,
                 ..base.clone()
             };
             let json = BenchReport { runs: vec![run.clone()] }.to_json();
@@ -581,6 +667,7 @@ mod tests {
             assert_eq!(json.contains("\"incremental\""), has_incremental);
             assert_eq!(json.contains("\"chaos\""), has_chaos);
             assert_eq!(json.contains("\"count\""), has_count);
+            assert_eq!(json.contains("\"serving\""), has_serving);
             for (open, close) in [('{', '}'), ('[', ']')] {
                 assert_eq!(
                     json.matches(open).count(),

@@ -40,11 +40,11 @@ pub mod workloads;
 
 pub use json::{
     BenchReport, BenchRun, ChaosMeasurement, CountMeasurement, EngineMeasurement,
-    IncrementalMeasurement, ParallelMeasurement,
+    IncrementalMeasurement, ParallelMeasurement, ServingMeasurement,
 };
 pub use perf::{
     run_bench, run_chaos_section, run_count_section, run_engine_section,
-    run_incremental_section, run_parallel_section, BenchScale,
+    run_incremental_section, run_parallel_section, run_serving_section, BenchScale,
 };
 pub use report::Table;
 pub use stream::{StreamConfig, UpdateStreamGen};

@@ -15,8 +15,8 @@
 //!   all        everything above
 //!
 //! experiments bench [--smoke] [--parallel] [--engine] [--incremental]
-//!                   [--chaos] [--count] [--label NAME] [--commit SHA]
-//!                   [--out PATH] [--append]
+//!                   [--chaos] [--count] [--serving] [--label NAME]
+//!                   [--commit SHA] [--out PATH] [--append]
 //!
 //!   Runs the fixed-seed perf harness (graph construction + sequential
 //!   QMatch workloads) and writes a BENCH_*.json document with one run.
@@ -34,7 +34,10 @@
 //!   --count adds the counting-pushdown section (count-vs-enumerate pairs
 //!   on the sequential matching workloads plus Exp-3 mining at 4 threads
 //!   with and without support counting pushed down, with identical-foci
-//!   and identical-rules checks).  --append splices the run into an
+//!   and identical-rules checks).  --serving adds the registered-query
+//!   section (QueryRegistry QPS with p50/p99 serve latency under a mixed
+//!   read/update stream over a GraphStore, with served-equals-recompute
+//!   checks on the final epoch).  --append splices the run into an
 //!   existing --out document instead of overwriting it.
 //! ```
 
@@ -49,8 +52,8 @@ use qgp_bench::experiments::{
 };
 use qgp_bench::{
     run_bench, run_chaos_section, run_count_section, run_engine_section,
-    run_incremental_section, run_parallel_section, BenchReport, BenchScale, Dataset,
-    ExperimentScale,
+    run_incremental_section, run_parallel_section, run_serving_section, BenchReport,
+    BenchScale, Dataset, ExperimentScale,
 };
 
 fn bench_main(args: &[String]) -> ExitCode {
@@ -63,6 +66,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut incremental = false;
     let mut chaos = false;
     let mut count = false;
+    let mut serving = false;
     let mut append = false;
     let mut i = 0;
     while i < args.len() {
@@ -73,6 +77,7 @@ fn bench_main(args: &[String]) -> ExitCode {
             "--incremental" => incremental = true,
             "--chaos" => chaos = true,
             "--count" => count = true,
+            "--serving" => serving = true,
             "--append" => append = true,
             "--label" => {
                 i += 1;
@@ -113,6 +118,9 @@ fn bench_main(args: &[String]) -> ExitCode {
     }
     if count {
         run_count_section(&mut run, &scale);
+    }
+    if serving {
+        run_serving_section(&mut run, &scale);
     }
     for m in &run.graph_construction {
         println!(
@@ -167,6 +175,21 @@ fn bench_main(args: &[String]) -> ExitCode {
         println!(
             "count     {:<28} {:<14} {:.3}s  ({} matches, {} threshold exits, {} children counted)",
             m.workload, m.mode, m.seconds, m.matches, m.threshold_exits, m.children_counted
+        );
+    }
+    for m in &run.serving {
+        println!(
+            "serving   {:<28} q={} rounds={} batch={} {:.0} req/s p50 {:.3}ms p99 {:.3}ms \
+             ({} cache hits, {} matches)",
+            m.workload,
+            m.queries,
+            m.rounds,
+            m.update_batch,
+            m.qps,
+            m.p50_ms,
+            m.p99_ms,
+            m.cache_hits,
+            m.matches
         );
     }
     let document = match &out {

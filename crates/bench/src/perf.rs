@@ -8,11 +8,11 @@
 //! from the PR — are directly comparable.  The matching section mirrors the
 //! `bench_qmatch` criterion bench (Fig. 8(a)'s sequential comparison).
 
-use qgp_core::engine::{Engine, ExecOptions};
+use qgp_core::engine::{Engine, ExecOptions, QueryRegistry, ServeRequest};
 use qgp_core::matching::{MatchConfig, QueryAnswer};
 use qgp_core::pattern::{library, Pattern};
 use qgp_datasets::{pokec_like, yago_like, KnowledgeConfig, SocialConfig};
-use qgp_graph::Graph;
+use qgp_graph::{Graph, GraphStore};
 use qgp_parallel::{dpar_with, PartitionConfig};
 use qgp_rules::{mine_qgars_with_report, MiningConfig};
 use qgp_runtime::Runtime;
@@ -20,6 +20,7 @@ use qgp_runtime::Runtime;
 use crate::json::{
     time_best_of, BenchRun, ChaosMeasurement, ConstructionMeasurement, CountMeasurement,
     EngineMeasurement, IncrementalMeasurement, ParallelMeasurement, QmatchMeasurement,
+    ServingMeasurement,
 };
 use crate::stream::{StreamConfig, UpdateStreamGen};
 use crate::workloads::synthetic_graph;
@@ -764,6 +765,125 @@ pub fn run_bench(label: &str, commit: &str, scale: &BenchScale) -> BenchRun {
     run
 }
 
+/// Serve rounds per serving workload (one writer epoch published before
+/// each round).
+const SERVING_ROUNDS: usize = 16;
+/// Requests per registered query per round.
+const SERVING_REQUESTS_PER_QUERY: usize = 2;
+/// Writer ops applied per published epoch.
+const SERVING_UPDATE_BATCH: usize = 10;
+
+/// Latency percentile over a sorted sample (nearest-rank on the sorted
+/// per-round latencies; exact at these sample sizes).
+fn percentile_ms(sorted: &[std::time::Duration], pct: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// One serving workload: a [`QueryRegistry`] with `patterns` registered
+/// (duplicated projections on purpose — the epoch cache must share their
+/// candidate analyses) served under a mixed read/update stream.  Every
+/// round the writer publishes one update batch as a new epoch, the server
+/// pins the head snapshot and fans a request batch out on a 4-thread
+/// runtime.  Panics unless every request succeeds and the final round's
+/// answers equal a one-shot recompute on the head snapshot, so a serving
+/// correctness regression can never be committed as a QPS number.
+fn serving_case(
+    runs: &mut Vec<ServingMeasurement>,
+    workload: &str,
+    graph: &Graph,
+    patterns: &[Pattern],
+) {
+    let runtime = Runtime::new(4);
+    let store = GraphStore::new(graph.clone());
+    let engine = Engine::from_store(&store);
+    let mut registry = QueryRegistry::new();
+    let ids: Vec<_> = patterns
+        .iter()
+        .map(|p| registry.register(engine.prepare(p).expect("library patterns validate")))
+        .collect();
+    let mut gen = UpdateStreamGen::new(
+        graph,
+        StreamConfig {
+            seed: 0xA_0000,
+            ..StreamConfig::default()
+        },
+    );
+
+    let requests: Vec<ServeRequest> = ids
+        .iter()
+        .flat_map(|&id| (0..SERVING_REQUESTS_PER_QUERY).map(move |_| ServeRequest::new(id)))
+        .collect();
+    let mut latencies = Vec::with_capacity(SERVING_ROUNDS);
+    let mut matches = 0usize;
+    for round in 0..SERVING_ROUNDS {
+        let ops = gen.next_batch(SERVING_UPDATE_BATCH);
+        store.apply(&ops).expect("stream endpoints are in range");
+        let snapshot = store.snapshot();
+        let start = std::time::Instant::now();
+        let outcomes = registry.serve(&snapshot, &requests, &runtime);
+        latencies.push(start.elapsed());
+        for o in &outcomes {
+            o.result
+                .as_ref()
+                .expect("fault-free serve requests succeed");
+        }
+        if round + 1 == SERVING_ROUNDS {
+            for (&id, pattern) in ids.iter().zip(patterns) {
+                let served = outcomes
+                    .iter()
+                    .find(|o| o.query == id)
+                    .expect("every id was requested")
+                    .result
+                    .as_ref()
+                    .expect("checked above");
+                let recomputed = one_shot_match(snapshot.graph(), pattern, &MatchConfig::qmatch());
+                assert_eq!(
+                    served.matches, recomputed.matches,
+                    "{workload}: served answer for {id} diverged from recompute on the head"
+                );
+                matches += served.matches.len();
+            }
+        }
+    }
+    let total_serve: std::time::Duration = latencies.iter().sum();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    runs.push(ServingMeasurement {
+        workload: workload.to_string(),
+        queries: ids.len(),
+        rounds: SERVING_ROUNDS,
+        requests_per_round: requests.len(),
+        update_batch: SERVING_UPDATE_BATCH,
+        qps: (SERVING_ROUNDS * requests.len()) as f64 / total_serve.as_secs_f64().max(1e-12),
+        p50_ms: percentile_ms(&sorted, 50.0),
+        p99_ms: percentile_ms(&sorted, 99.0),
+        cache_hits: registry.cache_stats().hits,
+        matches,
+    });
+}
+
+/// The registered-query serving section (`--serving`): QPS and p50/p99
+/// serve latency of a [`QueryRegistry`] under a mixed read/update stream,
+/// with a deliberately duplicated projection exercising the shared
+/// per-epoch candidate cache.
+pub fn run_serving_section(run: &mut BenchRun, scale: &BenchScale) {
+    let pokec = pokec_like(&SocialConfig::with_persons(scale.matching_persons));
+    serving_case(
+        &mut run.serving,
+        "pokec-like/registered",
+        &pokec,
+        &[
+            library::q3_redmi_negation(2),
+            library::q1_music_club(),
+            // Same projection as the first query: every epoch's candidate
+            // analysis must be computed once and shared.
+            library::q3_redmi_negation(2),
+        ],
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -839,6 +959,33 @@ mod tests {
             assert!(m.batches >= 2, "{}: {} batches", m.workload, m.batches);
             assert!(m.apply_seconds >= 0.0 && m.recompute_seconds > 0.0);
         }
+    }
+
+    #[test]
+    fn smoke_serving_section_serves_and_matches_recompute() {
+        let scale = BenchScale {
+            construction_persons: 300,
+            construction_synthetic_nodes: 500,
+            matching_persons: 300,
+            iters: 1,
+        };
+        let mut run = BenchRun::default();
+        run_serving_section(&mut run, &scale);
+        // The served-equals-recompute assert lives inside the harness;
+        // reaching here means it held for every registered query.
+        assert_eq!(run.serving.len(), 1);
+        let m = &run.serving[0];
+        assert_eq!(m.queries, 3);
+        assert_eq!(m.rounds, SERVING_ROUNDS);
+        assert_eq!(m.requests_per_round, 3 * SERVING_REQUESTS_PER_QUERY);
+        assert!(m.qps > 0.0, "qps must be positive, got {}", m.qps);
+        assert!(m.p99_ms >= m.p50_ms && m.p50_ms > 0.0);
+        // The duplicated projection shares its analysis on every epoch.
+        assert!(
+            m.cache_hits >= SERVING_ROUNDS as u64,
+            "expected one cache hit per epoch, got {}",
+            m.cache_hits
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! face of the engine: instead of streaming matched foci, it returns a
 //! [`CountAnswer`] — one [`FocusCount`] per accepted focus plus the total —
 //! while the matcher decides each candidate through the counting path
-//! ([`MatchSession::decide_count`](crate::matching::MatchSession::decide_count)).
+//! (`SessionCore::decide_count_cancellable`).
 //! Per-quantifier work stops at the verdict under
 //! [`CountMode::ThresholdOnly`]; [`CountMode::Exact`] scans each child list
 //! to the end so witness counts are exact cardinalities.
@@ -17,14 +17,14 @@
 
 use std::sync::Arc;
 
-use qgp_graph::{Fragment, NodeId};
+use qgp_graph::{Fragment, GraphSnapshot, NodeId};
 use qgp_runtime::ExecBudget;
 
 use super::exec::{candidate_list, resolve_runtime, ExecControl};
 use super::options::{BudgetPolicy, ExecMode, ExecOptions, Parallelism};
 use super::PreparedQuery;
 use crate::error::MatchError;
-use crate::matching::{CountMode, MatchSession, MatchStats};
+use crate::matching::{CountMode, MatchStats, SessionCore};
 
 /// Per-focus result of a counting execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,15 +68,17 @@ impl CountAnswer {
     }
 }
 
-/// Dispatches one counting execution.
-pub(super) fn count<'g>(
-    pq: &mut PreparedQuery<'g>,
+/// Dispatches one counting execution against `snapshot`.
+pub(super) fn count(
+    pq: &mut PreparedQuery,
+    snapshot: Arc<GraphSnapshot>,
     opts: ExecOptions<'_>,
 ) -> Result<CountAnswer, MatchError> {
     let mode = opts.count.unwrap_or_default();
     match opts.mode {
-        ExecMode::Sequential => count_sequential(pq, &opts, mode),
-        ExecMode::Parallel(parallelism) => count_parallel(pq, &opts, mode, parallelism),
+        ExecMode::Sequential => count_sequential(pq, snapshot, &opts, mode),
+        ExecMode::Parallel(parallelism) => count_parallel(pq, snapshot, &opts, mode, parallelism),
+        // Partitioned counting matches inside the fragments' own graphs.
         ExecMode::Partitioned {
             fragments,
             d,
@@ -86,11 +88,12 @@ pub(super) fn count<'g>(
 }
 
 fn count_sequential(
-    pq: &mut PreparedQuery<'_>,
+    pq: &mut PreparedQuery,
+    snapshot: Arc<GraphSnapshot>,
     opts: &ExecOptions<'_>,
     mode: CountMode,
 ) -> Result<CountAnswer, MatchError> {
-    let (session, baseline) = pq.session_for(&opts.config);
+    let (session, baseline) = pq.session_for(&snapshot, &opts.config);
     let candidates = candidate_list(session, opts.restrict);
     let mut per_focus = Vec::new();
     let mut truncated = false;
@@ -109,7 +112,7 @@ fn count_sequential(
             .cancel
             .as_ref()
             .or_else(|| opts.budget.as_ref().map(ExecBudget::token));
-        match session.decide_count_cancellable(vx, mode, token) {
+        match session.decide_count_cancellable(snapshot.graph(), vx, mode, token) {
             None => {
                 // Stopped mid-decision: by the user's token when one is
                 // attached, else by the budget's deadline.
@@ -140,17 +143,18 @@ fn count_sequential(
 }
 
 fn count_parallel(
-    pq: &mut PreparedQuery<'_>,
+    pq: &mut PreparedQuery,
+    snapshot: Arc<GraphSnapshot>,
     opts: &ExecOptions<'_>,
     mode: CountMode,
     parallelism: Parallelism<'_>,
 ) -> Result<CountAnswer, MatchError> {
-    let graph = pq.graph;
-    let compiled = Arc::clone(&pq.compiled);
+    let compiled = Arc::clone(pq.compiled());
     let config = opts.config;
-    let (session, baseline) = pq.session_for(&config);
+    let (session, baseline) = pq.session_for(&snapshot, &config);
     let candidates = candidate_list(session, opts.restrict);
     let planning = session.stats() - baseline;
+    let graph = snapshot.graph();
 
     let mut owned = None;
     let runtime = resolve_runtime(parallelism, &mut owned);
@@ -159,12 +163,13 @@ fn count_parallel(
         .try_map_with_cancel(
             candidates.len(),
             ctl.runtime_token(),
-            || MatchSession::from_compiled(graph, Arc::clone(&compiled), &config),
+            || SessionCore::new(graph, Arc::clone(&compiled), &config),
             |session, i| {
                 if ctl.should_stop() || !ctl.charge() {
                     return None;
                 }
-                match session.decide_count_cancellable(candidates[i], mode, ctl.decide_token()) {
+                match session.decide_count_cancellable(graph, candidates[i], mode, ctl.decide_token())
+                {
                     Some((true, witnesses)) if ctl.try_accept() => Some(FocusCount {
                         focus: candidates[i],
                         witnesses,
@@ -194,7 +199,7 @@ fn count_parallel(
 }
 
 fn count_partitioned(
-    pq: &mut PreparedQuery<'_>,
+    pq: &mut PreparedQuery,
     opts: &ExecOptions<'_>,
     mode: CountMode,
     fragments: &[Fragment],
@@ -204,14 +209,14 @@ fn count_partitioned(
     if fragments.is_empty() {
         return Err(MatchError::EmptyPartition);
     }
-    let radius = pq.compiled.radius;
+    let radius = pq.radius();
     if radius > d {
         return Err(MatchError::RadiusExceedsPartition {
             radius,
             partition_d: d,
         });
     }
-    let compiled = Arc::clone(&pq.compiled);
+    let compiled = Arc::clone(pq.compiled());
     let config = opts.config;
     let n = fragments.len();
 
@@ -261,7 +266,7 @@ fn count_partitioned(
                 let (f, local) = tasks[i];
                 let f = f as usize;
                 let session = scratch.sessions[f].get_or_insert_with(|| {
-                    MatchSession::from_compiled(fragments[f].graph(), Arc::clone(&compiled), &config)
+                    SessionCore::new(fragments[f].graph(), Arc::clone(&compiled), &config)
                 });
                 if !session.is_focus_candidate(local) {
                     return None;
@@ -269,7 +274,8 @@ fn count_partitioned(
                 if !ctl.charge() {
                     return None;
                 }
-                match session.decide_count_cancellable(local, mode, ctl.decide_token()) {
+                let fgraph = fragments[f].graph();
+                match session.decide_count_cancellable(fgraph, local, mode, ctl.decide_token()) {
                     Some((true, witnesses)) if ctl.try_accept() => Some(FocusCount {
                         focus: fragments[f].to_global(local),
                         witnesses,
@@ -303,6 +309,6 @@ fn count_partitioned(
 
 /// Per-executor-thread scratch of a partitioned counting execution: one
 /// lazily built matcher session per fragment.
-struct CountScratch<'p> {
-    sessions: Vec<Option<MatchSession<'p>>>,
+struct CountScratch {
+    sessions: Vec<Option<SessionCore>>,
 }

@@ -1,18 +1,19 @@
 //! Execution of prepared queries: the streaming sequential path, the
 //! whole-graph parallel path, and the partitioned (`PQMatch`-style) path,
-//! all driving the same [`MatchSession::decide_cancellable`] semantics.
+//! all driving the same `SessionCore::decide_cancellable` semantics
+//! against a pinned [`GraphSnapshot`].
 
 use qgp_runtime::sync::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qgp_graph::{Fragment, NodeId};
+use qgp_graph::{Fragment, GraphSnapshot, NodeId};
 use qgp_runtime::{CancelToken, ExecBudget, Runtime};
 
 use super::options::{BudgetPolicy, ExecMode, ExecOptions, Parallelism};
 use super::PreparedQuery;
 use crate::error::MatchError;
-use crate::matching::{CountMode, MatchSession, MatchStats, QueryAnswer};
+use crate::matching::{CountMode, MatchStats, QueryAnswer, SessionCore};
 
 /// Scheduling telemetry of a parallel or partitioned execution, preserved
 /// so `ParallelAnswer`-style reporting keeps working through the engine.
@@ -62,7 +63,7 @@ impl ExecControl {
         &self.stop
     }
 
-    /// The token polled inside [`MatchSession::decide_cancellable`]: the
+    /// The token polled inside `SessionCore::decide_cancellable`: the
     /// user's when present, else the budget's (so a deadline is observed
     /// between verification phases too).
     pub(super) fn decide_token(&self) -> Option<&CancelToken> {
@@ -137,11 +138,11 @@ impl ExecControl {
 /// [`Matches::into_answer`] drains whatever is still pending and returns
 /// the complete [`QueryAnswer`] of the execution, including the matches
 /// already yielded.
-pub struct Matches<'q, 'g> {
-    inner: Inner<'q, 'g>,
+pub struct Matches<'q> {
+    inner: Inner<'q>,
 }
 
-impl std::fmt::Debug for Matches<'_, '_> {
+impl std::fmt::Debug for Matches<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.inner {
             Inner::Streaming {
@@ -162,9 +163,11 @@ impl std::fmt::Debug for Matches<'_, '_> {
     }
 }
 
-enum Inner<'q, 'g> {
+enum Inner<'q> {
     Streaming {
-        session: &'q mut MatchSession<'g>,
+        /// The pinned snapshot every decision reads.
+        snapshot: Arc<GraphSnapshot>,
+        session: &'q mut SessionCore,
         /// Session counters at execution start; reported stats are the
         /// delta, so a reused prepared query reports per-execution work.
         baseline: MatchStats,
@@ -192,12 +195,13 @@ enum Inner<'q, 'g> {
     },
 }
 
-impl<'q, 'g> Iterator for Matches<'q, 'g> {
+impl Iterator for Matches<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
         match &mut self.inner {
             Inner::Streaming {
+                snapshot,
                 session,
                 candidates,
                 pos,
@@ -231,9 +235,9 @@ impl<'q, 'g> Iterator for Matches<'q, 'g> {
                         .as_ref()
                         .or_else(|| budget.as_ref().map(ExecBudget::token));
                     let decision = match *count {
-                        None => session.decide_cancellable(vx, token),
+                        None => session.decide_cancellable(snapshot.graph(), vx, token),
                         Some(mode) => session
-                            .decide_count_cancellable(vx, mode, token)
+                            .decide_count_cancellable(snapshot.graph(), vx, mode, token)
                             .map(|(d, _)| d),
                     };
                     match decision {
@@ -270,7 +274,7 @@ impl<'q, 'g> Iterator for Matches<'q, 'g> {
     }
 }
 
-impl<'q, 'g> Matches<'q, 'g> {
+impl Matches<'_> {
     /// Work counters of this execution so far (final once the iterator is
     /// exhausted; parallel and partitioned executions are complete as soon
     /// as `execute` returns).
@@ -373,7 +377,7 @@ impl<'q, 'g> Matches<'q, 'g> {
 
 /// The deterministic candidate list of one execution: the session's sorted
 /// focus candidates, optionally intersected with a restriction set.
-pub(super) fn candidate_list(session: &MatchSession<'_>, restrict: Option<&[NodeId]>) -> Vec<NodeId> {
+pub(super) fn candidate_list(session: &SessionCore, restrict: Option<&[NodeId]>) -> Vec<NodeId> {
     match restrict {
         None => session.focus_candidates().to_vec(),
         Some(r) => {
@@ -389,14 +393,17 @@ pub(super) fn candidate_list(session: &MatchSession<'_>, restrict: Option<&[Node
     }
 }
 
-/// Dispatches one execution.
-pub(super) fn execute<'q, 'g>(
-    pq: &'q mut PreparedQuery<'g>,
+/// Dispatches one execution against `snapshot`.
+pub(super) fn execute<'q>(
+    pq: &'q mut PreparedQuery,
+    snapshot: Arc<GraphSnapshot>,
     opts: ExecOptions<'q>,
-) -> Result<Matches<'q, 'g>, MatchError> {
+) -> Result<Matches<'q>, MatchError> {
     match opts.mode {
-        ExecMode::Sequential => Ok(execute_sequential(pq, &opts)),
-        ExecMode::Parallel(parallelism) => execute_parallel(pq, &opts, parallelism),
+        ExecMode::Sequential => Ok(execute_sequential(pq, snapshot, &opts)),
+        ExecMode::Parallel(parallelism) => execute_parallel(pq, snapshot, &opts, parallelism),
+        // Partitioned execution matches inside the fragments' own graphs;
+        // the snapshot only pins the candidate universe via the fragments.
         ExecMode::Partitioned {
             fragments,
             d,
@@ -405,14 +412,16 @@ pub(super) fn execute<'q, 'g>(
     }
 }
 
-fn execute_sequential<'q, 'g>(
-    pq: &'q mut PreparedQuery<'g>,
+fn execute_sequential<'q>(
+    pq: &'q mut PreparedQuery,
+    snapshot: Arc<GraphSnapshot>,
     opts: &ExecOptions<'_>,
-) -> Matches<'q, 'g> {
-    let (session, baseline) = pq.session_for(&opts.config);
+) -> Matches<'q> {
+    let (session, baseline) = pq.session_for(&snapshot, &opts.config);
     let candidates = candidate_list(session, opts.restrict);
     Matches {
         inner: Inner::Streaming {
+            snapshot,
             session,
             baseline,
             candidates,
@@ -443,21 +452,22 @@ pub(super) fn resolve_runtime<'a>(
     }
 }
 
-fn execute_parallel<'q, 'g>(
-    pq: &'q mut PreparedQuery<'g>,
+fn execute_parallel<'q>(
+    pq: &'q mut PreparedQuery,
+    snapshot: Arc<GraphSnapshot>,
     opts: &ExecOptions<'_>,
     parallelism: Parallelism<'_>,
-) -> Result<Matches<'q, 'g>, MatchError> {
-    let graph = pq.graph;
-    let compiled = Arc::clone(&pq.compiled);
+) -> Result<Matches<'q>, MatchError> {
+    let compiled = Arc::clone(pq.compiled());
     let config = opts.config;
     let count = opts.count;
     // The cached session provides the (deterministic, sorted) candidate
     // list; its build cost — if this execution triggered it — lands in this
     // execution's stats.
-    let (session, baseline) = pq.session_for(&config);
+    let (session, baseline) = pq.session_for(&snapshot, &config);
     let candidates = candidate_list(session, opts.restrict);
     let planning = session.stats() - baseline;
+    let graph = snapshot.graph();
 
     let mut owned = None;
     let runtime = resolve_runtime(parallelism, &mut owned);
@@ -467,15 +477,15 @@ fn execute_parallel<'q, 'g>(
         .try_map_with_cancel(
             candidates.len(),
             ctl.runtime_token(),
-            || MatchSession::from_compiled(graph, Arc::clone(&compiled), &config),
+            || SessionCore::new(graph, Arc::clone(&compiled), &config),
             |session, i| {
                 if ctl.should_stop() || !ctl.charge() {
                     return None;
                 }
                 let decision = match count {
-                    None => session.decide_cancellable(candidates[i], ctl.decide_token()),
+                    None => session.decide_cancellable(graph, candidates[i], ctl.decide_token()),
                     Some(mode) => session
-                        .decide_count_cancellable(candidates[i], mode, ctl.decide_token())
+                        .decide_count_cancellable(graph, candidates[i], mode, ctl.decide_token())
                         .map(|(d, _)| d),
                 };
                 match decision {
@@ -517,29 +527,29 @@ fn execute_parallel<'q, 'g>(
 /// Per-executor-thread scratch of a partitioned execution: one lazily built
 /// matcher session per fragment (all sharing the compiled pattern), plus
 /// per-fragment busy accounting.
-struct FragmentScratch<'p> {
-    sessions: Vec<Option<MatchSession<'p>>>,
+struct FragmentScratch {
+    sessions: Vec<Option<SessionCore>>,
     fragment_busy: Vec<Duration>,
 }
 
-fn execute_partitioned<'q, 'g>(
-    pq: &'q mut PreparedQuery<'g>,
+fn execute_partitioned<'q>(
+    pq: &'q mut PreparedQuery,
     opts: &ExecOptions<'_>,
     fragments: &'q [Fragment],
     d: usize,
     parallelism: Parallelism<'_>,
-) -> Result<Matches<'q, 'g>, MatchError> {
+) -> Result<Matches<'q>, MatchError> {
     if fragments.is_empty() {
         return Err(MatchError::EmptyPartition);
     }
-    let radius = pq.compiled.radius;
+    let radius = pq.radius();
     if radius > d {
         return Err(MatchError::RadiusExceedsPartition {
             radius,
             partition_d: d,
         });
     }
-    let compiled = Arc::clone(&pq.compiled);
+    let compiled = Arc::clone(pq.compiled());
     let config = opts.config;
     let count = opts.count;
     let n = fragments.len();
@@ -602,11 +612,8 @@ fn execute_partitioned<'q, 'g>(
                 } = scratch;
                 let session = sessions[f].get_or_insert_with(|| {
                     let t0 = Instant::now();
-                    let session = MatchSession::from_compiled(
-                        fragments[f].graph(),
-                        Arc::clone(&compiled),
-                        &config,
-                    );
+                    let session =
+                        SessionCore::new(fragments[f].graph(), Arc::clone(&compiled), &config);
                     fragment_busy[f] += t0.elapsed();
                     session
                 });
@@ -621,10 +628,11 @@ fn execute_partitioned<'q, 'g>(
                     return None;
                 }
                 let t0 = Instant::now();
+                let fgraph = fragments[f].graph();
                 let decision = match count {
-                    None => session.decide_cancellable(local, ctl.decide_token()),
+                    None => session.decide_cancellable(fgraph, local, ctl.decide_token()),
                     Some(mode) => session
-                        .decide_count_cancellable(local, mode, ctl.decide_token())
+                        .decide_count_cancellable(fgraph, local, mode, ctl.decide_token())
                         .map(|(d, _)| d),
                 };
                 fragment_busy[f] += t0.elapsed();

@@ -60,45 +60,76 @@
 mod count;
 mod exec;
 mod options;
+pub mod registry;
 mod view;
 
 pub use count::{CountAnswer, FocusCount};
 pub use exec::{Matches, ParallelTelemetry};
 pub use options::{BudgetPolicy, ExecMode, ExecOptions, Parallelism};
 pub use qgp_runtime::{BudgetStop, CancelToken, ExecBudget, TaskError};
+pub use registry::{CacheStats, QueryId, QueryRegistry, ServeOutcome, ServeRequest};
 pub use view::{MatchView, ViewDelta, ViewError};
 
 pub use crate::matching::CountMode;
 
 use std::sync::Arc;
 
-use qgp_graph::Graph;
+use qgp_graph::{Graph, GraphSnapshot, GraphStore};
 
 use crate::error::MatchError;
 use crate::matching::compiled::CompiledPattern;
-use crate::matching::{MatchConfig, MatchSession, MatchStats, QueryAnswer};
+use crate::matching::{CandidateSets, MatchConfig, MatchStats, QueryAnswer, SessionCore};
 use crate::pattern::Pattern;
 
-/// The per-graph entry point of the prepared-query engine.
+/// Upper bound on the per-config matcher sessions a [`PreparedQuery`]
+/// caches.  When full, sessions pinned to *other* snapshots are evicted
+/// first (serving moves forward through epochs, so old-epoch sessions are
+/// dead weight), then the oldest entry.
+const MAX_CACHED_SESSIONS: usize = 8;
+
+/// The entry point of the prepared-query engine: an owned handle on one
+/// immutable [`GraphSnapshot`].
 ///
-/// An engine is a lightweight handle on one data graph; it exists so that
-/// everything derived from the graph (today: the per-config matcher
-/// sessions cached inside each [`PreparedQuery`]; next: shared candidate
-/// caches and incremental-maintenance state) has one owner to hang off.
-#[derive(Debug, Clone, Copy)]
-pub struct Engine<'g> {
-    graph: &'g Graph,
+/// The engine (and everything it prepares) holds the snapshot behind an
+/// `Arc` — there is no borrow tying queries to a graph binding, so prepared
+/// queries can be stored in registries, moved across threads, and served
+/// while a [`GraphStore`] writer publishes new epochs concurrently.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    snapshot: Arc<GraphSnapshot>,
 }
 
-impl<'g> Engine<'g> {
-    /// Binds the engine to a graph.
-    pub fn new(graph: &'g Graph) -> Self {
-        Engine { graph }
+impl Engine {
+    /// Binds the engine to a graph, sealing it as an epoch-0 snapshot.
+    ///
+    /// The graph is cloned, but [`Graph`] is copy-on-write: the clone
+    /// shares the frozen CSR storage, so this is a handful of
+    /// reference-count bumps, not a graph copy.  To serve a graph that
+    /// changes over time, use [`Engine::from_store`] and re-execute against
+    /// fresh snapshots with [`PreparedQuery::execute_on`].
+    pub fn new(graph: &Graph) -> Self {
+        Engine::on(Arc::new(GraphSnapshot::new(graph.clone())))
     }
 
-    /// The graph this engine executes against.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// Binds the engine to an already-pinned snapshot (e.g. one obtained
+    /// from [`GraphStore::snapshot`]).
+    pub fn on(snapshot: Arc<GraphSnapshot>) -> Self {
+        Engine { snapshot }
+    }
+
+    /// Binds the engine to the latest epoch published by `store`.
+    pub fn from_store(store: &GraphStore) -> Self {
+        Engine::on(store.snapshot())
+    }
+
+    /// The snapshot this engine executes against by default.
+    pub fn snapshot(&self) -> &Arc<GraphSnapshot> {
+        &self.snapshot
+    }
+
+    /// The graph of [`Engine::snapshot`].
+    pub fn graph(&self) -> &Graph {
+        self.snapshot.graph()
     }
 
     /// Validates `pattern` and compiles it into a reusable
@@ -107,43 +138,59 @@ impl<'g> Engine<'g> {
     /// Compilation derives everything graph-independent once — the positive
     /// projection `Π(Q)`, the positified patterns `Π(Q^{+e})` for every
     /// negated edge, the radius — and the prepared query lazily caches one
-    /// matcher session per [`MatchConfig`] it is executed with, so
-    /// executing the same prepared query repeatedly re-uses candidate
-    /// analysis and counter scratch instead of rebuilding them per call.
-    pub fn prepare(&self, pattern: &Pattern) -> Result<PreparedQuery<'g>, MatchError> {
+    /// matcher session per ([`GraphSnapshot`], [`MatchConfig`]) pair it is
+    /// executed with, so executing the same prepared query repeatedly
+    /// re-uses candidate analysis and counter scratch instead of rebuilding
+    /// them per call.
+    pub fn prepare(&self, pattern: &Pattern) -> Result<PreparedQuery, MatchError> {
         pattern.validate().map_err(MatchError::InvalidPattern)?;
         Ok(self.prepare_unvalidated(pattern))
     }
 
     /// [`Engine::prepare`] without the validation step, for callers that
     /// already validated (or deliberately run unchecked patterns).
-    pub(crate) fn prepare_unvalidated(&self, pattern: &Pattern) -> PreparedQuery<'g> {
+    pub(crate) fn prepare_unvalidated(&self, pattern: &Pattern) -> PreparedQuery {
         PreparedQuery {
-            graph: self.graph,
+            snapshot: Arc::clone(&self.snapshot),
             compiled: Arc::new(CompiledPattern::compile(pattern)),
             sessions: Vec::new(),
         }
     }
 }
 
-/// A pattern compiled against an [`Engine`]'s graph, reusable across any
-/// number of executions.
+/// One cached matcher session: the snapshot and config it was built for,
+/// plus the graph-independent session state itself.
+struct SessionEntry {
+    snapshot: Arc<GraphSnapshot>,
+    config: MatchConfig,
+    core: SessionCore,
+}
+
+/// A compiled pattern pinned to a default [`GraphSnapshot`], reusable
+/// across any number of executions — and, because it is fully owned
+/// (`'static`), storable in long-lived registries and movable across
+/// threads.
 ///
 /// Executions go through [`PreparedQuery::execute`] (streaming
 /// [`Matches`]) or the [`PreparedQuery::run`] convenience (collected
-/// [`QueryAnswer`]).  The first execution with a given [`MatchConfig`]
-/// builds that config's matcher session (visible as
-/// [`MatchStats::sessions_built`] in that execution's stats); later
-/// executions reuse it, which is the engine's compile-once payoff for
-/// serving one pattern thousands of times.
-pub struct PreparedQuery<'g> {
-    graph: &'g Graph,
+/// [`QueryAnswer`]); the `*_on` variants ([`PreparedQuery::execute_on`],
+/// [`PreparedQuery::run_on`], [`PreparedQuery::count_on`]) run the same
+/// compiled pattern against a *different* snapshot — typically a fresher
+/// epoch of the same [`GraphStore`] — without recompiling.  The first
+/// execution against a given (snapshot, [`MatchConfig`]) pair builds that
+/// pair's matcher session (visible as [`MatchStats::sessions_built`] in
+/// that execution's stats); later executions reuse it, which is the
+/// engine's compile-once payoff for serving one pattern thousands of
+/// times.
+pub struct PreparedQuery {
+    snapshot: Arc<GraphSnapshot>,
     compiled: Arc<CompiledPattern>,
-    /// Lazily built matcher sessions, one per distinct config executed.
-    sessions: Vec<(MatchConfig, MatchSession<'g>)>,
+    /// Lazily built matcher sessions, one per distinct (snapshot, config)
+    /// executed, capped at [`MAX_CACHED_SESSIONS`].
+    sessions: Vec<SessionEntry>,
 }
 
-impl<'g> PreparedQuery<'g> {
+impl PreparedQuery {
     /// The pattern this query was prepared from.
     pub fn pattern(&self) -> &Pattern {
         &self.compiled.pattern
@@ -155,18 +202,40 @@ impl<'g> PreparedQuery<'g> {
         self.compiled.radius
     }
 
-    /// Executes the prepared query under the given options, returning the
-    /// lazy [`Matches`] stream.
+    /// The snapshot this query executes against by default.
+    pub fn snapshot(&self) -> &Arc<GraphSnapshot> {
+        &self.snapshot
+    }
+
+    /// Re-pins the query's *default* snapshot (what [`PreparedQuery::execute`]
+    /// and friends run against) without touching the compiled pattern.
+    /// Cached sessions for the old snapshot are kept until evicted, so
+    /// briefly flipping back is cheap.
+    pub fn pin(&mut self, snapshot: Arc<GraphSnapshot>) {
+        self.snapshot = snapshot;
+    }
+
+    /// Executes the prepared query against its pinned snapshot, returning
+    /// the lazy [`Matches`] stream.
     ///
     /// Errors are limited to partitioned-mode misconfiguration
     /// ([`MatchError::RadiusExceedsPartition`],
     /// [`MatchError::EmptyPartition`]); sequential and whole-graph parallel
     /// executions always succeed.
-    pub fn execute<'q>(
+    pub fn execute<'q>(&'q mut self, opts: ExecOptions<'q>) -> Result<Matches<'q>, MatchError> {
+        let snapshot = Arc::clone(&self.snapshot);
+        exec::execute(self, snapshot, opts)
+    }
+
+    /// [`PreparedQuery::execute`] against an explicit snapshot — the
+    /// serve-under-updates form: prepare once, then execute against each
+    /// fresh epoch a [`GraphStore`] publishes.
+    pub fn execute_on<'q>(
         &'q mut self,
+        snapshot: &Arc<GraphSnapshot>,
         opts: ExecOptions<'q>,
-    ) -> Result<Matches<'q, 'g>, MatchError> {
-        exec::execute(self, opts)
+    ) -> Result<Matches<'q>, MatchError> {
+        exec::execute(self, Arc::clone(snapshot), opts)
     }
 
     /// [`PreparedQuery::execute`] run to completion: the collected
@@ -179,6 +248,15 @@ impl<'g> PreparedQuery<'g> {
     /// [`QueryAnswer::truncated`] set.
     pub fn run(&mut self, opts: ExecOptions<'_>) -> Result<QueryAnswer, MatchError> {
         self.execute(opts)?.try_into_answer()
+    }
+
+    /// [`PreparedQuery::run`] against an explicit snapshot.
+    pub fn run_on(
+        &mut self,
+        snapshot: &Arc<GraphSnapshot>,
+        opts: ExecOptions<'_>,
+    ) -> Result<QueryAnswer, MatchError> {
+        self.execute_on(snapshot, opts)?.try_into_answer()
     }
 
     /// Executes the prepared query as a *counting* query: which foci match,
@@ -194,34 +272,101 @@ impl<'g> PreparedQuery<'g> {
     /// `limit`, `restrict_to`, cancellation and budgets compose exactly as
     /// they do for [`PreparedQuery::execute`], in all three [`ExecMode`]s.
     pub fn count(&mut self, opts: ExecOptions<'_>) -> Result<CountAnswer, MatchError> {
-        count::count(self, opts)
+        let snapshot = Arc::clone(&self.snapshot);
+        count::count(self, snapshot, opts)
+    }
+
+    /// [`PreparedQuery::count`] against an explicit snapshot.
+    pub fn count_on(
+        &mut self,
+        snapshot: &Arc<GraphSnapshot>,
+        opts: ExecOptions<'_>,
+    ) -> Result<CountAnswer, MatchError> {
+        count::count(self, Arc::clone(snapshot), opts)
     }
 
     /// Materializes the current answer as a live [`MatchView`] that
     /// [`MatchView::apply`] keeps consistent under [`qgp_graph::EdgeOp`]
-    /// streams.
+    /// streams, anchored at this query's pinned snapshot.
     ///
-    /// The view owns a private copy of the graph: updates applied to it
-    /// never affect this prepared query, the engine, or other views.
+    /// The view shares the snapshot's frozen storage copy-on-write and
+    /// keeps its own delta overlay: updates applied to it never affect
+    /// this prepared query, the engine, or other views.  A view anchored
+    /// on a [`GraphStore`] epoch can follow the store with
+    /// [`MatchView::advance`].
     pub fn view(&self) -> MatchView {
-        MatchView::materialize(self.graph.clone(), Arc::clone(&self.compiled))
+        MatchView::materialize(Arc::clone(&self.snapshot), Arc::clone(&self.compiled))
     }
 
-    /// The cached session for `config`, building it on first use, plus the
-    /// stats baseline from before any build (so callers can report the
-    /// delta attributable to the current execution).
+    /// The compiled pattern (crate-internal: shared with the registry).
+    pub(crate) fn compiled(&self) -> &Arc<CompiledPattern> {
+        &self.compiled
+    }
+
+    /// Is a session for `(snapshot, config)` already cached?  (Registry
+    /// pre-prime uses this to count cache hits honestly.)
+    pub(crate) fn has_session(&self, snapshot: &Arc<GraphSnapshot>, config: &MatchConfig) -> bool {
+        self.sessions
+            .iter()
+            .any(|e| Arc::ptr_eq(&e.snapshot, snapshot) && e.config == *config)
+    }
+
+    /// The cached session for `(snapshot, config)`, building it on first
+    /// use, plus the stats baseline from before any build (so callers can
+    /// report the delta attributable to the current execution).
     pub(crate) fn session_for(
         &mut self,
+        snapshot: &Arc<GraphSnapshot>,
         config: &MatchConfig,
-    ) -> (&mut MatchSession<'g>, MatchStats) {
-        if let Some(idx) = self.sessions.iter().position(|(c, _)| c == config) {
-            let baseline = self.sessions[idx].1.stats();
-            (&mut self.sessions[idx].1, baseline)
+    ) -> (&mut SessionCore, MatchStats) {
+        self.session_for_seeded(snapshot, config, None)
+    }
+
+    /// [`PreparedQuery::session_for`], seeding a freshly built session's
+    /// candidate sets from the registry's per-epoch Π(Q) cache when given.
+    pub(crate) fn session_for_seeded(
+        &mut self,
+        snapshot: &Arc<GraphSnapshot>,
+        config: &MatchConfig,
+        seed: Option<&CandidateSets>,
+    ) -> (&mut SessionCore, MatchStats) {
+        if let Some(idx) = self
+            .sessions
+            .iter()
+            .position(|e| Arc::ptr_eq(&e.snapshot, snapshot) && e.config == *config)
+        {
+            let baseline = self.sessions[idx].core.stats();
+            (&mut self.sessions[idx].core, baseline)
         } else {
-            let session = MatchSession::from_compiled(self.graph, Arc::clone(&self.compiled), config);
-            let idx = self.sessions.len();
-            self.sessions.push((*config, session));
-            (&mut self.sessions[idx].1, MatchStats::default())
+            if self.sessions.len() >= MAX_CACHED_SESSIONS {
+                // Prefer evicting sessions pinned to other snapshots;
+                // fall back to the oldest entry.
+                match self
+                    .sessions
+                    .iter()
+                    .position(|e| !Arc::ptr_eq(&e.snapshot, snapshot))
+                {
+                    Some(idx) => {
+                        self.sessions.remove(idx);
+                    }
+                    None => {
+                        self.sessions.remove(0);
+                    }
+                }
+            }
+            let core = SessionCore::new_seeded(
+                snapshot.graph(),
+                Arc::clone(&self.compiled),
+                config,
+                seed,
+            );
+            self.sessions.push(SessionEntry {
+                snapshot: Arc::clone(snapshot),
+                config: *config,
+                core,
+            });
+            let idx = self.sessions.len() - 1;
+            (&mut self.sessions[idx].core, MatchStats::default())
         }
     }
 }

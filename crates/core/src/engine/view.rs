@@ -43,7 +43,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use qgp_graph::{
-    bfs_within_multi_with, BfsScratch, EdgeOp, Graph, GraphError, LabelId, NodeId, UpdateReport,
+    bfs_within_multi_with, BfsScratch, EdgeOp, Graph, GraphError, GraphSnapshot, GraphStore,
+    LabelId, NodeId, UpdateReport,
 };
 use qgp_runtime::{faults, CancelToken, ExecBudget, Runtime, TaskError};
 
@@ -67,6 +68,14 @@ pub enum ViewError {
     /// The view is poisoned by an earlier failure; call
     /// [`MatchView::rebuild`] before applying further batches.
     Poisoned,
+    /// [`MatchView::advance`] found the store's bounded replay log no
+    /// longer reaches back to the view's anchor epoch.  Nothing was
+    /// mutated; re-materialize the view from a fresh snapshot (or raise
+    /// [`qgp_graph::GraphStore::with_log_retention`]).
+    LogTruncated {
+        /// The epoch the view was anchored at when replay failed.
+        anchor: u64,
+    },
 }
 
 impl std::fmt::Display for ViewError {
@@ -80,6 +89,10 @@ impl std::fmt::Display for ViewError {
             ViewError::Poisoned => write!(
                 f,
                 "view is poisoned by an earlier failure; call rebuild() first"
+            ),
+            ViewError::LogTruncated { anchor } => write!(
+                f,
+                "store replay log no longer reaches epoch {anchor}; re-materialize the view"
             ),
         }
     }
@@ -174,9 +187,13 @@ impl ViewDelta {
 
 /// A materialized match set kept consistent with a stream of edge updates.
 ///
-/// Built by [`PreparedQuery::view`](super::PreparedQuery::view); owns a
-/// private copy of the graph, so the engine's graph and other views are
-/// unaffected by the updates applied here.
+/// Built by [`PreparedQuery::view`](super::PreparedQuery::view); works on a
+/// copy-on-write clone of the base snapshot's graph — the frozen CSR
+/// storage is shared, only the view's delta overlay is private — so the
+/// engine's snapshot and other views are unaffected by the updates applied
+/// here, at a per-view memory cost proportional to the *overlay*, not the
+/// graph.  A view anchored on a [`GraphStore`] epoch can follow the store's
+/// published batches with [`MatchView::advance`].
 ///
 /// ```
 /// use qgp_core::engine::Engine;
@@ -212,7 +229,17 @@ impl ViewDelta {
 /// assert!(view.matches().is_empty());
 /// ```
 pub struct MatchView {
+    /// The view's working graph: a copy-on-write clone of the base
+    /// snapshot's graph, so the frozen CSR storage is *shared* with the
+    /// snapshot (and every other view over it) and only this view's delta
+    /// overlay is private.
     graph: Graph,
+    /// The snapshot the view was materialized from, pinned so the shared
+    /// frozen storage stays alive and the anchor epoch stays meaningful.
+    base: Arc<GraphSnapshot>,
+    /// The last [`GraphStore`] epoch this view has incorporated; advanced
+    /// by [`MatchView::advance`].
+    anchor: u64,
     compiled: Arc<CompiledPattern>,
     /// The maintenance session: update-stable candidate sets, reused
     /// across every batch.
@@ -238,7 +265,11 @@ impl MatchView {
         MatchConfig::qmatch()
     }
 
-    pub(crate) fn materialize(graph: Graph, compiled: Arc<CompiledPattern>) -> Self {
+    pub(crate) fn materialize(snapshot: Arc<GraphSnapshot>, compiled: Arc<CompiledPattern>) -> Self {
+        // COW clone: shares the snapshot's frozen CSR arrays; only the
+        // delta overlay (bounded by the compaction threshold) is private.
+        let graph = snapshot.graph().clone();
+        let anchor = snapshot.epoch();
         let mut core = SessionCore::with_filter(
             &graph,
             Arc::clone(&compiled),
@@ -253,6 +284,8 @@ impl MatchView {
         MatchView {
             scratch: BfsScratch::for_graph(&graph),
             graph,
+            base: snapshot,
+            anchor,
             compiled,
             core,
             matches,
@@ -282,9 +315,23 @@ impl MatchView {
         self.matches.binary_search(&v).is_ok()
     }
 
-    /// The view's private copy of the graph, including every applied batch.
+    /// The view's working graph, including every applied batch.  Its
+    /// frozen storage is shared copy-on-write with the base snapshot; only
+    /// the delta overlay is private to the view.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The snapshot this view was materialized from.
+    pub fn base_snapshot(&self) -> &Arc<GraphSnapshot> {
+        &self.base
+    }
+
+    /// The last [`GraphStore`] epoch this view has incorporated: the base
+    /// snapshot's epoch at materialization, advanced by each successful
+    /// [`MatchView::advance`].
+    pub fn anchor_epoch(&self) -> u64 {
+        self.anchor
     }
 
     /// The pattern the view maintains.
@@ -351,6 +398,44 @@ impl MatchView {
         runtime: &Runtime,
     ) -> Result<ViewDelta, ViewError> {
         self.apply_inner(ops, Some(budget), runtime)
+    }
+
+    /// Catches the view up to the store's current head: replays every
+    /// [`EdgeOp`] batch published since the view's anchor epoch through the
+    /// ordinary incremental repair path, as **one** transactional batch,
+    /// and re-anchors at the head epoch reached.
+    ///
+    /// The ops-and-epoch pair is captured atomically
+    /// ([`GraphStore::replay_from`]), so a writer racing ahead mid-call
+    /// cannot make the view skip or double-apply a batch — the missed
+    /// batches are simply picked up by the next `advance`.  Errors leave
+    /// the view (and its anchor) exactly as before: a repair failure rolls
+    /// the whole replay back, and [`ViewError::LogTruncated`] means the
+    /// store's bounded log was outrun — re-materialize from a fresh
+    /// snapshot instead.
+    ///
+    /// Local [`MatchView::apply`] batches compose with `advance`: they
+    /// mutate the view's working graph without moving the anchor, so a
+    /// later `advance` still replays exactly the store batches the view has
+    /// not seen.
+    pub fn advance(&mut self, store: &GraphStore) -> Result<ViewDelta, ViewError> {
+        self.advance_with(store, Runtime::global())
+    }
+
+    /// [`MatchView::advance`] on an explicit runtime.
+    pub fn advance_with(
+        &mut self,
+        store: &GraphStore,
+        runtime: &Runtime,
+    ) -> Result<ViewDelta, ViewError> {
+        let Some((ops, head)) = store.replay_from(self.anchor) else {
+            return Err(ViewError::LogTruncated {
+                anchor: self.anchor,
+            });
+        };
+        let delta = self.apply_inner(&ops, None, runtime)?;
+        self.anchor = head;
+        Ok(delta)
     }
 
     /// The shared transactional apply: stage, repair, commit-or-roll-back.

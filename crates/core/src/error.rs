@@ -90,6 +90,14 @@ pub enum MatchError {
     /// the execution was aborted.  The runtime and the prepared query both
     /// remain usable.
     TaskPanicked(TaskError),
+    /// A registry serve request named a [`QueryId`] that is not (or no
+    /// longer) registered.
+    ///
+    /// [`QueryId`]: crate::engine::QueryId
+    UnknownQuery {
+        /// The raw id of the unknown query.
+        id: u64,
+    },
 }
 
 impl fmt::Display for MatchError {
@@ -108,6 +116,9 @@ impl fmt::Display for MatchError {
                 write!(f, "execution budget exceeded before the query completed")
             }
             MatchError::TaskPanicked(e) => write!(f, "execution aborted: {e}"),
+            MatchError::UnknownQuery { id } => {
+                write!(f, "query #{id} is not registered")
+            }
         }
     }
 }

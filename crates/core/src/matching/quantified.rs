@@ -145,19 +145,71 @@ impl PositiveSession {
         filter: CandidateFilter,
         stats: &mut MatchStats,
     ) -> Self {
-        debug_assert!(pattern.is_positive(), "PositiveSession requires Π(Q)");
-        let inner = (|| {
-            let rp = ResolvedPattern::resolve(pattern, graph)?;
-            let mut candidates = build_candidates(graph, &rp, filter, stats);
+        Self::build(graph, pattern, config, stats, |graph, rp, stats| {
+            let mut candidates = build_candidates(graph, rp, filter, stats);
             if candidates.any_empty() {
                 return None;
             }
             if config.use_simulation_filter {
-                refine_by_simulation(graph, &rp, &mut candidates, stats);
+                refine_by_simulation(graph, rp, &mut candidates, stats);
                 if candidates.any_empty() {
                     return None;
                 }
             }
+            Some(candidates)
+        })
+    }
+
+    /// [`PositiveSession::with_filter`], but when `seed` is given the
+    /// candidate initialization (and any simulation refinement baked into
+    /// the seed) is skipped entirely: the seeded sets are cloned instead of
+    /// recomputed.  This is the Π(Q)-sharing hook of the query registry:
+    /// queries with equal projections on the same snapshot reuse one
+    /// candidate analysis.  The seed **must** have been produced by an
+    /// identical construction (same graph, same resolved projection, same
+    /// filter and simulation setting) — the registry's cache key guarantees
+    /// this.
+    pub fn with_filter_seeded(
+        graph: &Graph,
+        pattern: &Pattern,
+        config: &MatchConfig,
+        filter: CandidateFilter,
+        seed: Option<&CandidateSets>,
+        stats: &mut MatchStats,
+    ) -> Self {
+        match seed {
+            Some(seed) => Self::build(graph, pattern, config, stats, |_, _, stats| {
+                if seed.any_empty() {
+                    return None;
+                }
+                stats.initial_candidates += seed.total();
+                Some(seed.clone())
+            }),
+            None => Self::with_filter(graph, pattern, config, filter, stats),
+        }
+    }
+
+    /// The candidate sets of a successfully built session — what the query
+    /// registry harvests into its per-epoch Π(Q) cache.  `None` when the
+    /// pattern cannot match on this graph.
+    pub fn candidate_sets(&self) -> Option<&CandidateSets> {
+        self.inner.as_ref().map(|i| &i.candidates)
+    }
+
+    /// Shared construction tail: label resolution, then `init` produces the
+    /// candidate sets (fresh build or seeded clone), then search order and
+    /// counter scratch.
+    fn build(
+        graph: &Graph,
+        pattern: &Pattern,
+        config: &MatchConfig,
+        stats: &mut MatchStats,
+        init: impl FnOnce(&Graph, &ResolvedPattern, &mut MatchStats) -> Option<CandidateSets>,
+    ) -> Self {
+        debug_assert!(pattern.is_positive(), "PositiveSession requires Π(Q)");
+        let inner = (|| {
+            let rp = ResolvedPattern::resolve(pattern, graph)?;
+            let candidates = init(graph, &rp, stats)?;
             let order = SearchOrder::new(&rp);
             let acc = CounterAccumulator::new(&rp, &candidates);
             let single_focus_edge = rp.node_count() == 2

@@ -97,6 +97,47 @@ impl SessionCore {
         Self::with_filter(graph, compiled, config, filter)
     }
 
+    /// As [`SessionCore::new`], but seeds the positive pattern's candidate
+    /// sets from a previously harvested analysis instead of rebuilding them
+    /// — the Π(Q)-sharing path of the query registry.  The seed must come
+    /// from [`SessionCore::candidate_sets`] of a core built on the *same*
+    /// graph with an equal projection, the same implied filter and the same
+    /// simulation setting (the registry's cache key enforces this).
+    pub fn new_seeded(
+        graph: &Graph,
+        compiled: Arc<CompiledPattern>,
+        config: &MatchConfig,
+        seed: Option<&super::candidates::CandidateSets>,
+    ) -> Self {
+        let filter = if config.use_upper_bound_pruning {
+            CandidateFilter::QuantifierAware
+        } else {
+            CandidateFilter::LabelOnly
+        };
+        let mut stats = MatchStats {
+            sessions_built: 1,
+            ..MatchStats::default()
+        };
+        let positive =
+            PositiveSession::with_filter_seeded(graph, &compiled.pi, config, filter, seed, &mut stats);
+        let negated = (0..compiled.positified.len()).map(|_| None).collect();
+        SessionCore {
+            config: *config,
+            filter,
+            compiled,
+            positive,
+            negated,
+            stats,
+        }
+    }
+
+    /// The positive pattern's candidate sets, for harvesting into the query
+    /// registry's per-epoch Π(Q) cache (`None` when the pattern cannot
+    /// match on this graph).
+    pub fn candidate_sets(&self) -> Option<&super::candidates::CandidateSets> {
+        self.positive.candidate_sets()
+    }
+
     /// Builds a core with an explicit candidate filter.  The incremental
     /// `MatchView` passes [`CandidateFilter::LabelUniverse`] so the sets
     /// survive edge updates.

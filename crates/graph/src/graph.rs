@@ -12,6 +12,8 @@
 //! [`Graph::compaction_threshold`].  [`Graph::add_edge`] is a one-op batch
 //! on that path — the old `O(V·L + E)` per-edge splice is gone.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::csr::{CsrAdjacency, Triple};
@@ -63,14 +65,22 @@ pub struct EdgeRef {
 /// * parallel edges with *different* labels between the same node pair are
 ///   allowed (as in property graphs), identical `(from, to, label)` triples
 ///   are not.
+///
+/// Cloning is cheap: the frozen storage (both CSR directions, the node
+/// table, the per-label node index and the label vocabulary) lives behind
+/// [`Arc`]s with copy-on-write semantics, so a clone is a handful of
+/// reference-count bumps plus a copy of the (bounded) delta overlay.  Two
+/// clones share the frozen arrays until one of them mutates
+/// ([`Arc::make_mut`] un-shares only then) — this is what makes
+/// [`crate::GraphSnapshot`] epochs and live match views memory-cheap.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Graph {
-    labels: LabelSet,
-    node_labels: Vec<LabelId>,
-    out: CsrAdjacency,
-    inn: CsrAdjacency,
+    labels: Arc<LabelSet>,
+    node_labels: Arc<Vec<LabelId>>,
+    out: Arc<CsrAdjacency>,
+    inn: Arc<CsrAdjacency>,
     /// `nodes_by_label[l]` lists every node whose label is `l`.
-    nodes_by_label: Vec<Vec<NodeId>>,
+    nodes_by_label: Arc<Vec<Vec<NodeId>>>,
     edge_count: usize,
     /// Pending updates not yet folded into the frozen CSR base.  `None`
     /// when the graph is fully compacted (the common read-only state).
@@ -92,10 +102,10 @@ impl Graph {
     pub fn with_labels(labels: LabelSet) -> Self {
         let edge_label_count = labels.edge_label_count();
         Graph {
-            nodes_by_label: vec![Vec::new(); labels.node_label_count()],
-            out: CsrAdjacency::with_label_count(edge_label_count),
-            inn: CsrAdjacency::with_label_count(edge_label_count),
-            labels,
+            nodes_by_label: Arc::new(vec![Vec::new(); labels.node_label_count()]),
+            out: Arc::new(CsrAdjacency::with_label_count(edge_label_count)),
+            inn: Arc::new(CsrAdjacency::with_label_count(edge_label_count)),
+            labels: Arc::new(labels),
             ..Self::default()
         }
     }
@@ -108,7 +118,15 @@ impl Graph {
     /// Mutable access to the label vocabulary (used by builders and
     /// generators to intern new labels).
     pub fn labels_mut(&mut self) -> &mut LabelSet {
-        &mut self.labels
+        Arc::make_mut(&mut self.labels)
+    }
+
+    /// Whether `self` and `other` still share their frozen storage (both
+    /// CSR directions) — i.e. neither side has un-shared it by mutating
+    /// since they were cloned from one another.  Diagnostic hook for the
+    /// copy-on-write contract; used by snapshot/view memory tests.
+    pub fn shares_frozen_storage(&self, other: &Graph) -> bool {
+        Arc::ptr_eq(&self.out, &other.out) && Arc::ptr_eq(&self.inn, &other.inn)
     }
 
     /// Number of nodes.
@@ -137,30 +155,31 @@ impl Graph {
     /// Reserves capacity for `additional` more nodes across the node table
     /// and both adjacency indexes.
     pub fn reserve_nodes(&mut self, additional: usize) {
-        self.node_labels.reserve(additional);
-        self.out.reserve_nodes(additional);
-        self.inn.reserve_nodes(additional);
+        Arc::make_mut(&mut self.node_labels).reserve(additional);
+        Arc::make_mut(&mut self.out).reserve_nodes(additional);
+        Arc::make_mut(&mut self.inn).reserve_nodes(additional);
     }
 
     /// Adds a node with an already-interned node label, returning its id.
     pub fn add_node(&mut self, label: LabelId) -> NodeId {
         let id = NodeId::new(self.node_labels.len());
-        self.node_labels.push(label);
-        self.out.push_node();
-        self.inn.push_node();
+        Arc::make_mut(&mut self.node_labels).push(label);
+        Arc::make_mut(&mut self.out).push_node();
+        Arc::make_mut(&mut self.inn).push_node();
         if let Some(delta) = &mut self.delta {
             delta.push_node();
         }
-        if label.index() >= self.nodes_by_label.len() {
-            self.nodes_by_label.resize(label.index() + 1, Vec::new());
+        let by_label = Arc::make_mut(&mut self.nodes_by_label);
+        if label.index() >= by_label.len() {
+            by_label.resize(label.index() + 1, Vec::new());
         }
-        self.nodes_by_label[label.index()].push(id);
+        by_label[label.index()].push(id);
         id
     }
 
     /// Adds a node labeled with `name`, interning the label if needed.
     pub fn add_node_with_name(&mut self, name: &str) -> NodeId {
-        let label = self.labels.intern_node_label(name);
+        let label = self.labels_mut().intern_node_label(name);
         self.add_node(label)
     }
 
@@ -247,8 +266,8 @@ impl Graph {
         let capacity = self.labels.edge_label_count().max(needed);
         if capacity > self.out.label_count() {
             self.compact_updates();
-            self.out.ensure_label_capacity(capacity);
-            self.inn.ensure_label_capacity(capacity);
+            Arc::make_mut(&mut self.out).ensure_label_capacity(capacity);
+            Arc::make_mut(&mut self.inn).ensure_label_capacity(capacity);
             self.update_stats.full_rebuilds += 1;
         }
         let threshold = self.compaction_threshold();
@@ -318,8 +337,8 @@ impl Graph {
         let mut reversed: Vec<Triple> = triples.iter().map(|&(f, l, t)| (t, l, f)).collect();
         let n = self.node_count();
         let label_count = self.out.label_count();
-        self.out.rebuild(n, label_count, &mut triples);
-        self.inn.rebuild(n, label_count, &mut reversed);
+        Arc::make_mut(&mut self.out).rebuild(n, label_count, &mut triples);
+        Arc::make_mut(&mut self.inn).rebuild(n, label_count, &mut reversed);
         self.update_stats.compactions += 1;
     }
 
@@ -405,8 +424,8 @@ impl Graph {
 
         let mut reversed: Vec<Triple> = merged.iter().map(|&(f, l, t)| (t, l, f)).collect();
         let n = self.node_count();
-        self.out.rebuild(n, max_label, &mut merged);
-        self.inn.rebuild(n, max_label, &mut reversed);
+        Arc::make_mut(&mut self.out).rebuild(n, max_label, &mut merged);
+        Arc::make_mut(&mut self.inn).rebuild(n, max_label, &mut reversed);
         self.edge_count += added;
         self.update_stats.full_rebuilds += 1;
         Ok(added)
@@ -421,8 +440,8 @@ impl Graph {
         inn: CsrAdjacency,
         edge_count: usize,
     ) {
-        self.out = out;
-        self.inn = inn;
+        self.out = Arc::new(out);
+        self.inn = Arc::new(inn);
         self.edge_count = edge_count;
         self.delta = None;
     }
@@ -624,7 +643,7 @@ impl Graph {
     /// and frozen with one bulk rebuild (no per-edge dedup search — the
     /// source graph has no duplicates).
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
-        let mut sub = Graph::with_labels(self.labels.clone());
+        let mut sub = Graph::with_labels(self.labels().clone());
         let mut global_of_local = Vec::with_capacity(nodes.len());
         let mut local_of_global =
             std::collections::HashMap::with_capacity(nodes.len());

@@ -18,6 +18,10 @@
 //! * [`delta`] — the update path for live graphs: [`EdgeOp`] batches applied
 //!   through a sorted side-table overlay ([`Graph::apply_edge_ops`]) that is
 //!   compacted back into the CSR past a configurable threshold,
+//! * [`snapshot`] / [`store`] — the epoch architecture for serving under
+//!   updates: a [`GraphStore`] applies `EdgeOp` batches and atomically
+//!   publishes immutable, cheaply clonable [`GraphSnapshot`] epochs that
+//!   readers pin without ever blocking on (or being blocked by) the writer,
 //! * [`neighborhood`] — d-hop neighborhoods `N_d(v)` and BFS utilities used
 //!   by the d-hop preserving partition of Section 5,
 //! * [`fragment`] — fragments of a partitioned graph with local/global id
@@ -54,7 +58,9 @@ pub mod fragment;
 pub mod graph;
 pub mod labels;
 pub mod neighborhood;
+pub mod snapshot;
 pub mod stats;
+pub mod store;
 
 pub use bitset::DenseBitSet;
 pub use builder::GraphBuilder;
@@ -67,4 +73,6 @@ pub use neighborhood::{
     bfs_within, bfs_within_multi_with, bfs_within_with, d_hop_neighborhood, d_hop_nodes,
     d_hop_nodes_with, BfsScratch,
 };
+pub use snapshot::GraphSnapshot;
 pub use stats::GraphStats;
+pub use store::{publish_ordering, GraphStore, DEFAULT_LOG_RETENTION};

@@ -1,0 +1,100 @@
+//! Model checks for the [`GraphStore`] epoch publish protocol: the
+//! Arc-swap install plus the epoch-counter store must let a reader who
+//! observed epoch `n` see everything the writer built for epoch `n`.
+//!
+//! Run with `cargo test -p qgp-graph --features model --test model_store`.
+//! The CI mutation leg additionally sets `RUSTFLAGS="--cfg qgp_mutate"`,
+//! which weakens [`publish_ordering`] from `Release` to `Relaxed`; the
+//! publication test below then *requires* the checker to report the race —
+//! the checker's own liveness check.
+
+#![cfg(feature = "model")]
+
+use qgp_check::sync::AtomicU64;
+use qgp_check::{explore, scope, Config, RaceCell};
+use qgp_graph::{publish_ordering, EdgeOp, GraphBuilder, GraphStore};
+use std::sync::atomic::Ordering;
+
+/// The publish edge itself, isolated to its two memory accesses: the
+/// writer fills the snapshot payload *before* storing the epoch counter
+/// with [`publish_ordering`]; a reader who Acquire-loads the new epoch
+/// must see the payload.  With the real `Release` store this holds on
+/// every interleaving; under `--cfg qgp_mutate` (`Relaxed`) the epoch load
+/// no longer synchronizes with the payload write and the checker must
+/// flag the race.
+#[test]
+fn epoch_store_publishes_the_snapshot_built_before_it() {
+    let report = explore(&Config::exhaustive(), || {
+        let payload = RaceCell::named("snapshot-payload", 0u32);
+        let epoch = AtomicU64::new(0);
+        scope(|s| {
+            let writer = s.spawn(|| {
+                payload.write(7);
+                epoch.store(1, publish_ordering());
+            });
+            let reader = s.spawn(|| {
+                if epoch.load(Ordering::Acquire) == 1 {
+                    assert_eq!(payload.read(), 7, "observed epoch implies its snapshot");
+                }
+            });
+            writer.join().expect("writer");
+            reader.join().expect("reader");
+        });
+    });
+    #[cfg(not(qgp_mutate))]
+    {
+        report.expect_ok("epoch_store_publishes_the_snapshot_built_before_it");
+        assert!(report.complete, "two-access protocol must be fully enumerated");
+        assert!(
+            report.executions > 1,
+            "publish racing the load must branch; got {} executions",
+            report.executions
+        );
+    }
+    #[cfg(qgp_mutate)]
+    report.expect_race("epoch_store_publishes_the_snapshot_built_before_it (mutated)");
+}
+
+/// The full store under the model scheduler: a writer publishes one epoch
+/// while a reader pins snapshots.  On every interleaving the reader must
+/// get a self-consistent snapshot — epoch 0 without the edge or epoch 1
+/// with it, never a torn mix — and the store's head must land on epoch 1.
+/// (The snapshot handoff rides the head mutex, so this invariant holds
+/// even under the mutated epoch ordering; the protocol's Release edge is
+/// what the test above pins.)
+#[test]
+fn readers_pin_consistent_epochs_while_the_writer_publishes() {
+    let report = explore(&Config::exhaustive(), || {
+        let mut b = GraphBuilder::new();
+        let ann = b.add_node("person");
+        let bob = b.add_node("person");
+        b.add_edge(ann, bob, "follow").unwrap();
+        let graph = b.build();
+        let follow = graph.labels().edge_label("follow").unwrap();
+        let store = GraphStore::new(graph);
+        scope(|s| {
+            let writer = s.spawn(|| {
+                store.apply(&[EdgeOp::delete(ann, bob, follow)]).unwrap();
+            });
+            let reader = s.spawn(|| {
+                let snap = store.snapshot();
+                match snap.epoch() {
+                    0 => assert!(snap.has_edge(ann, bob, follow), "epoch 0 keeps the edge"),
+                    1 => assert!(!snap.has_edge(ann, bob, follow), "epoch 1 saw the delete"),
+                    e => panic!("impossible epoch {e}"),
+                }
+            });
+            writer.join().expect("writer");
+            reader.join().expect("reader");
+        });
+        assert_eq!(store.epoch(), 1);
+        assert!(!store.snapshot().has_edge(ann, bob, follow));
+    });
+    report.expect_ok("readers_pin_consistent_epochs_while_the_writer_publishes");
+    assert!(report.complete);
+    assert!(
+        report.executions > 1,
+        "apply racing snapshot must branch; got {} executions",
+        report.executions
+    );
+}

@@ -18,6 +18,7 @@
 //! | `no-unwrap`     | no `.unwrap()` in non-test runtime/engine code              |
 //! | `real-time`     | no `Instant::now` in model-checked modules (use `sync::now`) |
 //! | `forbid-unsafe` | every crate root declares `#![forbid(unsafe_code)]`         |
+//! | `engine-lifetime` | no new lifetime-parameterized public types in `qgp_core::engine` (pin `Arc<GraphSnapshot>` instead) |
 //!
 //! Test code (`#[cfg(test)]` modules and `tests/` trees) is exempt from
 //! the per-line rules: tests may use raw primitives and `.unwrap()`
@@ -97,6 +98,35 @@ fn unwrap_scoped(rel: &str) -> bool {
     rel.starts_with("crates/runtime/src/") || rel.starts_with("crates/core/src/engine/")
 }
 
+/// The engine surface is lifetime-free by design — `Engine`,
+/// `PreparedQuery`, `MatchView` and the registry own `Arc<GraphSnapshot>`
+/// pins, which is what makes registered queries and cross-epoch serving
+/// possible at all.  These are the grandfathered exceptions: the
+/// options/execution-mode family borrows a `Runtime`, and `Matches`
+/// borrows its prepared query for exactly one streamed execution.
+const ENGINE_LIFETIME_ALLOWED: &[&str] = &["ExecOptions", "ExecMode", "Parallelism", "Matches"];
+
+/// Returns the name of a lifetime-parameterized public type declared on
+/// this (stripped) line of an engine module, unless allowlisted.
+fn engine_lifetime_offender(code: &str) -> Option<String> {
+    for kw in ["pub struct ", "pub enum ", "pub type ", "pub trait "] {
+        let Some(pos) = code.find(kw) else { continue };
+        let rest = &code[pos + kw.len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let after = rest[name.len()..].trim_start();
+        if after.starts_with("<'") && !ENGINE_LIFETIME_ALLOWED.contains(&name.as_str()) {
+            return Some(name);
+        }
+    }
+    None
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     if let Some(flag) = args.next() {
@@ -167,6 +197,7 @@ relaxed-doc    Ordering::Relaxed without a `// relaxed:` justification comment
 no-unwrap      .unwrap() in non-test runtime/engine code
 real-time      Instant::now in a model-checked module (use sync::now())
 forbid-unsafe  crate root missing #![forbid(unsafe_code)]
+engine-lifetime  new lifetime-parameterized public type in qgp_core::engine
 ";
 
 /// Walk up from the current directory to the first `Cargo.toml` declaring
@@ -470,6 +501,21 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
             });
         }
 
+        if rel.starts_with("crates/core/src/engine/") {
+            if let Some(name) = engine_lifetime_offender(code) {
+                findings.push(Finding {
+                    path: PathBuf::from(rel),
+                    line: lineno,
+                    rule: "engine-lifetime",
+                    message: format!(
+                        "lifetime-parameterized public type `{name}` on the engine \
+                         surface; pin an Arc<GraphSnapshot> instead (grandfathered: \
+                         ExecOptions/ExecMode/Parallelism/Matches)"
+                    ),
+                });
+            }
+        }
+
         if MODEL_CHECKED.contains(&rel) && code.contains("Instant::now") {
             findings.push(Finding {
                 path: PathBuf::from(rel),
@@ -553,6 +599,31 @@ mod tests {
         assert_eq!(scan("crates/runtime/src/budget.rs", src), vec!["real-time"]);
         assert!(scan("crates/runtime/src/sync.rs", src).is_empty());
         assert!(scan("crates/core/src/engine/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn engine_lifetimes_are_flagged_outside_the_allowlist() {
+        let bad = "pub struct Session<'g> {\n    graph: &'g Graph,\n}\n";
+        assert_eq!(
+            scan("crates/core/src/engine/x.rs", bad),
+            vec!["engine-lifetime"]
+        );
+        // The same declaration outside the engine surface is fine.
+        assert!(scan("crates/core/src/matching/x.rs", bad).is_empty());
+        // Grandfathered types and lifetime-free types are clean.
+        for ok in [
+            "pub struct Matches<'q> {\n",
+            "pub enum ExecMode<'a> {\n",
+            "pub struct ExecOptions<'a> {\n",
+            "pub enum Parallelism<'a> {\n",
+            "pub struct Engine {\n",
+            "pub(crate) struct SessionEntry<'g> {\n",
+        ] {
+            assert!(
+                scan("crates/core/src/engine/x.rs", ok).is_empty(),
+                "{ok} must not be flagged"
+            );
+        }
     }
 
     #[test]

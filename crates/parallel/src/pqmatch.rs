@@ -107,9 +107,9 @@ fn to_parallel_error(e: MatchError) -> ParallelError {
             ParallelError::RadiusExceedsPartition { radius, partition_d }
         }
         MatchError::EmptyPartition => ParallelError::NoWorkers,
-        MatchError::BudgetExceeded | MatchError::TaskPanicked(_) => {
-            ParallelError::Execution(e.to_string())
-        }
+        MatchError::BudgetExceeded
+        | MatchError::TaskPanicked(_)
+        | MatchError::UnknownQuery { .. } => ParallelError::Execution(e.to_string()),
     }
 }
 

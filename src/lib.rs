@@ -88,6 +88,18 @@
 //! let delta = view.apply(&[EdgeOp::insert(ann, dee, follow)]).unwrap();
 //! assert_eq!(delta.removed, vec![ann]);
 //! assert!(view.matches().is_empty());
+//!
+//! // To serve a graph that *keeps changing*, hand it to a `GraphStore`:
+//! // the writer applies update batches and publishes immutable epoch
+//! // snapshots; readers pin an epoch and are never blocked (or invalidated)
+//! // by the writer racing ahead.
+//! use quantified_graph_patterns::GraphStore;
+//! let store = GraphStore::new(graph);
+//! let pinned = store.snapshot();                                   // epoch 0
+//! store.apply(&[EdgeOp::insert(ann, dee, follow)]).unwrap();       // epoch 1
+//! assert_eq!(prepared.run_on(&pinned, ExecOptions::sequential()).unwrap().matches, vec![ann]);
+//! let head = store.snapshot();
+//! assert!(prepared.run_on(&head, ExecOptions::sequential()).unwrap().matches.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -102,11 +114,15 @@ pub use qgp_runtime as runtime;
 // The one execution surface, flattened to the root so the quickstart needs
 // a single `use` line.
 pub use qgp_core::engine::{
-    BudgetPolicy, BudgetStop, CancelToken, CountAnswer, CountMode, Engine, ExecBudget, ExecMode,
-    ExecOptions, FocusCount, Matches, MatchView, ParallelTelemetry, Parallelism, PreparedQuery,
-    TaskError, ViewDelta, ViewError,
+    BudgetPolicy, BudgetStop, CacheStats, CancelToken, CountAnswer, CountMode, Engine, ExecBudget,
+    ExecMode, ExecOptions, FocusCount, Matches, MatchView, ParallelTelemetry, Parallelism,
+    PreparedQuery, QueryId, QueryRegistry, ServeOutcome, ServeRequest, TaskError, ViewDelta,
+    ViewError,
 };
 pub use qgp_core::matching::{MatchConfig, MatchStats, QueryAnswer};
 pub use qgp_core::pattern::{CountingQuantifier, Pattern, PatternBuilder};
-pub use qgp_graph::{EdgeOp, Graph, GraphBuilder, GraphError, LabelId, LabelSet, NodeId, UpdateReport};
+pub use qgp_graph::{
+    EdgeOp, Graph, GraphBuilder, GraphError, GraphSnapshot, GraphStore, LabelId, LabelSet, NodeId,
+    UpdateReport,
+};
 pub use qgp_runtime::Runtime;
